@@ -1,0 +1,35 @@
+//! Substrate bench: the graph primitives every layer sits on (generation,
+//! Dijkstra, hop-bounded Bellman–Ford, BFS-tree construction on the CONGEST
+//! simulator, Lemma 1 broadcast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use en_congest::bfs_tree::build_bfs_tree;
+use en_congest::broadcast::pipelined_broadcast;
+use en_graph::bellman_ford::hop_bounded_distances;
+use en_graph::dijkstra::dijkstra;
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+
+fn bench_substrate(c: &mut Criterion) {
+    let n = 512;
+    let cfg = GeneratorConfig::new(n, 19).with_weights(1, 100);
+    let g = erdos_renyi_connected(&cfg, 8.0 / n as f64);
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    group.bench_function("generate_erdos_renyi_512", |b| {
+        b.iter(|| erdos_renyi_connected(&cfg, 8.0 / n as f64))
+    });
+    group.bench_function("dijkstra_512", |b| b.iter(|| dijkstra(&g, 0)));
+    group.bench_function("hop_bounded_bf_512_b16", |b| {
+        b.iter(|| hop_bounded_distances(&g, 0, 16))
+    });
+    group.bench_function("congest_bfs_tree_512", |b| b.iter(|| build_bfs_tree(&g, 0)));
+    let msgs: Vec<u64> = (0..32).collect();
+    group.bench_function("lemma1_broadcast_32_msgs", |b| {
+        b.iter(|| pipelined_broadcast(&g, 0, &msgs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure F bench: hopset construction and verification cost as the trade-off
+//! parameter `ρ` varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_bench::Workload;
+use en_hopset::verify::verify_hopset;
+use en_hopset::{build_hopset, HopsetConfig};
+
+fn bench_hopset(c: &mut Criterion) {
+    let g = Workload::Geometric.generate(128, 17);
+    let mut group = c.benchmark_group("hopset");
+    group.sample_size(10);
+    for rho in [0.25f64, 0.5] {
+        group.bench_with_input(BenchmarkId::new("build", format!("rho{rho}")), &rho, |b, &rho| {
+            b.iter(|| build_hopset(&g, &HopsetConfig::new(rho, 0.1, 17)))
+        });
+    }
+    let hopset = build_hopset(&g, &HopsetConfig::new(0.5, 0.1, 17));
+    group.bench_function("verify_definition_1", |b| {
+        b.iter(|| verify_hopset(&g, &hopset))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hopset);
+criterion_main!(benches);

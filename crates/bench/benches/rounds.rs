@@ -1,0 +1,27 @@
+//! Figure C bench: wall-clock scaling of the full distributed construction
+//! with `n`, for an even and an odd `k` (the round-count scaling is printed by
+//! the `rounds_vs_n` harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_bench::Workload;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+fn bench_construction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_vs_n");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let g = Workload::ErdosRenyi.generate(n, 11);
+        for k in [4usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &n,
+                |b, _| b.iter(|| build_routing_scheme(&g, &ConstructionConfig::new(k, 11)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction_scaling);
+criterion_main!(benches);

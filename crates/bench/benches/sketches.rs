@@ -1,0 +1,26 @@
+//! Figure D bench: sketch construction and the `O(k)`-time `Dist` query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_bench::Workload;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_routing::distance_estimation::DistanceEstimation;
+
+fn bench_sketches(c: &mut Criterion) {
+    let n = 128;
+    let g = Workload::ErdosRenyi.generate(n, 13);
+    let mut group = c.benchmark_group("distance_estimation");
+    for k in [2usize, 4] {
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 13)).unwrap();
+        group.bench_with_input(BenchmarkId::new("build_sketches", k), &k, |b, _| {
+            b.iter(|| DistanceEstimation::build(&built.family))
+        });
+        group.bench_with_input(BenchmarkId::new("query", k), &k, |b, _| {
+            b.iter(|| built.sketches.query(3, n - 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

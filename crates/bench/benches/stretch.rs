@@ -1,0 +1,38 @@
+//! Figure A bench: per-packet routing cost (find-tree + hop-by-hop forwarding)
+//! as `k` grows, plus the stretch measurement pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_bench::Workload;
+use en_graph::dijkstra::dijkstra;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_routing::stretch::measure_stretch_sampled;
+
+fn bench_routing_queries(c: &mut Criterion) {
+    let n = 128;
+    let g = Workload::ErdosRenyi.generate(n, 3);
+    let mut group = c.benchmark_group("route_one_packet");
+    for k in [2usize, 4] {
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 3)).unwrap();
+        let exact = dijkstra(&g, 0).dist[n - 1];
+        group.bench_with_input(BenchmarkId::new("route", k), &k, |b, _| {
+            b.iter(|| built.scheme.route_with_exact(&g, 0, n - 1, exact).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_stretch_measurement(c: &mut Criterion) {
+    let n = 128;
+    let g = Workload::Geometric.generate(n, 5);
+    let built = build_routing_scheme(&g, &ConstructionConfig::new(3, 5)).unwrap();
+    let mut group = c.benchmark_group("stretch_measurement");
+    group.sample_size(10);
+    group.bench_function("sampled_200_pairs", |b| {
+        b.iter(|| measure_stretch_sampled(&g, &built.scheme, 200, 9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_queries, bench_stretch_measurement);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind Table 1: wall-clock cost of building each scheme on
+//! the same workload (complements the round counts printed by the `table1`
+//! harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_bench::Workload;
+use en_routing::baselines::landmark::build_landmark_baseline;
+use en_routing::baselines::tz::build_tz_baseline;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let n = 128;
+    let g = Workload::ErdosRenyi.generate(n, 1);
+    let mut group = c.benchmark_group("table1_construction");
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("this_paper", k), &k, |b, &k| {
+            b.iter(|| build_routing_scheme(&g, &ConstructionConfig::new(k, 1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tz01", k), &k, |b, &k| {
+            b.iter(|| build_tz_baseline(&g, k, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lp13_landmark", k), &k, |b, &k| {
+            b.iter(|| build_landmark_baseline(&g, k, 1, 8).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

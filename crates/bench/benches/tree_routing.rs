@@ -1,0 +1,30 @@
+//! Figure E bench: tree-routing construction and per-hop forwarding cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::generators::{random_tree, GeneratorConfig};
+use en_graph::tree::RootedTree;
+use en_tree_routing::{TreeRoutingConfig, TreeRoutingScheme};
+
+fn bench_tree_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_routing");
+    for n in [256usize, 1024] {
+        let g = random_tree(&GeneratorConfig::new(n, 3));
+        let tree = RootedTree::from_shortest_paths(&g, &dijkstra(&g, 0));
+        group.bench_with_input(BenchmarkId::new("build_two_level", n), &n, |b, _| {
+            b.iter(|| TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(5)))
+        });
+        group.bench_with_input(BenchmarkId::new("build_single_level", n), &n, |b, _| {
+            b.iter(|| TreeRoutingScheme::build(&tree, &TreeRoutingConfig::single_level()))
+        });
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(5));
+        group.bench_with_input(BenchmarkId::new("route", n), &n, |b, _| {
+            b.iter(|| scheme.route(1, n - 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_routing);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Derived figure C: construction rounds versus `n`, for an even and an odd
+//! `k`, against the paper's `(n^{1/2+1/k} + D) · n^{o(1)}` /
+//! `(n^{1/2+1/(2k)} + D) · n^{o(1)}` formulas.
+//!
+//! At laptop scales the absolute round numbers are dominated by the paper's
+//! lower-order factors (`1/ε = 48k⁴` from Theorem 1 and the hopset's `β²`), so
+//! the column to read is the **growth factor** per doubling of `n`, which
+//! should track the `n^{1/2+1/k}` (even `k`) / `n^{1/2+1/(2k)}` (odd `k`)
+//! leading term. See EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p en-bench --bin rounds_vs_n [max_n]`
+
+use en_bench::{measure_this_paper, Workload};
+use en_graph::bfs::hop_diameter_estimate;
+use en_routing::baselines::formulas;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let seed = 23;
+    let sizes: Vec<usize> = [64usize, 128, 256, 512, 1024]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+
+    println!("== Figure C (derived): construction rounds vs n ==\n");
+    for k in [4usize, 5] {
+        let exponent = if k % 2 == 0 {
+            0.5 + 1.0 / k as f64
+        } else {
+            0.5 + 1.0 / (2.0 * k as f64)
+        };
+        println!(
+            "-- k = {k} ({}), leading term n^{exponent:.3} --",
+            if k % 2 == 0 { "even" } else { "odd" }
+        );
+        println!(
+            "{:>6} {:>6} {:>7} {:>14} {:>9} {:>16} {:>9} {:>14}",
+            "n", "D~", "beta", "measured", "growth", "paper formula", "growth", "leading-term"
+        );
+        let mut prev_measured: Option<usize> = None;
+        let mut prev_formula: Option<f64> = None;
+        for &n in &sizes {
+            let g = Workload::ErdosRenyi.generate(n, seed);
+            let d = hop_diameter_estimate(&g);
+            let (built, m) = measure_this_paper(&g, k, seed, 50);
+            let beta = built.hopset_beta.unwrap_or(1);
+            let formula = formulas::this_paper_rounds(n, k, d, beta);
+            let growth_measured = prev_measured
+                .map(|p| format!("{:.2}x", m.rounds as f64 / p as f64))
+                .unwrap_or_else(|| "-".into());
+            let growth_formula = prev_formula
+                .map(|p| format!("{:.2}x", formula / p))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:>6} {:>6} {:>7} {:>14} {:>9} {:>16.0} {:>9} {:>14.2}",
+                n,
+                d,
+                beta,
+                m.rounds,
+                growth_measured,
+                formula,
+                growth_formula,
+                2f64.powf(exponent) // expected growth per doubling from the leading term
+            );
+            prev_measured = Some(m.rounds);
+            prev_formula = Some(formula);
+        }
+        println!();
+    }
+    println!("(growth per doubling should approach 2^(1/2+1/k) for even k and 2^(1/2+1/(2k)) for odd k,");
+    println!(" i.e. the odd-k rows grow more slowly — the paper's even/odd asymmetry)");
+}

@@ -1,0 +1,63 @@
+//! Derived figure D: distance estimation (Theorem 6) — sketch size, stretch
+//! `2k − 1 + o(1)`, and `O(k)` query time.
+//!
+//! Usage: `cargo run --release -p en-bench --bin sketches [n] [pairs]`
+
+use en_bench::Workload;
+use en_graph::dijkstra::dijkstra;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let pairs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed = 31;
+
+    println!("== Figure D (derived): distance estimation ==\n");
+    let g = Workload::ErdosRenyi.generate(n, seed);
+    println!(
+        "{:>3} {:>14} {:>14} {:>12} {:>12} {:>12} {:>10}",
+        "k", "sketch(max w)", "sketch(avg w)", "bound 2k-1", "max stretch", "avg stretch", "max iters"
+    );
+    for k in 1..=6usize {
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, seed + k as u64))
+            .expect("construction succeeds");
+        let oracle = &built.sketches;
+        let mut rng = StdRng::seed_from_u64(seed + 100 + k as u64);
+        let mut max_stretch: f64 = 1.0;
+        let mut sum_stretch = 0.0;
+        let mut count = 0;
+        let mut max_iters = 0;
+        for _ in 0..pairs {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            while v == u {
+                v = rng.gen_range(0..n);
+            }
+            let exact = dijkstra(&g, u).dist[v];
+            if exact == 0 {
+                continue;
+            }
+            let est = oracle.query(u, v).expect("query succeeds");
+            let stretch = est.estimate as f64 / exact as f64;
+            max_stretch = max_stretch.max(stretch);
+            sum_stretch += stretch;
+            count += 1;
+            max_iters = max_iters.max(est.iterations);
+        }
+        println!(
+            "{:>3} {:>14} {:>14.1} {:>12.2} {:>12.3} {:>12.3} {:>10}",
+            k,
+            oracle.max_sketch_words(),
+            oracle.avg_sketch_words(),
+            built.params.sketch_stretch_bound(),
+            max_stretch,
+            sum_stretch / count.max(1) as f64,
+            max_iters
+        );
+        assert!(max_stretch <= built.params.sketch_stretch_bound() + 1e-9);
+        assert!(max_iters < k.max(1));
+    }
+}

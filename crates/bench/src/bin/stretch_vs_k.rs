@@ -1,0 +1,40 @@
+//! Derived figure A: measured stretch versus `k`, against the `4k − 5 + o(1)`
+//! bound of Theorem 5.
+//!
+//! Usage: `cargo run --release -p en-bench --bin stretch_vs_k [n] [pairs]`
+
+use en_bench::{measure_this_paper, print_graph_header, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let pairs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let seed = 7;
+
+    println!("== Figure A (derived): stretch vs k ==\n");
+    for workload in Workload::all() {
+        let g = workload.generate(n, seed);
+        print_graph_header(workload.name(), &g);
+        println!(
+            "{:>3} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "k", "bound 4k-5", "max", "avg", "median", "p95"
+        );
+        for k in 1..=6usize {
+            let (built, m) = measure_this_paper(&g, k, seed + k as u64, pairs);
+            println!(
+                "{:>3} {:>12.2} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                k,
+                built.params.stretch_bound(),
+                m.stretch.max_stretch,
+                m.stretch.avg_stretch,
+                m.stretch.median_stretch,
+                m.stretch.p95_stretch
+            );
+            assert!(
+                m.stretch.max_stretch <= built.params.stretch_bound() + 1e-9,
+                "measured stretch exceeded the paper's bound"
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,73 @@
+//! Reproduces **Table 1** of the paper: a comparison of compact routing
+//! schemes on the axes *rounds*, *table size*, *label size* and *stretch*.
+//!
+//! For every workload and every `k`, the harness builds
+//!
+//! * the paper's distributed construction (even and odd `k` rows),
+//! * the centralized Thorup–Zwick baseline (`O(m)` rounds row), and
+//! * the LP13-style landmark baseline (`Ω(√n)` tables row),
+//!
+//! and prints measured values next to the closed-form round formulas of the
+//! remaining rows (\[LP15\] variants and the `Ω̃(√n + D)` lower bound).
+//!
+//! Usage: `cargo run --release -p en-bench --bin table1 [n] [pairs]`
+
+use en_bench::{
+    measure_landmark, measure_this_paper, measure_tz, print_comparison_header, print_graph_header,
+    print_measurement, Workload,
+};
+use en_graph::bfs::hop_diameter_estimate;
+use en_graph::bellman_ford::shortest_path_diameter;
+use en_routing::baselines::formulas;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let pairs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let seed = 2016;
+    let ks = [2usize, 3, 4, 5];
+
+    println!("== Table 1 reproduction: compact routing schemes ==");
+    println!("   (paper bounds: rows of Table 1; measured: this harness)\n");
+
+    for workload in [Workload::ErdosRenyi, Workload::Geometric] {
+        let g = workload.generate(n, seed);
+        print_graph_header(workload.name(), &g);
+        let d = hop_diameter_estimate(&g);
+        let s = if n <= 512 { shortest_path_diameter(&g) } else { 0 };
+        println!("#   shortest-path diameter S = {s}");
+        for &k in &ks {
+            println!("\n-- k = {k} (stretch target 4k-5 = {}) --", 4 * k as i64 - 5);
+            print_comparison_header();
+            let (built, ours) = measure_this_paper(&g, k, seed, pairs);
+            let (_, tz) = measure_tz(&g, k, seed, pairs);
+            let (_, lm) = measure_landmark(&g, k, seed, pairs, d);
+            print_measurement(&ours);
+            print_measurement(&tz);
+            print_measurement(&lm);
+            // Formula-only rows (no reference implementations exist).
+            let beta = built.hopset_beta.unwrap_or(1);
+            println!(
+                "{:<28} {:>12.0}   (formula only; table O~(n^1/k), stretch 4k-3+o(1))",
+                format!("LP15 hybrid (k={k})"),
+                formulas::lp15_small_table_rounds(n, k, d)
+            );
+            println!(
+                "{:<28} {:>12.0}   (formula only; table O~(n^1/k), stretch 4k-3)",
+                format!("LP15 S-based (k={k})"),
+                formulas::lp15_spd_rounds(n, k, s.max(d))
+            );
+            println!(
+                "{:<28} {:>12.0}   (lower bound Omega~(sqrt n + D) [SHK+12])",
+                "lower bound",
+                formulas::lower_bound_rounds(n, d)
+            );
+            println!(
+                "{:<28} {:>12.0}   (paper formula, even/odd dispatch, beta~{beta})",
+                "this paper (formula)",
+                formulas::this_paper_rounds(n, k, d, beta)
+            );
+        }
+        println!();
+    }
+}

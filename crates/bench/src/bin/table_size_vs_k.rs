@@ -1,0 +1,40 @@
+//! Derived figure B: routing-table size versus `k`.
+//!
+//! The paper's scheme has tables of `Õ(n^{1/k})` words (shrinking with `k`),
+//! while the LP13-style baseline stays at `Ω(√n)` regardless of `k` — the
+//! central deficiency Table 1 highlights.
+//!
+//! Usage: `cargo run --release -p en-bench --bin table_size_vs_k [n]`
+
+use en_bench::{measure_landmark, measure_this_paper, measure_tz, print_graph_header, Workload};
+use en_graph::bfs::hop_diameter_estimate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let seed = 13;
+
+    println!("== Figure B (derived): routing-table size vs k ==\n");
+    let g = Workload::ErdosRenyi.generate(n, seed);
+    print_graph_header(Workload::ErdosRenyi.name(), &g);
+    let d = hop_diameter_estimate(&g);
+    println!(
+        "{:>3} {:>16} {:>16} {:>16} {:>16} {:>14}",
+        "k", "ours max(words)", "ours avg(words)", "TZ01 avg(words)", "LP13 avg(words)", "bound n^{1/k}lnn"
+    );
+    for k in 1..=6usize {
+        let (built, ours) = measure_this_paper(&g, k, seed + k as u64, 50);
+        let (_, tz) = measure_tz(&g, k, seed + k as u64, 50);
+        let (_, lm) = measure_landmark(&g, k, seed + k as u64, 50, d);
+        println!(
+            "{:>3} {:>16} {:>16.1} {:>16.1} {:>16.1} {:>14}",
+            k,
+            ours.max_table_words,
+            ours.avg_table_words,
+            tz.avg_table_words,
+            lm.avg_table_words,
+            built.params.overlap_bound()
+        );
+    }
+    println!("\n(ours/TZ01 shrink with k; the landmark baseline's tables do not — Table 1's key contrast)");
+}

@@ -1,0 +1,60 @@
+//! Derived figure E: the distributed tree-routing scheme (Theorem 7 /
+//! Remark 3) — stretch 1, `O(log n)` tables, `O(log² n)` labels, and the
+//! `Õ(√n + D)` construction-round charge.
+//!
+//! Usage: `cargo run --release -p en-bench --bin tree_routing [max_n]`
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::generators::{random_tree, GeneratorConfig};
+use en_graph::tree::RootedTree;
+use en_tree_routing::{remark3_rounds, theorem7_rounds, TreeRoutingConfig, TreeRoutingScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+
+    println!("== Figure E (derived): distributed tree routing (Theorem 7) ==\n");
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>12} {:>14} {:>16}",
+        "n", "portals", "tbl(max w)", "lbl(max w)", "stretch", "Thm7 rounds", "Remark3 (s=16)"
+    );
+    for &n in &sizes {
+        let g = random_tree(&GeneratorConfig::new(n, 5));
+        let tree = RootedTree::from_shortest_paths(&g, &dijkstra(&g, 0));
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(9));
+        // Verify stretch 1 on sampled pairs.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut max_stretch: f64 = 1.0;
+        for _ in 0..200 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let route = scheme.route(u, v).expect("tree routing succeeds");
+            let exact = tree.tree_distance(u, v).expect("both in tree");
+            let got = route.length_in(&g).expect("route uses tree edges");
+            if exact > 0 {
+                max_stretch = max_stretch.max(got as f64 / exact as f64);
+            }
+        }
+        println!(
+            "{:>6} {:>9} {:>10} {:>10} {:>12.4} {:>14} {:>16}",
+            n,
+            scheme.portals().len(),
+            scheme.max_table_words(),
+            scheme.max_label_words(),
+            max_stretch,
+            theorem7_rounds(n, 16),
+            remark3_rounds(n, 16, 16)
+        );
+        assert!((max_stretch - 1.0).abs() < 1e-12, "tree routing must be exact");
+    }
+    println!("\n(tables stay O(log n), labels O(log^2 n), stretch exactly 1)");
+}

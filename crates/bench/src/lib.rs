@@ -1,0 +1,203 @@
+//! Shared harness code for the Table 1 reproduction and the derived figures.
+//!
+//! Every harness binary follows the same recipe: generate a reproducible
+//! workload graph, build one or more schemes on it, measure rounds / table
+//! size / label size / stretch, and print a fixed-width table whose rows match
+//! the corresponding table or figure of the paper. `EXPERIMENTS.md` records
+//! the paper-vs-measured comparison produced by these binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use en_graph::generators::{
+    erdos_renyi_connected, random_geometric_connected, two_tier_isp, GeneratorConfig,
+};
+use en_graph::properties::GraphProperties;
+use en_graph::WeightedGraph;
+use en_routing::baselines::landmark::{build_landmark_baseline, LandmarkBaseline};
+use en_routing::baselines::tz::{build_tz_baseline, TzBaseline};
+use en_routing::construction::{build_routing_scheme, BuiltScheme, ConstructionConfig};
+use en_routing::stretch::{measure_stretch_sampled, StretchReport};
+
+/// The workload families used across the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Erdős–Rényi `G(n, p)` with `p` chosen for average degree ≈ 8.
+    ErdosRenyi,
+    /// Random geometric graph in the unit square (mesh-like, larger diameter).
+    Geometric,
+    /// Two-tier ISP-like topology (dense core + access trees).
+    Isp,
+}
+
+impl Workload {
+    /// Human-readable name for table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::ErdosRenyi => "erdos-renyi",
+            Workload::Geometric => "geometric",
+            Workload::Isp => "two-tier-isp",
+        }
+    }
+
+    /// Generates the workload graph for `n` vertices with the given seed.
+    pub fn generate(self, n: usize, seed: u64) -> WeightedGraph {
+        let cfg = GeneratorConfig::new(n, seed).with_weights(1, 100);
+        match self {
+            Workload::ErdosRenyi => {
+                let p = (8.0 / n as f64).min(1.0);
+                erdos_renyi_connected(&cfg, p)
+            }
+            Workload::Geometric => {
+                let radius = (12.0 / n as f64).sqrt().min(1.0);
+                random_geometric_connected(&cfg, radius)
+            }
+            Workload::Isp => two_tier_isp(&cfg, 0.1),
+        }
+    }
+
+    /// All workloads, for sweeps.
+    pub fn all() -> [Workload; 3] {
+        [Workload::ErdosRenyi, Workload::Geometric, Workload::Isp]
+    }
+}
+
+/// One measured row of a scheme comparison.
+#[derive(Debug, Clone)]
+pub struct SchemeMeasurement {
+    /// Row label (scheme name).
+    pub scheme: String,
+    /// Rounds charged/simulated for the construction.
+    pub rounds: usize,
+    /// Maximum routing-table size in words.
+    pub max_table_words: usize,
+    /// Average routing-table size in words.
+    pub avg_table_words: f64,
+    /// Maximum label size in words.
+    pub max_label_words: usize,
+    /// Stretch statistics over sampled pairs.
+    pub stretch: StretchReport,
+}
+
+/// Builds the paper's scheme and measures it.
+pub fn measure_this_paper(
+    g: &WeightedGraph,
+    k: usize,
+    seed: u64,
+    pairs: usize,
+) -> (BuiltScheme, SchemeMeasurement) {
+    let built = build_routing_scheme(g, &ConstructionConfig::new(k, seed))
+        .expect("construction on a connected workload succeeds");
+    let stretch = measure_stretch_sampled(g, &built.scheme, pairs, seed ^ 0x57AE);
+    let m = SchemeMeasurement {
+        scheme: format!("this paper (k={k})"),
+        rounds: built.total_rounds(),
+        max_table_words: built.scheme.max_table_words(),
+        avg_table_words: built.scheme.avg_table_words(),
+        max_label_words: built.scheme.max_label_words(),
+        stretch,
+    };
+    (built, m)
+}
+
+/// Builds the Thorup–Zwick baseline and measures it.
+pub fn measure_tz(
+    g: &WeightedGraph,
+    k: usize,
+    seed: u64,
+    pairs: usize,
+) -> (TzBaseline, SchemeMeasurement) {
+    let baseline = build_tz_baseline(g, k, seed).expect("baseline construction succeeds");
+    let stretch = measure_stretch_sampled(g, &baseline.scheme, pairs, seed ^ 0x57AE);
+    let m = SchemeMeasurement {
+        scheme: format!("TZ01 centralized (k={k})"),
+        rounds: baseline.ledger.total_rounds(),
+        max_table_words: baseline.scheme.max_table_words(),
+        avg_table_words: baseline.scheme.avg_table_words(),
+        max_label_words: baseline.scheme.max_label_words(),
+        stretch,
+    };
+    (baseline, m)
+}
+
+/// Builds the LP13-style landmark baseline and measures it.
+pub fn measure_landmark(
+    g: &WeightedGraph,
+    k: usize,
+    seed: u64,
+    pairs: usize,
+    hop_diameter: usize,
+) -> (LandmarkBaseline, SchemeMeasurement) {
+    let baseline =
+        build_landmark_baseline(g, k, seed, hop_diameter).expect("baseline construction succeeds");
+    let stretch = measure_stretch_sampled(g, &baseline.scheme, pairs, seed ^ 0x57AE);
+    let m = SchemeMeasurement {
+        scheme: format!("LP13-style landmarks (k={k})"),
+        rounds: baseline.ledger.total_rounds(),
+        max_table_words: baseline.scheme.max_table_words(),
+        avg_table_words: baseline.scheme.avg_table_words(),
+        max_label_words: baseline.scheme.max_label_words(),
+        stretch,
+    };
+    (baseline, m)
+}
+
+/// Prints a header line describing the workload graph.
+pub fn print_graph_header(name: &str, g: &WeightedGraph) {
+    let props = GraphProperties::compute_fast(g);
+    println!(
+        "# workload={name} n={} m={} D~={} max_deg={} max_w={}",
+        props.n, props.m, props.hop_diameter, props.max_degree, props.max_weight
+    );
+}
+
+/// Prints the fixed-width header of a scheme-comparison table.
+pub fn print_comparison_header() {
+    println!(
+        "{:<28} {:>12} {:>10} {:>10} {:>8} {:>9} {:>9} {:>9}",
+        "scheme", "rounds", "tbl(max)", "tbl(avg)", "lbl(max)", "str(max)", "str(avg)", "str(p95)"
+    );
+}
+
+/// Prints one measured row.
+pub fn print_measurement(m: &SchemeMeasurement) {
+    println!(
+        "{:<28} {:>12} {:>10} {:>10.1} {:>8} {:>9.3} {:>9.3} {:>9.3}",
+        m.scheme,
+        m.rounds,
+        m.max_table_words,
+        m.avg_table_words,
+        m.max_label_words,
+        m.stretch.max_stretch,
+        m.stretch.avg_stretch,
+        m.stretch.p95_stretch
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_generate_connected_graphs() {
+        for w in Workload::all() {
+            let g = w.generate(64, 3);
+            assert!(en_graph::bfs::is_connected(&g), "{}", w.name());
+            assert_eq!(g.num_nodes(), 64);
+        }
+    }
+
+    #[test]
+    fn measurements_produce_sane_numbers() {
+        let g = Workload::ErdosRenyi.generate(48, 5);
+        let (_, ours) = measure_this_paper(&g, 2, 5, 50);
+        let (_, tz) = measure_tz(&g, 2, 5, 50);
+        let (_, lm) = measure_landmark(&g, 2, 5, 50, 6);
+        for m in [&ours, &tz, &lm] {
+            assert!(m.rounds > 0);
+            assert!(m.max_table_words > 0);
+            assert!(m.stretch.max_stretch >= 1.0);
+            assert_eq!(m.stretch.failures, 0);
+        }
+    }
+}

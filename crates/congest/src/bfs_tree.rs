@@ -1,0 +1,179 @@
+//! Distributed BFS-tree construction.
+//!
+//! A BFS tree rooted at an arbitrary vertex is the backbone of every global
+//! communication primitive in the paper (Lemma 1 and the convergecasts /
+//! broadcasts of Sections 3 and 6). Building it takes `O(D)` rounds: the root
+//! floods a token and every other vertex adopts as its parent the neighbour it
+//! first heard the token from.
+
+use en_graph::tree::RootedTree;
+use en_graph::{NodeId, WeightedGraph};
+
+use crate::network::{SimulationConfig, Simulator};
+use crate::protocol::{Incoming, NodeContext, Outgoing, Protocol};
+use crate::stats::RoundStats;
+
+/// Per-node state of the BFS-tree construction protocol.
+#[derive(Debug, Clone)]
+pub struct BfsTreeProtocol {
+    is_root: bool,
+    /// Port towards the adopted parent (None for the root / unreached nodes).
+    parent_port: Option<usize>,
+    /// Hop level in the tree (0 for the root).
+    level: Option<usize>,
+    forwarded: bool,
+}
+
+impl BfsTreeProtocol {
+    /// Creates the protocol state for one node.
+    pub fn new(is_root: bool) -> Self {
+        BfsTreeProtocol {
+            is_root,
+            parent_port: None,
+            level: if is_root { Some(0) } else { None },
+            forwarded: false,
+        }
+    }
+
+    /// The adopted parent port, if any.
+    pub fn parent_port(&self) -> Option<usize> {
+        self.parent_port
+    }
+
+    /// The node's BFS level (hop distance from the root).
+    pub fn level(&self) -> Option<usize> {
+        self.level
+    }
+
+    fn forward(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+        if self.forwarded {
+            return vec![];
+        }
+        self.forwarded = true;
+        let level = self.level.expect("forwarding node knows its level") as u64;
+        (0..ctx.degree()).map(|p| Outgoing::new(p, level)).collect()
+    }
+}
+
+impl Protocol for BfsTreeProtocol {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+        if self.is_root {
+            self.forward(ctx)
+        } else {
+            vec![]
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        _round: usize,
+        incoming: &[Incoming<u64>],
+    ) -> Vec<Outgoing<u64>> {
+        if self.level.is_none() {
+            if let Some(first) = incoming.iter().min_by_key(|m| (m.msg, m.port)) {
+                self.level = Some(first.msg as usize + 1);
+                self.parent_port = Some(first.port);
+            }
+        }
+        if self.level.is_some() {
+            self.forward(ctx)
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// The outcome of a distributed BFS-tree construction.
+#[derive(Debug, Clone)]
+pub struct BfsTreeResult {
+    /// The constructed BFS tree (tree edges carry the *graph* weights, but the
+    /// tree structure follows hop distances).
+    pub tree: RootedTree,
+    /// Hop level of every vertex (`None` for vertices the root cannot reach).
+    pub levels: Vec<Option<usize>>,
+    /// The depth of the tree (maximum level).
+    pub depth: usize,
+    /// Statistics of the construction run.
+    pub stats: RoundStats,
+}
+
+/// Builds a BFS tree rooted at `root` by real message passing.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn build_bfs_tree(g: &WeightedGraph, root: NodeId) -> BfsTreeResult {
+    assert!(root < g.num_nodes(), "root {root} out of range");
+    let mut sim = Simulator::new(&g.clone(), SimulationConfig::default(), |v| {
+        BfsTreeProtocol::new(v == root)
+    });
+    let stats = sim.run();
+    let mut parents = vec![None; g.num_nodes()];
+    let mut levels = vec![None; g.num_nodes()];
+    for (v, p) in sim.protocols().iter().enumerate() {
+        levels[v] = p.level();
+        if let Some(port) = p.parent_port() {
+            let nb = g.neighbor_at_port(v, port).expect("parent port exists");
+            parents[v] = Some((nb.node, nb.weight));
+        }
+    }
+    let tree = RootedTree::from_parents(root, parents);
+    let depth = levels.iter().flatten().copied().max().unwrap_or(0);
+    BfsTreeResult {
+        tree,
+        levels,
+        depth,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use en_graph::bfs::bfs;
+    use en_graph::generators::{erdos_renyi_connected, path, GeneratorConfig};
+
+    #[test]
+    fn bfs_tree_levels_match_sequential_bfs() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(50, 5), 0.08);
+        let res = build_bfs_tree(&g, 3);
+        let seq = bfs(&g, 3);
+        for v in g.nodes() {
+            assert_eq!(res.levels[v], Some(seq.hops[v]), "vertex {v}");
+        }
+        assert_eq!(res.depth, seq.eccentricity());
+        assert!(res.tree.is_subgraph_of(&g));
+        assert_eq!(res.tree.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn bfs_tree_on_path_is_the_path() {
+        let g = path(&GeneratorConfig::new(6, 2));
+        let res = build_bfs_tree(&g, 0);
+        assert_eq!(res.depth, 5);
+        for v in 1..6 {
+            assert_eq!(res.tree.parent(v).map(|(p, _)| p), Some(v - 1));
+        }
+        // Construction takes about D rounds.
+        assert!(res.stats.rounds >= 5 && res.stats.rounds <= 8);
+    }
+
+    #[test]
+    fn construction_takes_about_diameter_rounds() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(80, 9), 0.06);
+        let res = build_bfs_tree(&g, 0);
+        let ecc = bfs(&g, 0).eccentricity();
+        assert!(res.stats.rounds >= ecc);
+        assert!(res.stats.rounds <= ecc + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_root_panics() {
+        let g = path(&GeneratorConfig::new(4, 2));
+        let _ = build_bfs_tree(&g, 10);
+    }
+}

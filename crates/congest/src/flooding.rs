@@ -1,0 +1,106 @@
+//! A minimal flooding protocol, used as the simulator's "hello world" and as a
+//! building block in tests: informed nodes forward a token to all neighbours
+//! exactly once.
+
+use crate::protocol::{Incoming, NodeContext, Outgoing, Protocol};
+
+/// Floods a single token through the network from the initially informed nodes.
+///
+/// After the run, [`FloodProtocol::informed`] reports whether the node ever
+/// saw the token, and [`FloodProtocol::informed_at_round`] the round it did.
+#[derive(Debug, Clone)]
+pub struct FloodProtocol {
+    informed: bool,
+    informed_at_round: Option<usize>,
+    forwarded: bool,
+}
+
+impl FloodProtocol {
+    /// Creates the protocol state; `source` nodes start informed.
+    pub fn new(source: bool) -> Self {
+        FloodProtocol {
+            informed: source,
+            informed_at_round: if source { Some(0) } else { None },
+            forwarded: false,
+        }
+    }
+
+    /// Whether this node has received (or started with) the token.
+    pub fn informed(&self) -> bool {
+        self.informed
+    }
+
+    /// The round at which this node became informed (0 for sources).
+    pub fn informed_at_round(&self) -> Option<usize> {
+        self.informed_at_round
+    }
+
+    fn forward_all(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+        if self.forwarded {
+            return vec![];
+        }
+        self.forwarded = true;
+        (0..ctx.degree()).map(|p| Outgoing::new(p, 1)).collect()
+    }
+}
+
+impl Protocol for FloodProtocol {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+        if self.informed {
+            self.forward_all(ctx)
+        } else {
+            vec![]
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        round: usize,
+        incoming: &[Incoming<u64>],
+    ) -> Vec<Outgoing<u64>> {
+        if !incoming.is_empty() && !self.informed {
+            self.informed = true;
+            self.informed_at_round = Some(round);
+        }
+        if self.informed {
+            self.forward_all(ctx)
+        } else {
+            vec![]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{SimulationConfig, Simulator};
+    use en_graph::generators::{erdos_renyi_connected, star, GeneratorConfig};
+    use en_graph::{bfs::bfs, NodeId};
+
+    #[test]
+    fn informed_round_equals_hop_distance() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(40, 3), 0.08);
+        let source: NodeId = 7;
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| {
+            FloodProtocol::new(v == source)
+        });
+        sim.run();
+        let hops = bfs(&g, source).hops;
+        for (v, p) in sim.protocols().iter().enumerate() {
+            assert!(p.informed());
+            assert_eq!(p.informed_at_round().unwrap(), hops[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn star_floods_in_two_rounds_from_a_leaf() {
+        let g = star(&GeneratorConfig::new(10, 0));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == 5));
+        sim.run();
+        assert_eq!(sim.protocols()[0].informed_at_round(), Some(1));
+        assert_eq!(sim.protocols()[9].informed_at_round(), Some(2));
+    }
+}

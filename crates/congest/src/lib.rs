@@ -1,0 +1,60 @@
+//! A synchronous CONGEST-model network simulator.
+//!
+//! The paper's algorithms are stated in the standard CONGEST model
+//! \[Pel00a\]: every vertex initially knows only its incident edges,
+//! communication proceeds in synchronous rounds, and in every round each
+//! vertex may send one message of `O(log n)` bits to each of its neighbours.
+//! The time complexity of an algorithm is the number of rounds it takes.
+//!
+//! This crate instantiates that model as an executable simulator:
+//!
+//! * [`Protocol`] — the behaviour of a single node: how it reacts to the
+//!   messages delivered in a round and which messages it wants to send.
+//! * [`Simulator`] — the synchronous engine. It enforces the per-edge
+//!   per-direction budget of **one message per round**: if a node asks to send
+//!   several messages over the same link in one round, the extra messages are
+//!   queued and delivered in later rounds, so congestion automatically turns
+//!   into additional rounds, exactly as in the model.
+//! * [`RoundStats`] — rounds, messages, words, and peak congestion.
+//! * [`bfs_tree`] — a real message-passing construction of a BFS tree rooted
+//!   at a designated vertex (the backbone for global broadcast).
+//! * [`broadcast`] — pipelined broadcast / convergecast over a BFS tree
+//!   (Lemma 1 of the paper: `M` messages reach every vertex within
+//!   `O(M + D)` rounds) plus the closed-form round charges used by the
+//!   higher-level constructions.
+//! * [`ledger`] — a [`RoundLedger`](ledger::RoundLedger) that records, phase
+//!   by phase, how many rounds a composite construction charges and why.
+//!
+//! # Example
+//!
+//! ```
+//! use en_congest::{Simulator, SimulationConfig};
+//! use en_congest::flooding::FloodProtocol;
+//! use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+//!
+//! let g = erdos_renyi_connected(&GeneratorConfig::new(32, 1), 0.15);
+//! let mut sim = Simulator::new(&g, SimulationConfig::default(), |node| {
+//!     FloodProtocol::new(node == 0)
+//! });
+//! let stats = sim.run();
+//! assert!(sim.protocols().iter().all(|p| p.informed()));
+//! assert!(stats.rounds > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs_tree;
+pub mod broadcast;
+pub mod flooding;
+pub mod ledger;
+pub mod message;
+pub mod network;
+pub mod protocol;
+pub mod stats;
+
+pub use ledger::{Phase, RoundLedger};
+pub use message::MessageSize;
+pub use network::{SimulationConfig, Simulator};
+pub use protocol::{Incoming, NodeContext, Outgoing, Protocol};
+pub use stats::RoundStats;

@@ -1,0 +1,83 @@
+//! Message-size accounting.
+//!
+//! A CONGEST message carries `O(log n)` bits — one machine word in our
+//! accounting (plus a constant number of extra words, since the model and the
+//! paper both allow `O(1)`-word messages: "every message consists of `O(1)`
+//! words"). Protocol message types implement [`MessageSize`] so the simulator
+//! can verify they respect the budget and can count total words on the wire.
+
+/// Trait implemented by protocol message types so the simulator can account
+/// for their size in machine words (one word = `O(log n)` bits).
+pub trait MessageSize {
+    /// Number of `O(log n)`-bit words this message occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+/// The default per-message word budget enforced by the simulator: messages of
+/// `O(1)` words. The paper's protocols send (vertex id, distance) pairs and
+/// similar constant-size records, which fit comfortably.
+pub const DEFAULT_WORD_LIMIT: usize = 8;
+
+impl MessageSize for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for usize {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn words(&self) -> usize {
+        match self {
+            Some(t) => 1 + t.words(),
+            None => 1,
+        }
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn words(&self) -> usize {
+        1 + self.iter().map(MessageSize::words).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_words() {
+        assert_eq!(7u64.words(), 1);
+        assert_eq!(7usize.words(), 1);
+    }
+
+    #[test]
+    fn tuple_words_sum() {
+        assert_eq!((1u64, 2u64).words(), 2);
+        assert_eq!((1u64, 2u64, 3usize).words(), 3);
+    }
+
+    #[test]
+    fn option_and_vec_words() {
+        assert_eq!(Some(5u64).words(), 2);
+        assert_eq!(None::<u64>.words(), 1);
+        assert_eq!(vec![1u64, 2, 3].words(), 4);
+        assert_eq!(Vec::<u64>::new().words(), 1);
+    }
+}

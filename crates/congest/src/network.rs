@@ -1,0 +1,349 @@
+//! The synchronous CONGEST simulation engine.
+
+use std::collections::VecDeque;
+
+use en_graph::WeightedGraph;
+
+use crate::message::{MessageSize, DEFAULT_WORD_LIMIT};
+use crate::protocol::{Incoming, NodeContext, Outgoing, Protocol};
+use crate::stats::RoundStats;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Hard limit on the number of rounds; the run stops (and reports
+    /// [`RoundStats::hit_round_limit`]) if it is reached before quiescence.
+    pub max_rounds: usize,
+    /// Per-message word budget; a protocol sending a larger message panics,
+    /// because that would silently break the model.
+    pub word_limit: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            max_rounds: 1_000_000,
+            word_limit: DEFAULT_WORD_LIMIT,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// A config with the given round limit and the default word budget.
+    pub fn with_max_rounds(max_rounds: usize) -> Self {
+        SimulationConfig {
+            max_rounds,
+            ..SimulationConfig::default()
+        }
+    }
+}
+
+/// The synchronous simulator driving one [`Protocol`] instance per vertex.
+///
+/// Per directed edge the simulator keeps a FIFO queue; in every round it
+/// delivers at most **one** message from each queue. A protocol may enqueue
+/// several messages on the same edge in one round — they are simply delivered
+/// over the following rounds, so congestion is paid for in rounds exactly as
+/// the CONGEST model prescribes. The peak queue length is reported as
+/// [`RoundStats::max_edge_backlog`].
+#[derive(Debug)]
+pub struct Simulator<P: Protocol> {
+    contexts: Vec<NodeContext>,
+    protocols: Vec<P>,
+    /// `queues[v][p]` is the outgoing FIFO on the directed edge from `v`
+    /// through its port `p`.
+    queues: Vec<Vec<VecDeque<P::Msg>>>,
+    config: SimulationConfig,
+    stats: RoundStats,
+    started: bool,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Builds a simulator for `g`, creating one protocol instance per vertex
+    /// with the provided factory.
+    pub fn new(
+        g: &WeightedGraph,
+        config: SimulationConfig,
+        mut make_protocol: impl FnMut(usize) -> P,
+    ) -> Self {
+        let contexts: Vec<NodeContext> = g
+            .nodes()
+            .map(|v| NodeContext {
+                id: v,
+                n: g.num_nodes(),
+                ports: g.neighbors(v).to_vec(),
+            })
+            .collect();
+        let protocols: Vec<P> = g.nodes().map(&mut make_protocol).collect();
+        let queues = contexts
+            .iter()
+            .map(|ctx| vec![VecDeque::new(); ctx.ports.len()])
+            .collect();
+        Simulator {
+            contexts,
+            protocols,
+            queues,
+            config,
+            stats: RoundStats::default(),
+            started: false,
+        }
+    }
+
+    /// Read-only access to the per-node protocol states (typically inspected
+    /// after the run to collect each node's local output).
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// The per-node contexts (id, `n`, ports).
+    pub fn contexts(&self) -> &[NodeContext] {
+        &self.contexts
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> RoundStats {
+        self.stats
+    }
+
+    fn enqueue(&mut self, node: usize, outgoing: Vec<Outgoing<P::Msg>>) {
+        for out in outgoing {
+            assert!(
+                out.port < self.contexts[node].ports.len(),
+                "node {node} sent through nonexistent port {}",
+                out.port
+            );
+            assert!(
+                out.msg.words() <= self.config.word_limit,
+                "node {node} sent a {}-word message; the CONGEST budget is {} words",
+                out.msg.words(),
+                self.config.word_limit
+            );
+            self.queues[node][out.port].push_back(out.msg);
+        }
+        let backlog = self.queues[node]
+            .iter()
+            .map(VecDeque::len)
+            .max()
+            .unwrap_or(0);
+        self.stats.max_edge_backlog = self.stats.max_edge_backlog.max(backlog);
+    }
+
+    /// Runs `init` on every node (enqueuing their initial sends). Called
+    /// automatically by [`run`](Self::run); exposed for step-by-step tests.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for v in 0..self.contexts.len() {
+            let ctx = self.contexts[v].clone();
+            let outgoing = self.protocols[v].init(&ctx);
+            self.enqueue(v, outgoing);
+        }
+    }
+
+    /// Returns `true` if no message is queued anywhere in the network.
+    pub fn is_quiescent(&self) -> bool {
+        self.queues
+            .iter()
+            .all(|qs| qs.iter().all(VecDeque::is_empty))
+    }
+
+    /// Executes a single round: delivers at most one message per directed
+    /// edge, invokes every protocol, and enqueues the produced sends.
+    ///
+    /// Returns `true` if any message was delivered or sent this round.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let n = self.contexts.len();
+        // Phase 1: pop at most one message per directed edge.
+        let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
+        let mut delivered_any = false;
+        for v in 0..n {
+            for port in 0..self.contexts[v].ports.len() {
+                if let Some(msg) = self.queues[v][port].pop_front() {
+                    delivered_any = true;
+                    let target = self.contexts[v].ports[port].node;
+                    let back_port = self.contexts[target]
+                        .port_towards(v)
+                        .expect("adjacency must be symmetric");
+                    self.stats.messages += 1;
+                    self.stats.words += msg.words();
+                    inboxes[target].push(Incoming {
+                        port: back_port,
+                        msg,
+                    });
+                }
+            }
+        }
+        self.stats.rounds += 1;
+        // Phase 2: run every protocol on its inbox.
+        let round = self.stats.rounds;
+        let mut sent_any = false;
+        for v in 0..n {
+            let ctx = self.contexts[v].clone();
+            let outgoing = self.protocols[v].on_round(&ctx, round, &inboxes[v]);
+            if !outgoing.is_empty() {
+                sent_any = true;
+            }
+            self.enqueue(v, outgoing);
+        }
+        delivered_any || sent_any
+    }
+
+    /// Runs rounds until the network is quiescent or the round limit is hit,
+    /// and returns the accumulated statistics.
+    pub fn run(&mut self) -> RoundStats {
+        self.start();
+        while !self.is_quiescent() {
+            if self.stats.rounds >= self.config.max_rounds {
+                self.stats.hit_round_limit = true;
+                break;
+            }
+            self.step();
+        }
+        self.stats
+    }
+
+    /// Consumes the simulator and returns the protocol states, so callers can
+    /// harvest each node's local output by value.
+    pub fn into_protocols(self) -> Vec<P> {
+        self.protocols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flooding::FloodProtocol;
+    use en_graph::generators::{path, GeneratorConfig};
+    use en_graph::WeightedGraph;
+
+    #[test]
+    fn flooding_on_a_path_takes_diameter_rounds() {
+        let g = path(&GeneratorConfig::new(6, 1));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == 0));
+        let stats = sim.run();
+        assert!(sim.protocols().iter().all(|p| p.informed()));
+        // One extra round to detect quiescence is allowed.
+        assert!(stats.rounds >= 5 && stats.rounds <= 7, "rounds = {}", stats.rounds);
+        assert!(!stats.hit_round_limit);
+        assert_eq!(stats.max_edge_backlog, 1);
+    }
+
+    #[test]
+    fn round_limit_is_respected() {
+        let g = path(&GeneratorConfig::new(50, 1));
+        let mut sim = Simulator::new(&g, SimulationConfig::with_max_rounds(3), |v| {
+            FloodProtocol::new(v == 0)
+        });
+        let stats = sim.run();
+        assert!(stats.hit_round_limit);
+        assert_eq!(stats.rounds, 3);
+        assert!(!sim.protocols()[49].informed());
+    }
+
+    #[test]
+    fn no_source_means_instant_quiescence() {
+        let g = path(&GeneratorConfig::new(4, 1));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |_| FloodProtocol::new(false));
+        let stats = sim.run();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent port")]
+    fn sending_through_bad_port_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = u64;
+            fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+                vec![Outgoing::new(99, 1)]
+            }
+            fn on_round(
+                &mut self,
+                _ctx: &NodeContext,
+                _round: usize,
+                _incoming: &[Incoming<u64>],
+            ) -> Vec<Outgoing<u64>> {
+                vec![]
+            }
+        }
+        let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |_| Bad);
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "word")]
+    fn oversized_message_panics() {
+        struct Chatty;
+        impl Protocol for Chatty {
+            type Msg = Vec<u64>;
+            fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<Vec<u64>>> {
+                vec![Outgoing::new(0, vec![0; 100])]
+            }
+            fn on_round(
+                &mut self,
+                _ctx: &NodeContext,
+                _round: usize,
+                _incoming: &[Incoming<Vec<u64>>],
+            ) -> Vec<Outgoing<Vec<u64>>> {
+                vec![]
+            }
+        }
+        let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |_| Chatty);
+        sim.run();
+    }
+
+    #[test]
+    fn backlog_is_reported_when_a_node_bursts() {
+        // A node that enqueues 5 messages on the same edge in round 1 forces a
+        // backlog of 5, and delivery takes 5 extra rounds.
+        struct Burst {
+            fired: bool,
+            received: usize,
+        }
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+                if ctx.id == 0 {
+                    self.fired = true;
+                    (0..5).map(|i| Outgoing::new(0, i)).collect()
+                } else {
+                    vec![]
+                }
+            }
+            fn on_round(
+                &mut self,
+                _ctx: &NodeContext,
+                _round: usize,
+                incoming: &[Incoming<u64>],
+            ) -> Vec<Outgoing<u64>> {
+                self.received += incoming.len();
+                vec![]
+            }
+        }
+        let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |_| Burst {
+            fired: false,
+            received: 0,
+        });
+        let stats = sim.run();
+        assert_eq!(stats.max_edge_backlog, 5);
+        assert!(stats.rounds >= 5);
+        assert_eq!(sim.protocols()[1].received, 5);
+    }
+
+    #[test]
+    fn into_protocols_returns_states() {
+        let g = path(&GeneratorConfig::new(3, 1));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == 1));
+        sim.run();
+        let protos = sim.into_protocols();
+        assert_eq!(protos.len(), 3);
+        assert!(protos.into_iter().all(|p| p.informed()));
+    }
+}

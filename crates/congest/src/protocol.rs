@@ -1,0 +1,118 @@
+//! The node-side API of the simulator: [`Protocol`], [`NodeContext`],
+//! [`Incoming`] and [`Outgoing`].
+
+use en_graph::{Neighbor, NodeId, Weight};
+
+use crate::message::MessageSize;
+
+/// Everything a node is allowed to know at the start of a CONGEST execution:
+/// its own id, the total number of vertices (standard assumption), and its
+/// incident edges addressed by port number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeContext {
+    /// This node's id.
+    pub id: NodeId,
+    /// Number of vertices `n` in the network.
+    pub n: usize,
+    /// Incident edges: `ports[p]` is the neighbour reached through port `p`.
+    pub ports: Vec<Neighbor>,
+}
+
+impl NodeContext {
+    /// Degree of this node (number of ports).
+    pub fn degree(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The weight of the edge behind `port`, if the port exists.
+    pub fn weight_at(&self, port: usize) -> Option<Weight> {
+        self.ports.get(port).map(|nb| nb.weight)
+    }
+
+    /// The port leading to neighbour `v`, if `v` is adjacent.
+    ///
+    /// Note: a real CONGEST node knows the *ids* of its neighbours in the
+    /// standard `KT1` variant assumed by the paper (edge weights and endpoint
+    /// ids are known to both endpoints).
+    pub fn port_towards(&self, v: NodeId) -> Option<usize> {
+        self.ports.iter().position(|nb| nb.node == v)
+    }
+}
+
+/// A message delivered to a node at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The port the message arrived on.
+    pub port: usize,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// A message a node wants to send at the end of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing<M> {
+    /// The port to send through.
+    pub port: usize,
+    /// The message payload.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Convenience constructor.
+    pub fn new(port: usize, msg: M) -> Self {
+        Outgoing { port, msg }
+    }
+}
+
+/// The behaviour of one node in a CONGEST execution.
+///
+/// The [`Simulator`](crate::network::Simulator) drives each protocol instance
+/// through `init` (before round 1) and then `on_round` once per round. The
+/// execution terminates when the network is *quiescent*: no messages are in
+/// flight or queued and the previous round produced no new sends.
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + MessageSize;
+
+    /// Called once before the first round; returns the initial sends.
+    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<Self::Msg>>;
+
+    /// Called once per round with the messages delivered this round; returns
+    /// the messages to send (they are delivered next round, subject to the
+    /// one-message-per-edge-per-round budget).
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        round: usize,
+        incoming: &[Incoming<Self::Msg>],
+    ) -> Vec<Outgoing<Self::Msg>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_context_lookups() {
+        let ctx = NodeContext {
+            id: 3,
+            n: 10,
+            ports: vec![
+                Neighbor { node: 5, weight: 2 },
+                Neighbor { node: 1, weight: 7 },
+            ],
+        };
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.weight_at(1), Some(7));
+        assert_eq!(ctx.weight_at(2), None);
+        assert_eq!(ctx.port_towards(1), Some(1));
+        assert_eq!(ctx.port_towards(9), None);
+    }
+
+    #[test]
+    fn outgoing_constructor() {
+        let o = Outgoing::new(2, 9u64);
+        assert_eq!(o.port, 2);
+        assert_eq!(o.msg, 9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Execution statistics: rounds, messages, words, and congestion.
+
+/// Statistics collected by a [`Simulator`](crate::network::Simulator) run or
+/// charged by a [`RoundLedger`](crate::ledger::RoundLedger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Number of synchronous rounds executed (or charged).
+    pub rounds: usize,
+    /// Total number of messages delivered.
+    pub messages: usize,
+    /// Total number of `O(log n)`-bit words delivered.
+    pub words: usize,
+    /// The largest backlog observed on any directed edge (a backlog of `q`
+    /// means a send had to wait `q − 1` extra rounds behind earlier sends on
+    /// the same edge). A value of at most 1 means the execution never needed
+    /// to queue, i.e. the protocol respected the CONGEST budget natively.
+    pub max_edge_backlog: usize,
+    /// Whether the execution hit the configured round limit before quiescence.
+    pub hit_round_limit: bool,
+}
+
+impl RoundStats {
+    /// Combines two runs executed one after the other (rounds add, congestion
+    /// takes the maximum).
+    pub fn then(&self, later: &RoundStats) -> RoundStats {
+        RoundStats {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            words: self.words + later.words,
+            max_edge_backlog: self.max_edge_backlog.max(later.max_edge_backlog),
+            hit_round_limit: self.hit_round_limit || later.hit_round_limit,
+        }
+    }
+
+    /// Combines two runs executed in parallel (rounds take the maximum —
+    /// the executions share the network, so this is only valid when the
+    /// caller has already accounted for their mutual congestion).
+    pub fn in_parallel(&self, other: &RoundStats) -> RoundStats {
+        RoundStats {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+            words: self.words + other.words,
+            max_edge_backlog: self.max_edge_backlog.max(other.max_edge_backlog),
+            hit_round_limit: self.hit_round_limit || other.hit_round_limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_accumulates_rounds_and_messages() {
+        let a = RoundStats {
+            rounds: 5,
+            messages: 10,
+            words: 20,
+            max_edge_backlog: 2,
+            hit_round_limit: false,
+        };
+        let b = RoundStats {
+            rounds: 3,
+            messages: 1,
+            words: 2,
+            max_edge_backlog: 4,
+            hit_round_limit: true,
+        };
+        let c = a.then(&b);
+        assert_eq!(c.rounds, 8);
+        assert_eq!(c.messages, 11);
+        assert_eq!(c.words, 22);
+        assert_eq!(c.max_edge_backlog, 4);
+        assert!(c.hit_round_limit);
+    }
+
+    #[test]
+    fn parallel_takes_max_rounds() {
+        let a = RoundStats {
+            rounds: 5,
+            ..RoundStats::default()
+        };
+        let b = RoundStats {
+            rounds: 9,
+            ..RoundStats::default()
+        };
+        assert_eq!(a.in_parallel(&b).rounds, 9);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let d = RoundStats::default();
+        assert_eq!(d.rounds, 0);
+        assert!(!d.hit_round_limit);
+    }
+}

@@ -1,0 +1,15 @@
+//! Baseline schemes for the Table 1 comparison.
+//!
+//! * [`tz`] — the sequential Thorup–Zwick construction \[TZ01, TZ05\]: exact
+//!   pivots and clusters, same table/label shape, stretch `4k − 5`. This is
+//!   the "centralized" row of Table 1: identical space/stretch trade-off, but
+//!   its natural distributed implementation needs `Ω(S)` or `O(m)` rounds.
+//! * [`landmark`] — a Lenzen–Patt-Shamir-style landmark scheme standing in for
+//!   \[LP13a\]: near-optimal construction time but routing tables of
+//!   `Ω(√n)` words *regardless of `k`* (the deficiency the paper fixes).
+//! * [`formulas`] — the closed-form round counts of the other Table 1 rows
+//!   (\[LP15\] variants), which are reported analytically.
+
+pub mod formulas;
+pub mod landmark;
+pub mod tz;

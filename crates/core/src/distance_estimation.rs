@@ -1,0 +1,281 @@
+//! Distance estimation (Section 5, Theorem 6).
+//!
+//! Every vertex `v` gets a *sketch* containing, for every centre `u` with
+//! `v ∈ C̃(u)`, the pair `(u, b_v(u))`, plus for every level `i` the pair
+//! `(ẑ_i(v), d̂_i(v))`. By Claim 2 the sketch has `O(n^{1/k} log n)` entries.
+//! Given the sketches of `u` and `v` alone, Algorithm 2 (`Dist`) returns a
+//! distance estimate with stretch `2k − 1 + o(1)` in `O(k)` time.
+
+use std::collections::HashMap;
+
+use en_graph::{Dist, NodeId, INFINITY};
+
+use crate::error::RoutingError;
+use crate::family::ClusterFamily;
+
+/// The distance-estimation sketch of a single vertex.
+#[derive(Debug, Clone)]
+pub struct Sketch {
+    /// The sketched vertex.
+    pub vertex: NodeId,
+    /// `(centre u, b_v(u))` for every cluster containing the vertex.
+    pub cluster_entries: HashMap<NodeId, Dist>,
+    /// `(ẑ_i(v), d̂_i(v))` per level `i` (missing levels are `None`).
+    pub pivot_entries: Vec<Option<(NodeId, Dist)>>,
+}
+
+impl Sketch {
+    /// Size of the sketch in `O(log n)` words.
+    pub fn words(&self) -> usize {
+        1 + 2 * self.cluster_entries.len() + 2 * self.pivot_entries.len()
+    }
+
+    /// The estimate `b_v(u)` if this vertex belongs to `C̃(u)`.
+    pub fn estimate_to_center(&self, u: NodeId) -> Option<Dist> {
+        self.cluster_entries.get(&u).copied()
+    }
+}
+
+/// The full distance-estimation scheme: one sketch per vertex.
+#[derive(Debug, Clone)]
+pub struct DistanceEstimation {
+    k: usize,
+    sketches: Vec<Sketch>,
+}
+
+/// The result of one `Dist(u, v)` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceEstimate {
+    /// The returned estimate `d̂(u, v)`.
+    pub estimate: Dist,
+    /// The number of while-loop iterations Algorithm 2 performed (at most `k`,
+    /// demonstrating the `O(k)` query time).
+    pub iterations: usize,
+}
+
+impl DistanceEstimation {
+    /// Builds all sketches from a cluster family.
+    pub fn build(family: &ClusterFamily) -> Self {
+        let n = family.n();
+        let k = family.k();
+        let mut cluster_entries: Vec<HashMap<NodeId, Dist>> = vec![HashMap::new(); n];
+        for (&center, cluster) in &family.clusters {
+            for (&v, &est) in &cluster.root_estimate {
+                cluster_entries[v].insert(center, est);
+            }
+        }
+        let sketches = (0..n)
+            .map(|v| Sketch {
+                vertex: v,
+                cluster_entries: std::mem::take(&mut cluster_entries[v]),
+                pivot_entries: family.pivots[v].clone(),
+            })
+            .collect();
+        DistanceEstimation { k, sketches }
+    }
+
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// The sketch of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn sketch(&self, v: NodeId) -> &Sketch {
+        &self.sketches[v]
+    }
+
+    /// Maximum sketch size in words.
+    pub fn max_sketch_words(&self) -> usize {
+        self.sketches.iter().map(Sketch::words).max().unwrap_or(0)
+    }
+
+    /// Average sketch size in words.
+    pub fn avg_sketch_words(&self) -> f64 {
+        if self.sketches.is_empty() {
+            return 0.0;
+        }
+        self.sketches.iter().map(Sketch::words).sum::<usize>() as f64 / self.sketches.len() as f64
+    }
+
+    /// Algorithm 2 (`Dist`): estimates `d_G(u, v)` from the two sketches alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a vertex is out of range, or
+    /// [`RoutingError::NoCommonTree`] if the loop exhausts all levels (a
+    /// low-probability sampling failure).
+    pub fn query(&self, u: NodeId, v: NodeId) -> Result<DistanceEstimate, RoutingError> {
+        let n = self.sketches.len();
+        if u >= n {
+            return Err(RoutingError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(RoutingError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Ok(DistanceEstimate {
+                estimate: 0,
+                iterations: 0,
+            });
+        }
+        // Algorithm 2: w = u; while v not in C~(w): i += 1; swap(u, v); w = ẑ_i(u).
+        let mut a = u;
+        let mut b = v;
+        let mut w = a;
+        let mut i = 0;
+        let mut iterations = 0;
+        loop {
+            if let Some(bv) = self.sketches[b].estimate_to_center(w) {
+                // d̂_i(a) + b_b(w): the distance from `a` to its i-pivot plus the
+                // estimate from `b` to that pivot stored in b's sketch.
+                let da = if i == 0 {
+                    0
+                } else {
+                    self.sketches[a].pivot_entries[i]
+                        .map(|(_, d)| d)
+                        .unwrap_or(INFINITY)
+                };
+                return Ok(DistanceEstimate {
+                    estimate: da.saturating_add(bv).min(INFINITY),
+                    iterations,
+                });
+            }
+            i += 1;
+            iterations += 1;
+            if i >= self.k {
+                return Err(RoutingError::NoCommonTree { from: u, to: v });
+            }
+            std::mem::swap(&mut a, &mut b);
+            match self.sketches[a].pivot_entries[i] {
+                Some((z, _)) => w = z,
+                None => return Err(RoutingError::NoCommonTree { from: u, to: v }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_cluster_family;
+    use crate::hierarchy::Hierarchy;
+    use crate::params::SchemeParams;
+    use en_graph::dijkstra::all_pairs_dijkstra;
+    use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+    use en_graph::WeightedGraph;
+
+    fn build(n: usize, k: usize, seed: u64) -> (WeightedGraph, DistanceEstimation, SchemeParams) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, 30), 0.1);
+        let params = SchemeParams::new(k, n, seed);
+        let hierarchy = Hierarchy::sample(&params);
+        let family = exact_cluster_family(&g, &hierarchy);
+        (g, DistanceEstimation::build(&family), params)
+    }
+
+    #[test]
+    fn estimates_never_undercut_and_respect_stretch_bound() {
+        let (g, oracle, params) = build(60, 3, 1);
+        let truth = all_pairs_dijkstra(&g);
+        let bound = params.sketch_stretch_bound();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let est = oracle.query(u, v).unwrap();
+                assert!(est.estimate >= truth[u][v], "{u}->{v} undercuts");
+                assert!(
+                    est.estimate as f64 <= bound * truth[u][v] as f64 + 1e-9,
+                    "{u}->{v}: {} vs {} (bound {bound})",
+                    est.estimate,
+                    truth[u][v]
+                );
+                assert!(est.iterations < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn query_is_symmetric_enough_for_bounds() {
+        // Algorithm 2 is not symmetric in general, but both directions must
+        // respect the stretch bound.
+        let (g, oracle, params) = build(40, 2, 2);
+        let truth = all_pairs_dijkstra(&g);
+        let bound = params.sketch_stretch_bound();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let a = oracle.query(u, v).unwrap().estimate;
+                let b = oracle.query(v, u).unwrap().estimate;
+                assert!(a as f64 <= bound * truth[u][v] as f64 + 1e-9);
+                assert!(b as f64 <= bound * truth[u][v] as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_vertices_have_zero_distance() {
+        let (_, oracle, _) = build(20, 2, 3);
+        let est = oracle.query(5, 5).unwrap();
+        assert_eq!(est.estimate, 0);
+        assert_eq!(est.iterations, 0);
+    }
+
+    #[test]
+    fn sketch_sizes_obey_claim_2() {
+        let (_, oracle, params) = build(100, 3, 4);
+        // Each sketch has at most overlap_bound cluster entries plus k pivots.
+        let bound = 2 * params.overlap_bound() + 2 * params.k + 1;
+        assert!(
+            oracle.max_sketch_words() <= bound,
+            "{} > {}",
+            oracle.max_sketch_words(),
+            bound
+        );
+        assert!(oracle.avg_sketch_words() > 0.0);
+    }
+
+    #[test]
+    fn k_equals_one_is_exact() {
+        let (g, oracle, _) = build(30, 1, 5);
+        let truth = all_pairs_dijkstra(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let est = oracle.query(u, v).unwrap();
+                assert_eq!(est.estimate, truth[u][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let (_, oracle, _) = build(10, 2, 6);
+        assert!(oracle.query(0, 99).is_err());
+        assert!(oracle.query(99, 0).is_err());
+    }
+
+    #[test]
+    fn query_time_is_bounded_by_k() {
+        let (g, oracle, params) = build(80, 4, 7);
+        for u in g.nodes().step_by(3) {
+            for v in g.nodes().step_by(5) {
+                if u == v {
+                    continue;
+                }
+                let est = oracle.query(u, v).unwrap();
+                assert!(est.iterations < params.k);
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Exact Thorup–Zwick pivots and clusters (sequential construction).
+//!
+//! This is the `[TZ01]/[TZ05]` baseline of Table 1 *and* the ground truth the
+//! approximate construction is validated against: the paper requires
+//! `C_{6ε}(u) ⊆ C̃(u) ⊆ C(u)` (inequality (9)), where `C(u)` is the exact
+//! cluster defined by
+//!
+//! ```text
+//! C(u) = { v ∈ V : d_G(u, v) < d_G(v, A_{i+1}) }        (u ∈ A_i \ A_{i+1})
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use en_graph::dijkstra::multi_source_dijkstra;
+use en_graph::tree::RootedTree;
+use en_graph::{dist_add, is_finite, Dist, NodeId, WeightedGraph, INFINITY};
+
+use crate::family::{Cluster, ClusterFamily};
+use crate::hierarchy::Hierarchy;
+
+/// Computes the exact pivots `z_i(v)` and distances `d_G(v, A_i)` for every
+/// vertex and every level `0 ≤ i < k`.
+///
+/// `pivots[v][i]` is `None` when `A_i` is empty or unreachable from `v`.
+pub fn exact_pivots(g: &WeightedGraph, hierarchy: &Hierarchy) -> Vec<Vec<Option<(NodeId, Dist)>>> {
+    let n = g.num_nodes();
+    let k = hierarchy.k();
+    let mut pivots = vec![vec![None; k]; n];
+    for i in 0..k {
+        let level = hierarchy.level(i);
+        if level.is_empty() {
+            continue;
+        }
+        let (dist, nearest) = multi_source_dijkstra(g, level);
+        for v in 0..n {
+            if let (true, Some(z)) = (is_finite(dist[v]), nearest[v]) {
+                pivots[v][i] = Some((z, dist[v]));
+            }
+        }
+    }
+    pivots
+}
+
+/// The exact distance from every vertex to `A_{i+1}` (the cluster-membership
+/// threshold at level `i`); [`INFINITY`] when `A_{i+1}` is empty.
+pub fn membership_thresholds(
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    level: usize,
+) -> Vec<Dist> {
+    pivots
+        .iter()
+        .map(|per_v| {
+            if level + 1 < per_v.len() {
+                per_v[level + 1].map_or(INFINITY, |(_, d)| d)
+            } else {
+                INFINITY
+            }
+        })
+        .collect()
+}
+
+/// Grows the exact cluster of `center` (at level `i`) as a shortest-path tree:
+/// a restricted Dijkstra from `center` that only admits (and only relaxes
+/// through) vertices satisfying `d(center, v) < threshold[v]`.
+///
+/// Because every vertex on a shortest path from the centre to a cluster member
+/// is itself a member (the containment argument of Section 3.2), restricting
+/// the search this way still yields exact distances for every member.
+pub fn grow_exact_cluster(
+    g: &WeightedGraph,
+    center: NodeId,
+    level: usize,
+    threshold: &[Dist],
+) -> Cluster {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut joined = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    dist[center] = 0;
+    heap.push(Reverse((0, center)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] || joined[v] {
+            continue;
+        }
+        // Membership test: strict inequality per definition (6).
+        if v != center && d >= threshold[v] {
+            continue;
+        }
+        joined[v] = true;
+        for nb in g.neighbors(v) {
+            let nd = dist_add(d, nb.weight);
+            if nd < dist[nb.node] {
+                dist[nb.node] = nd;
+                parent[nb.node] = Some(v);
+                heap.push(Reverse((nd, nb.node)));
+            }
+        }
+    }
+    let mut tree = RootedTree::new(n, center);
+    let mut root_estimate = HashMap::new();
+    root_estimate.insert(center, 0);
+    // Attach members in order of distance so parents are always attached first.
+    let mut order: Vec<NodeId> = (0..n).filter(|&v| joined[v] && v != center).collect();
+    order.sort_by_key(|&v| (dist[v], v));
+    for v in order {
+        let p = parent[v].expect("non-centre member has a Dijkstra parent");
+        let w = g.edge_weight(v, p).expect("parent is a neighbour");
+        tree.attach(v, p, w);
+        root_estimate.insert(v, dist[v]);
+    }
+    Cluster {
+        center,
+        level,
+        tree,
+        root_estimate,
+    }
+}
+
+/// Builds the complete exact cluster family (all centres, all levels) plus the
+/// exact pivot table.
+pub fn exact_cluster_family(g: &WeightedGraph, hierarchy: &Hierarchy) -> ClusterFamily {
+    let pivots = exact_pivots(g, hierarchy);
+    let mut clusters = HashMap::new();
+    for i in 0..hierarchy.k() {
+        let threshold = membership_thresholds(&pivots, i);
+        for center in hierarchy.centers_at(i) {
+            let cluster = grow_exact_cluster(g, center, i, &threshold);
+            clusters.insert(center, cluster);
+        }
+    }
+    ClusterFamily {
+        hierarchy: hierarchy.clone(),
+        clusters,
+        pivots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SchemeParams;
+    use en_graph::dijkstra::dijkstra;
+    use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+
+    fn setup(n: usize, k: usize, seed: u64) -> (WeightedGraph, Hierarchy, ClusterFamily) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, 30), 0.1);
+        let params = SchemeParams::new(k, n, seed);
+        let hierarchy = Hierarchy::sample(&params);
+        let family = exact_cluster_family(&g, &hierarchy);
+        (g, hierarchy, family)
+    }
+
+    #[test]
+    fn pivots_are_nearest_level_vertices() {
+        let (g, hierarchy, family) = setup(60, 3, 1);
+        for v in g.nodes() {
+            for i in 0..3 {
+                match family.pivots[v][i] {
+                    Some((z, d)) => {
+                        assert!(hierarchy.level(i).contains(&z));
+                        let (dist, _) = multi_source_dijkstra(&g, hierarchy.level(i));
+                        assert_eq!(d, dist[v]);
+                        assert_eq!(d, dijkstra(&g, z).dist[v]);
+                    }
+                    None => assert!(hierarchy.level(i).is_empty()),
+                }
+            }
+            assert_eq!(family.pivots[v][0], Some((v, 0)));
+        }
+    }
+
+    #[test]
+    fn cluster_membership_matches_definition_6() {
+        let (g, hierarchy, family) = setup(50, 3, 2);
+        let pivots = &family.pivots;
+        for cluster in family.clusters.values() {
+            let sp = dijkstra(&g, cluster.center);
+            let i = cluster.level;
+            for v in g.nodes() {
+                let threshold = if i + 1 < hierarchy.k() {
+                    pivots[v][i + 1].map_or(INFINITY, |(_, d)| d)
+                } else {
+                    INFINITY
+                };
+                let should_be_member = sp.dist[v] < threshold || v == cluster.center;
+                assert_eq!(
+                    cluster.contains(v),
+                    should_be_member,
+                    "center {} level {} vertex {}",
+                    cluster.center,
+                    i,
+                    v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_trees_are_shortest_path_trees() {
+        let (g, _, family) = setup(50, 3, 3);
+        assert!(family.trees_are_valid_in(&g));
+        assert!(family.root_estimates_within(&g, 1.0));
+    }
+
+    #[test]
+    fn top_level_clusters_cover_everything() {
+        let (g, hierarchy, family) = setup(40, 2, 4);
+        // Centres at the last non-empty level have threshold ∞, so their
+        // clusters contain every vertex.
+        let last = hierarchy.k() - 1;
+        if !hierarchy.level(last).is_empty() {
+            let c = hierarchy.centers_at(last)[0];
+            assert_eq!(family.clusters[&c].size(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn overlap_respects_claim_2_bound() {
+        let (_, _, family) = setup(80, 3, 5);
+        let params = SchemeParams::new(3, 80, 5);
+        assert!(
+            family.max_overlap() <= params.overlap_bound(),
+            "{} > {}",
+            family.max_overlap(),
+            params.overlap_bound()
+        );
+    }
+
+    #[test]
+    fn k_equals_one_gives_spanning_clusters_for_every_vertex() {
+        let (g, _, family) = setup(25, 1, 6);
+        assert_eq!(family.clusters.len(), 25);
+        for c in family.clusters.values() {
+            assert_eq!(c.size(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn thresholds_helper_handles_top_level() {
+        let (_, _, family) = setup(30, 2, 7);
+        let t = membership_thresholds(&family.pivots, 1);
+        assert!(t.iter().all(|&x| x == INFINITY));
+        let t0 = membership_thresholds(&family.pivots, 0);
+        assert!(t0.iter().any(|&x| x < INFINITY));
+    }
+}

@@ -1,0 +1,224 @@
+//! The [`ClusterFamily`]: the common output format of the exact and
+//! approximate cluster constructions.
+//!
+//! Both the sequential Thorup–Zwick construction (exact clusters, used as the
+//! Table 1 baseline) and the paper's distributed construction (approximate
+//! clusters, Section 3) produce the same kind of object: one rooted tree per
+//! cluster centre, a per-member estimate of the distance to the centre, and a
+//! pivot table. Section 4 turns any such family into a routing scheme, so the
+//! assembly code is shared.
+
+use std::collections::HashMap;
+
+use en_graph::tree::RootedTree;
+use en_graph::{Dist, NodeId, WeightedGraph};
+
+use crate::hierarchy::Hierarchy;
+
+/// One cluster: a tree rooted at its centre, spanning the cluster members.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The cluster centre `u` (the root of the tree).
+    pub center: NodeId,
+    /// The level `i` such that `u ∈ A_i \ A_{i+1}`.
+    pub level: usize,
+    /// The cluster tree (every edge is a real edge of the input graph).
+    pub tree: RootedTree,
+    /// `root_estimate[v] = b_v(u)`: the construction's estimate of
+    /// `d_G(u, v)`, satisfying `d_G(u,v) ≤ b_v(u) ≤ (1+ε)⁴ d_G(u,v)` for the
+    /// approximate construction and equality for the exact one.
+    pub root_estimate: HashMap<NodeId, Dist>,
+}
+
+impl Cluster {
+    /// The members of the cluster.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.tree.members()
+    }
+
+    /// Number of members (including the centre).
+    pub fn size(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether `v` belongs to the cluster.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.tree.contains(v)
+    }
+}
+
+/// A family of clusters plus the pivot table, covering all levels `0..k`.
+#[derive(Debug, Clone)]
+pub struct ClusterFamily {
+    /// The sampled hierarchy the family was built from.
+    pub hierarchy: Hierarchy,
+    /// The clusters, keyed by centre.
+    pub clusters: HashMap<NodeId, Cluster>,
+    /// `pivots[v][i] = Some((ẑ_i(v), d̂_i(v)))`: the (approximate) `i`-pivot of
+    /// `v` and the (approximate) distance to it; `None` when `A_i` is empty or
+    /// unreachable. `pivots[v][0]` is always `(v, 0)`.
+    pub pivots: Vec<Vec<Option<(NodeId, Dist)>>>,
+}
+
+impl ClusterFamily {
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.hierarchy.k()
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.hierarchy.n()
+    }
+
+    /// The number of clusters containing `v`.
+    pub fn overlap_of(&self, v: NodeId) -> usize {
+        self.clusters.values().filter(|c| c.contains(v)).count()
+    }
+
+    /// The maximum, over all vertices, of the number of clusters containing it
+    /// (Claim 2 bounds this by `4 n^{1/k} log n` w.h.p. because every
+    /// approximate cluster is a subset of the corresponding exact cluster).
+    pub fn max_overlap(&self) -> usize {
+        let mut count = vec![0usize; self.n()];
+        for cluster in self.clusters.values() {
+            for v in cluster.members() {
+                count[v] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// The maximum overlap restricted to clusters at a given level (this is
+    /// the per-level congestion the small-scale Bellman–Ford analysis charges).
+    pub fn max_overlap_at_level(&self, level: usize) -> usize {
+        let mut count = vec![0usize; self.n()];
+        for cluster in self.clusters.values().filter(|c| c.level == level) {
+            for v in cluster.members() {
+                count[v] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Sum of all cluster sizes (the total storage the cluster trees induce).
+    pub fn total_cluster_size(&self) -> usize {
+        self.clusters.values().map(Cluster::size).sum()
+    }
+
+    /// Checks that every cluster tree is a subgraph of `g` and is rooted at
+    /// its centre — the structural invariants routing depends on.
+    pub fn trees_are_valid_in(&self, g: &WeightedGraph) -> bool {
+        self.clusters.values().all(|c| {
+            c.tree.root() == c.center
+                && c.tree.is_subgraph_of(g)
+                && c.members().iter().all(|&v| c.root_estimate.contains_key(&v))
+        })
+    }
+
+    /// Checks the root-estimate sandwich
+    /// `d_G(center, v) ≤ b_v(center) ≤ slack · d_G(center, v)` for every
+    /// member of every cluster (Lemma 5 with `slack = (1+ε)⁴`, or `slack = 1`
+    /// for the exact family). Quadratic-ish; used by tests and benches.
+    pub fn root_estimates_within(&self, g: &WeightedGraph, slack: f64) -> bool {
+        use en_graph::dijkstra::dijkstra;
+        self.clusters.values().all(|c| {
+            let sp = dijkstra(g, c.center);
+            c.root_estimate.iter().all(|(&v, &est)| {
+                let exact = sp.dist[v];
+                est >= exact && (est as f64) <= slack * exact as f64 + 1e-9
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SchemeParams;
+    use en_graph::WeightedGraph;
+
+    fn tiny_family() -> (WeightedGraph, ClusterFamily) {
+        // Path 0 - 1 - 2 with unit weights; two clusters.
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        let hierarchy = Hierarchy::from_levels(3, vec![vec![0, 1, 2], vec![1]]);
+        let mut t1 = RootedTree::new(3, 1);
+        t1.attach(0, 1, 1);
+        t1.attach(2, 1, 1);
+        let c1 = Cluster {
+            center: 1,
+            level: 1,
+            tree: t1,
+            root_estimate: HashMap::from([(1, 0), (0, 1), (2, 1)]),
+        };
+        let mut t0 = RootedTree::new(3, 0);
+        t0.attach(1, 0, 1);
+        let c0 = Cluster {
+            center: 0,
+            level: 0,
+            tree: t0,
+            root_estimate: HashMap::from([(0, 0), (1, 1)]),
+        };
+        let clusters = HashMap::from([(1, c1), (0, c0)]);
+        let pivots = vec![
+            vec![Some((0, 0)), Some((1, 1))],
+            vec![Some((1, 0)), Some((1, 0))],
+            vec![Some((2, 0)), Some((1, 1))],
+        ];
+        (
+            g,
+            ClusterFamily {
+                hierarchy,
+                clusters,
+                pivots,
+            },
+        )
+    }
+
+    #[test]
+    fn overlap_counts() {
+        let (_, fam) = tiny_family();
+        assert_eq!(fam.overlap_of(1), 2);
+        assert_eq!(fam.overlap_of(2), 1);
+        assert_eq!(fam.max_overlap(), 2);
+        assert_eq!(fam.max_overlap_at_level(0), 1);
+        assert_eq!(fam.total_cluster_size(), 5);
+    }
+
+    #[test]
+    fn validity_checks_pass_on_well_formed_family() {
+        let (g, fam) = tiny_family();
+        assert!(fam.trees_are_valid_in(&g));
+        assert!(fam.root_estimates_within(&g, 1.0));
+        assert_eq!(fam.k(), 2);
+        assert_eq!(fam.n(), 3);
+    }
+
+    #[test]
+    fn validity_checks_catch_bad_estimates() {
+        let (g, mut fam) = tiny_family();
+        fam.clusters.get_mut(&1).unwrap().root_estimate.insert(2, 5);
+        assert!(!fam.root_estimates_within(&g, 1.0));
+        // But a generous slack accepts it.
+        assert!(fam.root_estimates_within(&g, 5.0));
+    }
+
+    #[test]
+    fn cluster_accessors() {
+        let (_, fam) = tiny_family();
+        let c = &fam.clusters[&1];
+        assert_eq!(c.size(), 3);
+        assert!(c.contains(0));
+        assert!(!c.contains(3));
+        let mut m = c.members();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn params_overlap_bound_exceeds_observed_overlap_here() {
+        let (_, fam) = tiny_family();
+        let params = SchemeParams::new(2, 3, 0);
+        assert!(params.overlap_bound() >= fam.max_overlap());
+    }
+}

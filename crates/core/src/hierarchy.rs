@@ -1,0 +1,215 @@
+//! The sampled vertex hierarchy `V = A_0 ⊇ A_1 ⊇ … ⊇ A_{k−1} ⊇ A_k = ∅`.
+//!
+//! Each vertex of `A_{i−1}` is promoted to `A_i` independently with
+//! probability `n^{-1/k}` (Section 3 of the paper / \[TZ05\]). The *level* of
+//! a vertex `u` is the largest `i` with `u ∈ A_i`; cluster centres at level
+//! `i` are exactly the vertices of `A_i \ A_{i+1}`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use en_graph::NodeId;
+
+use crate::params::SchemeParams;
+
+/// The sampled hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    k: usize,
+    /// `levels[i]` is the sorted vertex list of `A_i`, for `i = 0..k` (so
+    /// `levels[0]` is all of `V` and the virtual `A_k = ∅` is *not* stored).
+    levels: Vec<Vec<NodeId>>,
+    /// `level_of[v]` is the largest `i` with `v ∈ A_i`.
+    level_of: Vec<usize>,
+}
+
+impl Hierarchy {
+    /// Samples a hierarchy for the given parameters.
+    pub fn sample(params: &SchemeParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let n = params.n;
+        let p = params.sampling_probability();
+        let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(params.k);
+        levels.push((0..n).collect());
+        for i in 1..params.k {
+            let prev = &levels[i - 1];
+            let next: Vec<NodeId> = prev.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+            levels.push(next);
+        }
+        let mut level_of = vec![0; n];
+        for (i, level) in levels.iter().enumerate() {
+            for &v in level {
+                level_of[v] = i;
+            }
+        }
+        Hierarchy {
+            k: params.k,
+            levels,
+            level_of,
+        }
+    }
+
+    /// Builds a hierarchy from explicit levels (used by tests and by the exact
+    /// baseline when reproducing a specific sampling outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, `levels[0]` is not `0..n`, or the levels
+    /// are not nested.
+    pub fn from_levels(n: usize, levels: Vec<Vec<NodeId>>) -> Self {
+        assert!(!levels.is_empty(), "at least level A_0 is required");
+        assert_eq!(levels[0], (0..n).collect::<Vec<_>>(), "A_0 must be all of V");
+        for i in 1..levels.len() {
+            for &v in &levels[i] {
+                assert!(
+                    levels[i - 1].contains(&v),
+                    "levels must be nested: {v} in A_{i} but not A_{}",
+                    i - 1
+                );
+            }
+        }
+        let k = levels.len();
+        let mut level_of = vec![0; n];
+        for (i, level) in levels.iter().enumerate() {
+            for &v in level {
+                level_of[v] = i;
+            }
+        }
+        Hierarchy { k, levels, level_of }
+    }
+
+    /// The parameter `k` (number of levels including `A_0`, excluding `A_k = ∅`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// The vertex set `A_i`. For `i >= k` returns the empty set (`A_k = ∅`).
+    pub fn level(&self, i: usize) -> &[NodeId] {
+        if i < self.levels.len() {
+            &self.levels[i]
+        } else {
+            &[]
+        }
+    }
+
+    /// The largest `i` such that `v ∈ A_i`.
+    pub fn level_of(&self, v: NodeId) -> usize {
+        self.level_of[v]
+    }
+
+    /// The cluster centres at level `i`: `A_i \ A_{i+1}`.
+    pub fn centers_at(&self, i: usize) -> Vec<NodeId> {
+        self.level(i)
+            .iter()
+            .copied()
+            .filter(|&v| self.level_of[v] == i)
+            .collect()
+    }
+
+    /// The first level that is empty (if any level `< k` is); the construction
+    /// effectively stops there because `d(·, A_i) = ∞` from then on.
+    pub fn first_empty_level(&self) -> Option<usize> {
+        (1..self.k).find(|&i| self.levels[i].is_empty())
+    }
+
+    /// Checks the size bound of Claim 3(1): `|A_i| ≤ 4 n^{1−i/k} ln n`.
+    pub fn satisfies_size_bounds(&self) -> bool {
+        let n = self.n() as f64;
+        (0..self.k).all(|i| {
+            let bound = 4.0 * n.powf(1.0 - i as f64 / self.k as f64) * n.ln().max(1.0);
+            (self.levels[i].len() as f64) <= bound
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, k: usize, seed: u64) -> SchemeParams {
+        SchemeParams::new(k, n, seed)
+    }
+
+    #[test]
+    fn levels_are_nested_and_a0_is_everything() {
+        let h = Hierarchy::sample(&params(200, 4, 3));
+        assert_eq!(h.level(0).len(), 200);
+        for i in 1..4 {
+            for &v in h.level(i) {
+                assert!(h.level(i - 1).contains(&v));
+            }
+        }
+        assert_eq!(h.level(4), &[] as &[NodeId]);
+        assert_eq!(h.level(9), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn level_of_is_consistent_with_levels() {
+        let h = Hierarchy::sample(&params(150, 3, 9));
+        for v in 0..150 {
+            let l = h.level_of(v);
+            assert!(h.level(l).contains(&v));
+            if l + 1 < 3 {
+                assert!(!h.level(l + 1).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn centers_partition_vertices() {
+        let h = Hierarchy::sample(&params(120, 3, 5));
+        let mut seen = vec![false; 120];
+        for i in 0..3 {
+            for v in h.centers_at(i) {
+                assert!(!seen[v], "vertex {v} appears as a centre twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = Hierarchy::sample(&params(100, 3, 7));
+        let b = Hierarchy::sample(&params(100, 3, 7));
+        let c = Hierarchy::sample(&params(100, 3, 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn k_equals_one_gives_single_level() {
+        let h = Hierarchy::sample(&params(50, 1, 1));
+        assert_eq!(h.k(), 1);
+        assert_eq!(h.centers_at(0).len(), 50);
+        assert_eq!(h.first_empty_level(), None);
+    }
+
+    #[test]
+    fn expected_level_sizes_roughly_geometric() {
+        // With n = 4096 and k = 2 the expected |A_1| is 64; allow generous slack.
+        let h = Hierarchy::sample(&params(4096, 2, 11));
+        let a1 = h.level(1).len();
+        assert!(a1 > 20 && a1 < 160, "|A_1| = {a1}");
+        assert!(h.satisfies_size_bounds());
+    }
+
+    #[test]
+    fn from_levels_roundtrip_and_validation() {
+        let h = Hierarchy::from_levels(4, vec![vec![0, 1, 2, 3], vec![1, 3]]);
+        assert_eq!(h.level_of(1), 1);
+        assert_eq!(h.level_of(0), 0);
+        assert_eq!(h.centers_at(1), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn from_levels_rejects_non_nested() {
+        let _ = Hierarchy::from_levels(3, vec![vec![0, 1, 2], vec![0], vec![1]]);
+    }
+}

@@ -1,0 +1,526 @@
+//! The compact routing scheme (Section 4).
+//!
+//! Given a [`ClusterFamily`] (exact or approximate), every cluster tree gets a
+//! tree-routing scheme (Theorem 7). The routing table of a vertex `v` is the
+//! collection of its tree tables for every tree containing it; the label of
+//! `v` consists of, for every level `i`, its (approximate) `i`-pivot
+//! `ẑ_i(v)`, the (approximate) distance to it, and — when `v` belongs to the
+//! tree `C̃(ẑ_i(v))` — `v`'s tree label in that tree.
+//!
+//! To route from `u` to `v`, Algorithm 1 (`Find-tree`) scans the levels
+//! `i = 0, 1, …` until it finds a tree `C̃(ẑ_i(v))` containing **both**
+//! endpoints (decidable from `u`'s table plus `v`'s label alone); the packet
+//! then carries `(root, tree label of v)` in its header and is forwarded by
+//! the tree scheme, consulting only each intermediate vertex's local table.
+//!
+//! The `4k−5` refinement of \[TZ01\] is implemented as well: every centre
+//! `u ∈ A_0 \ A_1` stores the tree labels of all members of its own cluster,
+//! so packets *from* `u` to a member of `C̃(u)` are routed directly in `C̃(u)`.
+
+use std::collections::HashMap;
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::{Dist, NodeId, Path, WeightedGraph};
+use en_tree_routing::{TreeLabel, TreeRoutingConfig, TreeRoutingScheme};
+
+use crate::error::RoutingError;
+use crate::family::ClusterFamily;
+
+/// One entry of a vertex label: the pivot at some level and, if the vertex
+/// belongs to that pivot's cluster tree, its tree label there.
+#[derive(Debug, Clone)]
+pub struct LabelEntry {
+    /// The level `i`.
+    pub level: usize,
+    /// The (approximate) `i`-pivot `ẑ_i(v)`.
+    pub pivot: NodeId,
+    /// The (approximate) distance `d̂_i(v)`.
+    pub dist: Dist,
+    /// The tree label of `v` in `C̃(ẑ_i(v))`, if `v` belongs to it.
+    pub tree_label: Option<TreeLabel>,
+}
+
+impl LabelEntry {
+    /// Size in `O(log n)` words.
+    pub fn words(&self) -> usize {
+        3 + self.tree_label.as_ref().map_or(0, TreeLabel::words)
+    }
+}
+
+/// The complete label of a vertex: one entry per level (missing levels — empty
+/// `A_i` — are skipped).
+#[derive(Debug, Clone)]
+pub struct NodeLabel {
+    /// The labelled vertex.
+    pub vertex: NodeId,
+    /// Entries for the levels `0 ≤ i < k` that have a pivot.
+    pub entries: Vec<LabelEntry>,
+}
+
+impl NodeLabel {
+    /// The entry for level `i`, if present.
+    pub fn entry(&self, level: usize) -> Option<&LabelEntry> {
+        self.entries.iter().find(|e| e.level == level)
+    }
+
+    /// Size in `O(log n)` words.
+    pub fn words(&self) -> usize {
+        1 + self.entries.iter().map(LabelEntry::words).sum::<usize>()
+    }
+}
+
+/// The routing table of a vertex.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTable {
+    /// Tree tables for every cluster tree containing this vertex, keyed by the
+    /// tree's centre. (The word size is measured through the underlying
+    /// [`TreeRoutingScheme`]; only membership is recorded here.)
+    pub trees: Vec<NodeId>,
+    /// The \[TZ01\] `4k−5` refinement: if this vertex is a level-0 centre, the
+    /// tree labels of every member of its own cluster.
+    pub own_cluster_labels: HashMap<NodeId, TreeLabel>,
+}
+
+/// The assembled routing scheme.
+#[derive(Debug, Clone)]
+pub struct RoutingScheme {
+    k: usize,
+    n: usize,
+    /// Per-centre tree routing schemes.
+    tree_schemes: HashMap<NodeId, TreeRoutingScheme>,
+    /// Per-vertex tables.
+    tables: Vec<NodeTable>,
+    /// Per-vertex labels.
+    labels: Vec<NodeLabel>,
+    /// The level of each centre (used for reporting).
+    center_level: HashMap<NodeId, usize>,
+}
+
+/// The outcome of routing one packet.
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    /// The tree (centre) the packet was routed through.
+    pub tree_root: NodeId,
+    /// The level of that tree's centre.
+    pub level: usize,
+    /// The traversed path (starts at the source, ends at the destination).
+    pub path: Path,
+    /// Weighted length of the traversed path.
+    pub length: Dist,
+    /// Exact shortest-path distance between the endpoints.
+    pub exact: Dist,
+    /// `length / exact` (1.0 when the endpoints coincide).
+    pub stretch: f64,
+}
+
+impl RoutingScheme {
+    /// Assembles the routing scheme from a cluster family.
+    ///
+    /// `tree_seed` seeds the portal sampling of the per-tree schemes.
+    pub fn assemble(family: &ClusterFamily, tree_seed: u64) -> Self {
+        let n = family.n();
+        let k = family.k();
+        let mut tree_schemes = HashMap::with_capacity(family.clusters.len());
+        let mut center_level = HashMap::with_capacity(family.clusters.len());
+        for (&center, cluster) in &family.clusters {
+            let config = TreeRoutingConfig::new(tree_seed ^ (center as u64).wrapping_mul(0x9E37_79B9));
+            let scheme = TreeRoutingScheme::build(&cluster.tree, &config);
+            tree_schemes.insert(center, scheme);
+            center_level.insert(center, cluster.level);
+        }
+        // Tables: which trees contain each vertex.
+        let mut tables: Vec<NodeTable> = (0..n).map(|_| NodeTable::default()).collect();
+        for (&center, scheme) in &tree_schemes {
+            for v in scheme.members() {
+                tables[v].trees.push(center);
+            }
+        }
+        for table in &mut tables {
+            table.trees.sort_unstable();
+        }
+        // Labels: pivot entries per level.
+        let mut labels: Vec<NodeLabel> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut entries = Vec::new();
+            for i in 0..k {
+                if let Some((pivot, dist)) = family.pivots[v][i] {
+                    let tree_label = tree_schemes
+                        .get(&pivot)
+                        .and_then(|s| s.label(v))
+                        .cloned();
+                    entries.push(LabelEntry {
+                        level: i,
+                        pivot,
+                        dist,
+                        tree_label,
+                    });
+                }
+            }
+            labels.push(NodeLabel { vertex: v, entries });
+        }
+        // The 4k−5 refinement: level-0 centres store their members' labels.
+        for (&center, cluster) in &family.clusters {
+            if cluster.level != 0 {
+                continue;
+            }
+            let scheme = &tree_schemes[&center];
+            let mut own = HashMap::new();
+            for v in scheme.members() {
+                if let Some(label) = scheme.label(v) {
+                    own.insert(v, label.clone());
+                }
+            }
+            tables[center].own_cluster_labels = own;
+        }
+        RoutingScheme {
+            k,
+            n,
+            tree_schemes,
+            tables,
+            labels,
+            center_level,
+        }
+    }
+
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> &NodeLabel {
+        &self.labels[v]
+    }
+
+    /// The routing table of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn table(&self, v: NodeId) -> &NodeTable {
+        &self.tables[v]
+    }
+
+    /// The number of cluster trees containing `v`.
+    pub fn trees_containing(&self, v: NodeId) -> usize {
+        self.tables[v].trees.len()
+    }
+
+    /// Size of `v`'s routing table in `O(log n)` words: the sum of its tree
+    /// tables plus (for level-0 centres) the stored member labels.
+    pub fn table_words(&self, v: NodeId) -> usize {
+        let tree_words: usize = self.tables[v]
+            .trees
+            .iter()
+            .map(|center| self.tree_schemes[center].table_words(v))
+            .sum();
+        let own_words: usize = self.tables[v]
+            .own_cluster_labels
+            .values()
+            .map(|l| 1 + l.words())
+            .sum();
+        tree_words + own_words
+    }
+
+    /// Size of `v`'s label in `O(log n)` words.
+    pub fn label_words(&self, v: NodeId) -> usize {
+        self.labels[v].words()
+    }
+
+    /// Maximum table size over all vertices, in words.
+    pub fn max_table_words(&self) -> usize {
+        (0..self.n).map(|v| self.table_words(v)).max().unwrap_or(0)
+    }
+
+    /// Average table size over all vertices, in words.
+    pub fn avg_table_words(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n).map(|v| self.table_words(v)).sum::<usize>() as f64 / self.n as f64
+    }
+
+    /// Maximum label size over all vertices, in words.
+    pub fn max_label_words(&self) -> usize {
+        (0..self.n).map(|v| self.label_words(v)).max().unwrap_or(0)
+    }
+
+    /// Average label size over all vertices, in words.
+    pub fn avg_label_words(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n).map(|v| self.label_words(v)).sum::<usize>() as f64 / self.n as f64
+    }
+
+    /// Algorithm 1 (`Find-tree`) plus the \[TZ01\] `4k−5` refinement: returns
+    /// the centre of the tree the packet from `from` to `to` will use, and the
+    /// destination's tree label there — using only `from`'s table and `to`'s
+    /// label, exactly as a real node would.
+    pub fn find_tree(&self, from: NodeId, to: NodeId) -> Result<(NodeId, TreeLabel), RoutingError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        // The 4k−5 refinement: if `from` is a level-0 centre whose cluster
+        // contains `to`, route directly in `from`'s own tree.
+        if let Some(label) = self.tables[from].own_cluster_labels.get(&to) {
+            return Ok((from, label.clone()));
+        }
+        let to_label = &self.labels[to];
+        for i in 0..self.k {
+            let Some(entry) = to_label.entry(i) else {
+                continue;
+            };
+            let Some(tree_label) = &entry.tree_label else {
+                continue; // `to` itself is not in this pivot's tree.
+            };
+            // `from` must also belong to the tree (checked from its own table).
+            if self.tables[from].trees.binary_search(&entry.pivot).is_ok() {
+                return Ok((entry.pivot, tree_label.clone()));
+            }
+        }
+        Err(RoutingError::NoCommonTree { from, to })
+    }
+
+    /// Routes a packet from `from` to `to`, forwarding hop by hop through the
+    /// chosen cluster tree, and measures the stretch against the exact
+    /// shortest-path distance in `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is invalid, no common tree exists
+    /// (a low-probability sampling failure), or forwarding fails.
+    pub fn route(&self, g: &WeightedGraph, from: NodeId, to: NodeId) -> Result<RouteOutcome, RoutingError> {
+        let (root, header_label) = self.find_tree(from, to)?;
+        let scheme = &self.tree_schemes[&root];
+        let mut path = Path::trivial(from);
+        let mut current = from;
+        for _ in 0..=self.n {
+            match scheme.next_hop(current, &header_label)? {
+                None => {
+                    let length = path.length_in(g).unwrap_or(0);
+                    let exact = dijkstra(g, from).dist[to];
+                    let stretch = if exact == 0 {
+                        1.0
+                    } else {
+                        length as f64 / exact as f64
+                    };
+                    return Ok(RouteOutcome {
+                        tree_root: root,
+                        level: self.center_level.get(&root).copied().unwrap_or(0),
+                        path,
+                        length,
+                        exact,
+                        stretch,
+                    });
+                }
+                Some(next) => {
+                    path.push(next);
+                    current = next;
+                }
+            }
+        }
+        Err(RoutingError::TreeRouting(format!(
+            "forwarding from {from} to {to} through tree {root} did not terminate"
+        )))
+    }
+
+    /// Routes between the endpoints using a precomputed all-pairs distance
+    /// matrix for the stretch denominator (used by the benchmark harness to
+    /// avoid re-running Dijkstra per query).
+    pub fn route_with_exact(
+        &self,
+        g: &WeightedGraph,
+        from: NodeId,
+        to: NodeId,
+        exact: Dist,
+    ) -> Result<RouteOutcome, RoutingError> {
+        let (root, header_label) = self.find_tree(from, to)?;
+        let scheme = &self.tree_schemes[&root];
+        let mut path = Path::trivial(from);
+        let mut current = from;
+        for _ in 0..=self.n {
+            match scheme.next_hop(current, &header_label)? {
+                None => {
+                    let length = path.length_in(g).unwrap_or(0);
+                    let stretch = if exact == 0 {
+                        1.0
+                    } else {
+                        length as f64 / exact as f64
+                    };
+                    return Ok(RouteOutcome {
+                        tree_root: root,
+                        level: self.center_level.get(&root).copied().unwrap_or(0),
+                        path,
+                        length,
+                        exact,
+                        stretch,
+                    });
+                }
+                Some(next) => {
+                    path.push(next);
+                    current = next;
+                }
+            }
+        }
+        Err(RoutingError::TreeRouting(format!(
+            "forwarding from {from} to {to} through tree {root} did not terminate"
+        )))
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), RoutingError> {
+        if v < self.n {
+            Ok(())
+        } else {
+            Err(RoutingError::NodeOutOfRange { node: v, n: self.n })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_cluster_family;
+    use crate::hierarchy::Hierarchy;
+    use crate::params::SchemeParams;
+    use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+
+    fn exact_scheme(n: usize, k: usize, seed: u64) -> (WeightedGraph, RoutingScheme, SchemeParams) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, 30), 0.1);
+        let params = SchemeParams::new(k, n, seed);
+        let hierarchy = Hierarchy::sample(&params);
+        let family = exact_cluster_family(&g, &hierarchy);
+        let scheme = RoutingScheme::assemble(&family, seed);
+        (g, scheme, params)
+    }
+
+    #[test]
+    fn every_pair_is_routable_with_bounded_stretch() {
+        let (g, scheme, params) = exact_scheme(50, 3, 1);
+        let bound = params.stretch_bound();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let out = scheme.route(&g, u, v).unwrap_or_else(|e| panic!("{u}->{v}: {e}"));
+                assert_eq!(out.path.nodes().first(), Some(&u));
+                assert_eq!(out.path.nodes().last(), Some(&v));
+                assert!(out.path.is_valid_in(&g));
+                assert!(
+                    out.stretch <= bound + 1e-9,
+                    "stretch {} exceeds bound {} for {u}->{v}",
+                    out.stretch,
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_routes_with_stretch_one() {
+        let (g, scheme, _) = exact_scheme(30, 1, 2);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let out = scheme.route(&g, u, v).unwrap();
+                assert!(
+                    (out.stretch - 1.0).abs() < 1e-9,
+                    "k=1 must route on shortest paths, got {}",
+                    out.stretch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_tree_uses_local_information_consistently() {
+        let (g, scheme, _) = exact_scheme(40, 2, 3);
+        for u in g.nodes().step_by(5) {
+            for v in g.nodes().step_by(7) {
+                if u == v {
+                    continue;
+                }
+                let (root, label) = scheme.find_tree(u, v).unwrap();
+                // The chosen tree really does contain both endpoints.
+                assert!(scheme.tables[u].trees.binary_search(&root).is_ok() || root == u);
+                assert_eq!(label.vertex, v);
+            }
+        }
+    }
+
+    #[test]
+    fn label_sizes_are_o_k_polylog() {
+        let (g, scheme, _) = exact_scheme(100, 4, 4);
+        let n = g.num_nodes() as f64;
+        let bound = 4.0 * 4.0 * n.log2() * n.log2() + 64.0;
+        assert!(
+            (scheme.max_label_words() as f64) <= bound,
+            "label {} exceeds O(k log^2 n) = {}",
+            scheme.max_label_words(),
+            bound
+        );
+    }
+
+    #[test]
+    fn table_sizes_shrink_as_k_grows() {
+        // Larger k means fewer clusters per vertex (Õ(n^{1/k})): compare k=1 vs k=3
+        // average tree-table contributions (excluding the level-0 member labels,
+        // which are the 4k−5 refinement's extra storage).
+        let (_, s1, _) = exact_scheme(80, 1, 5);
+        let (_, s3, _) = exact_scheme(80, 3, 5);
+        let avg_trees_1: f64 =
+            (0..80).map(|v| s1.trees_containing(v)).sum::<usize>() as f64 / 80.0;
+        let avg_trees_3: f64 =
+            (0..80).map(|v| s3.trees_containing(v)).sum::<usize>() as f64 / 80.0;
+        assert!(
+            avg_trees_3 < avg_trees_1,
+            "k=3 should store fewer trees per vertex ({avg_trees_3} vs {avg_trees_1})"
+        );
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_rejected() {
+        let (g, scheme, _) = exact_scheme(20, 2, 6);
+        assert!(matches!(
+            scheme.route(&g, 0, 99),
+            Err(RoutingError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            scheme.find_tree(99, 0),
+            Err(RoutingError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn route_with_exact_matches_route() {
+        let (g, scheme, _) = exact_scheme(30, 2, 7);
+        let exact = dijkstra(&g, 3).dist[17];
+        let a = scheme.route(&g, 3, 17).unwrap();
+        let b = scheme.route_with_exact(&g, 3, 17, exact).unwrap();
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.path, b.path);
+        assert!((a.stretch - b.stretch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_accessors_are_consistent() {
+        let (_, scheme, _) = exact_scheme(40, 2, 8);
+        assert!(scheme.max_table_words() >= scheme.avg_table_words() as usize);
+        assert!(scheme.max_label_words() >= scheme.avg_label_words() as usize);
+        assert!(scheme.avg_table_words() > 0.0);
+        assert!(scheme.avg_label_words() > 0.0);
+        assert_eq!(scheme.k(), 2);
+        assert_eq!(scheme.n(), 40);
+    }
+}

@@ -1,0 +1,209 @@
+//! Unweighted breadth-first search, BFS trees, and the hop-diameter `D`.
+//!
+//! The CONGEST model measures time in rounds over the *unweighted* topology,
+//! so the hop-diameter `D` — the maximum hop distance between any two vertices
+//! ignoring weights — is the quantity appearing in every running-time bound of
+//! the paper.
+
+use std::collections::VecDeque;
+
+use crate::graph::WeightedGraph;
+use crate::types::NodeId;
+
+/// Result of a breadth-first search from a single source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// The source vertex.
+    pub source: NodeId,
+    /// `hops[v]` is the hop distance from the source, `usize::MAX` if unreachable.
+    pub hops: Vec<usize>,
+    /// `parent[v]` is the BFS-tree parent of `v` (None for the source and
+    /// unreachable vertices).
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl BfsResult {
+    /// The vertices reachable from the source, in BFS order.
+    pub fn reachable(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.hops.len())
+            .filter(|&v| self.hops[v] != usize::MAX)
+            .collect();
+        order.sort_by_key(|&v| (self.hops[v], v));
+        order
+    }
+
+    /// The eccentricity of the source (max hop distance to any reachable vertex).
+    pub fn eccentricity(&self) -> usize {
+        self.hops
+            .iter()
+            .copied()
+            .filter(|&h| h != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs BFS from `source`, ignoring edge weights.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs(g: &WeightedGraph, source: NodeId) -> BfsResult {
+    assert!(source < g.num_nodes(), "source {source} out of range");
+    let n = g.num_nodes();
+    let mut hops = vec![usize::MAX; n];
+    let mut parent = vec![None; n];
+    let mut queue = VecDeque::new();
+    hops[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for nb in g.neighbors(u) {
+            if hops[nb.node] == usize::MAX {
+                hops[nb.node] = hops[u] + 1;
+                parent[nb.node] = Some(u);
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    BfsResult {
+        source,
+        hops,
+        parent,
+    }
+}
+
+/// Returns `true` if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &WeightedGraph) -> bool {
+    if g.num_nodes() == 0 {
+        return true;
+    }
+    let r = bfs(g, 0);
+    r.hops.iter().all(|&h| h != usize::MAX)
+}
+
+/// The hop-diameter `D` of the graph: the maximum hop distance between any
+/// pair of vertices, ignoring weights.
+///
+/// Returns `usize::MAX` if the graph is disconnected, and 0 for graphs with at
+/// most one vertex.
+pub fn hop_diameter(g: &WeightedGraph) -> usize {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return 0;
+    }
+    let mut d = 0;
+    for u in g.nodes() {
+        let r = bfs(g, u);
+        for &h in &r.hops {
+            if h == usize::MAX {
+                return usize::MAX;
+            }
+            d = d.max(h);
+        }
+    }
+    d
+}
+
+/// The hop-diameter computed with the standard double-sweep *lower bound*
+/// heuristic (two BFS passes).
+///
+/// Exact on trees; on general graphs returns a value between `D/2` and `D`.
+/// Used by the benchmark harness when the exact all-pairs computation would be
+/// too slow, and clearly labelled as an estimate in its output.
+pub fn hop_diameter_estimate(g: &WeightedGraph) -> usize {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return 0;
+    }
+    let first = bfs(g, 0);
+    if first.hops.iter().any(|&h| h == usize::MAX) {
+        return usize::MAX;
+    }
+    let far = (0..n).max_by_key(|&v| first.hops[v]).unwrap_or(0);
+    bfs(g, far).eccentricity()
+}
+
+/// The connected components of the graph, each as a sorted vertex list.
+pub fn connected_components(g: &WeightedGraph) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let r = bfs(g, s);
+        let mut comp: Vec<NodeId> = (0..n)
+            .filter(|&v| r.hops[v] != usize::MAX && !seen[v])
+            .collect();
+        for &v in &comp {
+            seen[v] = true;
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> WeightedGraph {
+        WeightedGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1))).unwrap()
+    }
+
+    #[test]
+    fn bfs_hop_distances_on_path() {
+        let g = path_graph(5);
+        let r = bfs(&g, 0);
+        assert_eq!(r.hops, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.parent[4], Some(3));
+        assert_eq!(r.parent[0], None);
+        assert_eq!(r.eccentricity(), 4);
+    }
+
+    #[test]
+    fn bfs_reachable_is_in_level_order() {
+        let g = path_graph(4);
+        let r = bfs(&g, 1);
+        assert_eq!(r.reachable(), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn hop_diameter_of_path_and_star() {
+        assert_eq!(hop_diameter(&path_graph(6)), 5);
+        let star = WeightedGraph::from_edges(5, (1..5).map(|i| (0, i, 7))).unwrap();
+        assert_eq!(hop_diameter(&star), 2);
+    }
+
+    #[test]
+    fn hop_diameter_ignores_weights() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1_000), (1, 2, 1_000), (0, 2, 1)]).unwrap();
+        assert_eq!(hop_diameter(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_has_infinite_diameter() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert!(!is_connected(&g));
+        assert_eq!(hop_diameter(&g), usize::MAX);
+        assert_eq!(hop_diameter_estimate(&g), usize::MAX);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_paths() {
+        let g = path_graph(9);
+        assert_eq!(hop_diameter_estimate(&g), hop_diameter(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert!(is_connected(&WeightedGraph::new(0)));
+        assert_eq!(hop_diameter(&WeightedGraph::new(1)), 0);
+        assert_eq!(hop_diameter(&WeightedGraph::new(0)), 0);
+        assert_eq!(connected_components(&WeightedGraph::new(2)).len(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Exact shortest paths (Dijkstra) — the ground truth for all stretch
+//! measurements in the workspace.
+//!
+//! The paper measures stretch against `d_G(u, v)`, the exact shortest-path
+//! metric; every benchmark and test in this repository obtains `d_G` from the
+//! functions in this module.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::WeightedGraph;
+use crate::path::Path;
+use crate::types::{dist_add, is_finite, Dist, NodeId, INFINITY};
+
+/// The result of a single-source shortest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// The source vertex.
+    pub source: NodeId,
+    /// `dist[v]` is `d_G(source, v)`, or [`INFINITY`] if unreachable.
+    pub dist: Vec<Dist>,
+    /// `parent[v]` is the predecessor of `v` on a shortest path from the
+    /// source, or `None` for the source itself and unreachable vertices.
+    pub parent: Vec<Option<NodeId>>,
+    /// `hops[v]` is the number of edges on the produced shortest path to `v`.
+    pub hops: Vec<usize>,
+}
+
+impl ShortestPaths {
+    /// Reconstructs the shortest path from the source to `target`, or `None`
+    /// if `target` is unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        if !is_finite(self.dist[target]) {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.parent[cur] {
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        debug_assert_eq!(nodes[0], self.source);
+        Some(Path::new(nodes))
+    }
+}
+
+/// Runs Dijkstra's algorithm from `source`.
+///
+/// Ties between equal-length paths are broken towards fewer hops and then
+/// towards smaller parent id, which makes the produced shortest-path tree
+/// deterministic (the paper assumes unique shortest paths; deterministic tie
+/// breaking gives us a canonical choice).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
+    assert!(source < g.num_nodes(), "source {source} out of range");
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut hops = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, usize, NodeId)>> = BinaryHeap::new();
+    dist[source] = 0;
+    hops[source] = 0;
+    heap.push(Reverse((0, 0, source)));
+    while let Some(Reverse((d, h, u))) = heap.pop() {
+        if d > dist[u] || (d == dist[u] && h > hops[u]) {
+            continue;
+        }
+        for nb in g.neighbors(u) {
+            let nd = dist_add(d, nb.weight);
+            let nh = h + 1;
+            let better = nd < dist[nb.node]
+                || (nd == dist[nb.node] && nh < hops[nb.node])
+                || (nd == dist[nb.node]
+                    && nh == hops[nb.node]
+                    && parent[nb.node].map_or(false, |p| u < p));
+            if better {
+                dist[nb.node] = nd;
+                hops[nb.node] = nh;
+                parent[nb.node] = Some(u);
+                heap.push(Reverse((nd, nh, nb.node)));
+            }
+        }
+    }
+    for (v, h) in hops.iter_mut().enumerate() {
+        if !is_finite(dist[v]) {
+            *h = usize::MAX;
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+        hops,
+    }
+}
+
+/// Computes the distance from every vertex to the nearest vertex of `sources`
+/// (a "virtual super-source" Dijkstra), together with which source is nearest.
+///
+/// This is exactly the quantity `d_G(v, A_i)` used throughout Section 3 of the
+/// paper, plus the pivot realising it.
+///
+/// Returns `(dist, nearest)` where `nearest[v]` is the closest source to `v`
+/// (ties broken by smaller source id) or `None` if no source is reachable.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn multi_source_dijkstra(
+    g: &WeightedGraph,
+    sources: &[NodeId],
+) -> (Vec<Dist>, Vec<Option<NodeId>>) {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut nearest: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        assert!(s < n, "source {s} out of range");
+        if dist[s] > 0 || nearest[s].map_or(true, |x| s < x) {
+            dist[s] = 0;
+            nearest[s] = Some(s);
+            heap.push(Reverse((0, s, s)));
+        }
+    }
+    while let Some(Reverse((d, src, u))) = heap.pop() {
+        if d > dist[u] || (d == dist[u] && nearest[u].map_or(false, |x| x < src)) {
+            continue;
+        }
+        for nb in g.neighbors(u) {
+            let nd = dist_add(d, nb.weight);
+            let better = nd < dist[nb.node]
+                || (nd == dist[nb.node] && nearest[nb.node].map_or(true, |x| src < x));
+            if better {
+                dist[nb.node] = nd;
+                nearest[nb.node] = Some(src);
+                heap.push(Reverse((nd, src, nb.node)));
+            }
+        }
+    }
+    (dist, nearest)
+}
+
+/// All-pairs shortest distances, computed by running Dijkstra from every
+/// vertex. Intended for ground-truth computation on benchmark-sized graphs.
+pub fn all_pairs_dijkstra(g: &WeightedGraph) -> Vec<Vec<Dist>> {
+    g.nodes().map(|s| dijkstra(g, s).dist).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph {
+        // 0 --1-- 1 --1-- 2
+        //  \             /
+        //   \----10-----/
+        // 3 isolated
+        WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (0, 2, 10)]).unwrap()
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest_distances() {
+        let g = sample();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist, vec![0, 1, 2, INFINITY]);
+    }
+
+    #[test]
+    fn dijkstra_parent_pointers_reconstruct_paths() {
+        let g = sample();
+        let sp = dijkstra(&g, 0);
+        let p = sp.path_to(2).unwrap();
+        assert_eq!(p.nodes(), &[0, 1, 2]);
+        assert_eq!(p.length_in(&g), Some(2));
+        assert!(sp.path_to(3).is_none());
+        assert_eq!(sp.path_to(0).unwrap().nodes(), &[0]);
+    }
+
+    #[test]
+    fn dijkstra_hop_counts_match_paths() {
+        let g = sample();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.hops[0], 0);
+        assert_eq!(sp.hops[1], 1);
+        assert_eq!(sp.hops[2], 2);
+        assert_eq!(sp.hops[3], usize::MAX);
+    }
+
+    #[test]
+    fn multi_source_matches_minimum_over_sources() {
+        let g = sample();
+        let (dist, nearest) = multi_source_dijkstra(&g, &[0, 2]);
+        assert_eq!(dist, vec![0, 1, 0, INFINITY]);
+        assert_eq!(nearest[0], Some(0));
+        assert_eq!(nearest[2], Some(2));
+        assert_eq!(nearest[3], None);
+        // Vertex 1 is at distance 1 from both; the smaller source id wins.
+        assert_eq!(nearest[1], Some(0));
+    }
+
+    #[test]
+    fn multi_source_with_empty_source_set() {
+        let g = sample();
+        let (dist, nearest) = multi_source_dijkstra(&g, &[]);
+        assert!(dist.iter().all(|&d| d == INFINITY));
+        assert!(nearest.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = sample();
+        let apsp = all_pairs_dijkstra(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(apsp[u][v], apsp[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dijkstra_panics_on_bad_source() {
+        let g = sample();
+        let _ = dijkstra(&g, 10);
+    }
+}

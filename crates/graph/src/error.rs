@@ -1,0 +1,88 @@
+//! Error type for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::NodeId;
+
+/// Errors produced by graph construction and structural queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was at least the number of vertices in the graph.
+    NodeOutOfRange {
+        /// The offending vertex id.
+        node: NodeId,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// An edge was given a weight of zero (weights must be in `{1, …, poly(n)}`).
+    ZeroWeight {
+        /// One endpoint of the edge.
+        u: NodeId,
+        /// The other endpoint of the edge.
+        v: NodeId,
+    },
+    /// A self-loop `(u, u)` was inserted; the model forbids self-loops.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        node: NodeId,
+    },
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge {
+        /// One endpoint of the edge.
+        u: NodeId,
+        /// The other endpoint of the edge.
+        v: NodeId,
+    },
+    /// An operation requiring a connected graph was invoked on a disconnected one.
+    Disconnected,
+    /// An operation requiring a non-empty graph was invoked on an empty one.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "vertex {node} out of range for graph with {n} vertices")
+            }
+            GraphError::ZeroWeight { u, v } => {
+                write!(f, "edge ({u}, {v}) has zero weight; weights must be positive")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at vertex {node} is not allowed"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) inserted more than once")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::ZeroWeight { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("3"));
+        let e = GraphError::DuplicateEdge { u: 0, v: 5 };
+        assert!(e.to_string().contains("(0, 5)"));
+        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(GraphError::EmptyGraph.to_string(), "graph has no vertices");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

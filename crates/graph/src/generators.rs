@@ -1,0 +1,536 @@
+//! Reproducible workload generators.
+//!
+//! The paper is evaluated on the abstract CONGEST model, so any reproduction
+//! must pick concrete input graphs. The benchmark harness uses the generators
+//! here: classic random models (Erdős–Rényi, random geometric, Barabási–
+//! Albert), structured topologies (grids, tori, rings, stars, caterpillars),
+//! and random trees. All generators take a [`GeneratorConfig`] carrying the
+//! vertex count, the weight range (integers in `{1, …, poly(n)}` per the
+//! paper's assumption), and a seed, so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::bfs::connected_components;
+use crate::graph::WeightedGraph;
+use crate::types::{NodeId, Weight};
+
+/// Configuration shared by all generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Random seed (all randomness is derived from it).
+    pub seed: u64,
+    /// Minimum edge weight (inclusive). Must be at least 1.
+    pub min_weight: Weight,
+    /// Maximum edge weight (inclusive).
+    pub max_weight: Weight,
+}
+
+impl GeneratorConfig {
+    /// A configuration with `n` vertices, the given seed, and weights in `1..=100`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        GeneratorConfig {
+            n,
+            seed,
+            min_weight: 1,
+            max_weight: 100,
+        }
+    }
+
+    /// Sets the weight range to exactly 1 (an unweighted graph).
+    pub fn unweighted(mut self) -> Self {
+        self.min_weight = 1;
+        self.max_weight = 1;
+        self
+    }
+
+    /// Sets the inclusive weight range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0` or `min > max`.
+    pub fn with_weights(mut self, min: Weight, max: Weight) -> Self {
+        assert!(min >= 1, "weights must be positive");
+        assert!(min <= max, "min_weight must not exceed max_weight");
+        self.min_weight = min;
+        self.max_weight = max;
+        self
+    }
+
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    fn weight(&self, rng: &mut StdRng) -> Weight {
+        rng.gen_range(self.min_weight..=self.max_weight)
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`: each pair becomes an edge independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi(cfg: &GeneratorConfig, p: f64) -> WeightedGraph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for u in 0..cfg.n {
+        for v in (u + 1)..cfg.n {
+            if rng.gen_bool(p) {
+                let w = cfg.weight(&mut rng);
+                g.add_edge(u, v, w).expect("generator produces valid edges");
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` made connected by adding a minimum number of random
+/// bridging edges between components.
+///
+/// The routing constructions all assume a connected network; this generator is
+/// the default workload of the benchmark harness.
+pub fn erdos_renyi_connected(cfg: &GeneratorConfig, p: f64) -> WeightedGraph {
+    let mut g = erdos_renyi(cfg, p);
+    connectify(&mut g, cfg);
+    g
+}
+
+/// Random geometric graph: vertices are uniform points in the unit square, and
+/// two vertices are adjacent iff their Euclidean distance is at most `radius`.
+/// Edge weights are the rounded scaled distances (scaled by 1000), clamped to
+/// the configured weight range — so geometry and weights agree, which makes
+/// stretch behaviour realistic for mesh-like networks.
+pub fn random_geometric(cfg: &GeneratorConfig, radius: f64) -> WeightedGraph {
+    let mut rng = cfg.rng();
+    let pts: Vec<(f64, f64)> = (0..cfg.n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut g = WeightedGraph::new(cfg.n);
+    for u in 0..cfg.n {
+        for v in (u + 1)..cfg.n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius {
+                let scaled = (d * 1000.0).round() as Weight;
+                let w = scaled.clamp(cfg.min_weight.max(1), cfg.max_weight.max(1));
+                g.add_edge(u, v, w).expect("generator produces valid edges");
+            }
+        }
+    }
+    g
+}
+
+/// Connected random geometric graph (bridges added between components).
+pub fn random_geometric_connected(cfg: &GeneratorConfig, radius: f64) -> WeightedGraph {
+    let mut g = random_geometric(cfg, radius);
+    connectify(&mut g, cfg);
+    g
+}
+
+/// A `rows × cols` grid with random weights. Vertex `(r, c)` has id `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if `rows * cols != cfg.n`.
+pub fn grid(cfg: &GeneratorConfig, rows: usize, cols: usize) -> WeightedGraph {
+    assert_eq!(rows * cols, cfg.n, "rows * cols must equal n");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                let w = cfg.weight(&mut rng);
+                g.add_edge(id, id + 1, w).expect("grid edge valid");
+            }
+            if r + 1 < rows {
+                let w = cfg.weight(&mut rng);
+                g.add_edge(id, id + cols, w).expect("grid edge valid");
+            }
+        }
+    }
+    g
+}
+
+/// A torus (grid with wrap-around edges), giving hop-diameter ≈ (rows+cols)/2.
+///
+/// # Panics
+///
+/// Panics if `rows * cols != cfg.n` or either side has fewer than 3 vertices.
+pub fn torus(cfg: &GeneratorConfig, rows: usize, cols: usize) -> WeightedGraph {
+    assert_eq!(rows * cols, cfg.n, "rows * cols must equal n");
+    assert!(rows >= 3 && cols >= 3, "torus sides must be at least 3");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            if !g.has_edge(id, right) {
+                let w = cfg.weight(&mut rng);
+                g.add_edge(id, right, w).expect("torus edge valid");
+            }
+            if !g.has_edge(id, down) {
+                let w = cfg.weight(&mut rng);
+                g.add_edge(id, down, w).expect("torus edge valid");
+            }
+        }
+    }
+    g
+}
+
+/// A simple cycle 0–1–…–(n−1)–0 with random weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(cfg: &GeneratorConfig) -> WeightedGraph {
+    assert!(cfg.n >= 3, "a ring needs at least 3 vertices");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for i in 0..cfg.n {
+        let j = (i + 1) % cfg.n;
+        let w = cfg.weight(&mut rng);
+        g.add_edge(i, j, w).expect("ring edge valid");
+    }
+    g
+}
+
+/// A path 0–1–…–(n−1) with random weights (worst case for hop-diameter).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(cfg: &GeneratorConfig) -> WeightedGraph {
+    assert!(cfg.n >= 1, "path needs at least one vertex");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for i in 0..cfg.n.saturating_sub(1) {
+        let w = cfg.weight(&mut rng);
+        g.add_edge(i, i + 1, w).expect("path edge valid");
+    }
+    g
+}
+
+/// A star with centre 0 (hop-diameter 2 — the best case for `D`-dependent bounds).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(cfg: &GeneratorConfig) -> WeightedGraph {
+    assert!(cfg.n >= 1, "star needs at least one vertex");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for v in 1..cfg.n {
+        let w = cfg.weight(&mut rng);
+        g.add_edge(0, v, w).expect("star edge valid");
+    }
+    g
+}
+
+/// A uniformly random labelled tree (via a random Prüfer-like attachment:
+/// vertex `i` attaches to a uniformly random earlier vertex).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(cfg: &GeneratorConfig) -> WeightedGraph {
+    assert!(cfg.n >= 1, "tree needs at least one vertex");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for v in 1..cfg.n {
+        let p = rng.gen_range(0..v);
+        let w = cfg.weight(&mut rng);
+        g.add_edge(p, v, w).expect("tree edge valid");
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `m`
+/// existing vertices chosen proportionally to degree. Produces the heavy-tail
+/// degree distributions typical of internet-like topologies.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(cfg: &GeneratorConfig, m: usize) -> WeightedGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(cfg.n > m, "need more vertices than the attachment count");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    // Start from a small clique on m+1 vertices.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            let w = cfg.weight(&mut rng);
+            g.add_edge(u, v, w).expect("seed clique edge valid");
+        }
+    }
+    // Repeated-endpoints list for preferential attachment sampling.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for e in g.edges() {
+        endpoints.push(e.u);
+        endpoints.push(e.v);
+    }
+    for v in (m + 1)..cfg.n {
+        let mut targets = Vec::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 100 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        // Fall back to arbitrary distinct earlier vertices if sampling stalled.
+        let mut u = 0;
+        while targets.len() < m {
+            if u != v && !targets.contains(&u) {
+                targets.push(u);
+            }
+            u += 1;
+        }
+        for &t in &targets {
+            let w = cfg.weight(&mut rng);
+            g.add_edge(v, t, w).expect("BA edge valid");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// A "caterpillar": a spine path of length `⌈n/2⌉` with the remaining vertices
+/// attached as legs. Large shortest-path diameter `S` with moderate `D` once
+/// chords are added — used to stress the `Õ(S + n^{1/k})` baseline.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn caterpillar(cfg: &GeneratorConfig) -> WeightedGraph {
+    assert!(cfg.n >= 2, "caterpillar needs at least 2 vertices");
+    let mut rng = cfg.rng();
+    let spine = cfg.n.div_ceil(2);
+    let mut g = WeightedGraph::new(cfg.n);
+    for i in 0..spine - 1 {
+        let w = cfg.weight(&mut rng);
+        g.add_edge(i, i + 1, w).expect("spine edge valid");
+    }
+    for v in spine..cfg.n {
+        let attach = rng.gen_range(0..spine);
+        let w = cfg.weight(&mut rng);
+        g.add_edge(attach, v, w).expect("leg edge valid");
+    }
+    g
+}
+
+/// The complete graph `K_n` with random weights.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(cfg: &GeneratorConfig) -> WeightedGraph {
+    assert!(cfg.n >= 1, "complete graph needs at least one vertex");
+    let mut rng = cfg.rng();
+    let mut g = WeightedGraph::new(cfg.n);
+    for u in 0..cfg.n {
+        for v in (u + 1)..cfg.n {
+            let w = cfg.weight(&mut rng);
+            g.add_edge(u, v, w).expect("complete edge valid");
+        }
+    }
+    g
+}
+
+/// A two-tier "ISP-like" topology: a small densely connected core (clique plus
+/// random chords) and access trees hanging off core vertices. This is the
+/// motivating scenario of compact routing — many access nodes, few core nodes,
+/// and shortest paths funnelling through the core.
+///
+/// `core_fraction` is the fraction of vertices placed in the core (clamped to
+/// at least 2 vertices).
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `core_fraction` not in `(0, 1]`.
+pub fn two_tier_isp(cfg: &GeneratorConfig, core_fraction: f64) -> WeightedGraph {
+    assert!(cfg.n >= 4, "two-tier topology needs at least 4 vertices");
+    assert!(
+        core_fraction > 0.0 && core_fraction <= 1.0,
+        "core_fraction must be in (0, 1]"
+    );
+    let mut rng = cfg.rng();
+    let core = ((cfg.n as f64 * core_fraction).round() as usize).clamp(2, cfg.n);
+    let mut g = WeightedGraph::new(cfg.n);
+    // Core: ring + random chords (models redundant backbone links).
+    for i in 0..core {
+        let j = (i + 1) % core;
+        if i != j && !g.has_edge(i, j) {
+            let w = cfg.weight(&mut rng);
+            g.add_edge(i, j, w).expect("core ring edge valid");
+        }
+    }
+    let chords = core.saturating_mul(2);
+    for _ in 0..chords {
+        let u = rng.gen_range(0..core);
+        let v = rng.gen_range(0..core);
+        if u != v && !g.has_edge(u, v) {
+            let w = cfg.weight(&mut rng);
+            g.add_edge(u, v, w).expect("core chord valid");
+        }
+    }
+    // Access tier: each non-core vertex attaches to a random earlier vertex,
+    // biased towards the core, forming access trees.
+    for v in core..cfg.n {
+        let attach = if rng.gen_bool(0.5) {
+            rng.gen_range(0..core)
+        } else {
+            rng.gen_range(0..v)
+        };
+        let w = cfg.weight(&mut rng);
+        g.add_edge(attach, v, w).expect("access edge valid");
+    }
+    g
+}
+
+/// Adds a minimum number of random bridging edges so the graph becomes connected.
+fn connectify(g: &mut WeightedGraph, cfg: &GeneratorConfig) {
+    if g.num_nodes() == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E3779B97F4A7C15));
+    loop {
+        let comps = connected_components(g);
+        if comps.len() <= 1 {
+            break;
+        }
+        let mut reps: Vec<NodeId> = comps
+            .iter()
+            .map(|c| *c.choose(&mut rng).expect("components are non-empty"))
+            .collect();
+        reps.shuffle(&mut rng);
+        for pair in reps.windows(2) {
+            if !g.has_edge(pair[0], pair[1]) {
+                let w = rng.gen_range(cfg.min_weight..=cfg.max_weight);
+                g.add_edge(pair[0], pair[1], w).expect("bridge edge valid");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::is_connected;
+
+    fn cfg(n: usize) -> GeneratorConfig {
+        GeneratorConfig::new(n, 42)
+    }
+
+    #[test]
+    fn generators_are_deterministic_for_fixed_seed() {
+        let a = erdos_renyi_connected(&cfg(50), 0.1);
+        let b = erdos_renyi_connected(&cfg(50), 0.1);
+        assert_eq!(a, b);
+        let c = erdos_renyi_connected(&GeneratorConfig::new(50, 43), 0.1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_is_connected() {
+        for seed in 0..5 {
+            let g = erdos_renyi_connected(&GeneratorConfig::new(60, seed), 0.02);
+            assert!(is_connected(&g), "seed {seed} produced disconnected graph");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        let g0 = erdos_renyi(&cfg(10), 0.0);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(&cfg(10), 1.0);
+        assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn random_geometric_connected_is_connected() {
+        let g = random_geometric_connected(&cfg(40), 0.2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_and_torus_shapes() {
+        let g = grid(&GeneratorConfig::new(12, 1), 3, 4);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // (cols-1)*rows + (rows-1)*cols
+        assert!(is_connected(&g));
+        let t = torus(&GeneratorConfig::new(16, 1), 4, 4);
+        assert_eq!(t.num_edges(), 2 * 16);
+        assert!(is_connected(&t));
+        assert!(t.nodes().all(|v| t.degree(v) == 4));
+    }
+
+    #[test]
+    fn ring_path_star_shapes() {
+        let r = ring(&cfg(7));
+        assert_eq!(r.num_edges(), 7);
+        assert!(r.nodes().all(|v| r.degree(v) == 2));
+        let p = path(&cfg(7));
+        assert_eq!(p.num_edges(), 6);
+        let s = star(&cfg(7));
+        assert_eq!(s.degree(0), 6);
+        assert!(is_connected(&s));
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_one_edges_and_is_connected() {
+        let t = random_tree(&cfg(30));
+        assert_eq!(t.num_edges(), 29);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn barabasi_albert_connected_with_expected_edge_count() {
+        let m = 3;
+        let g = barabasi_albert(&cfg(40), m);
+        assert!(is_connected(&g));
+        // seed clique has C(m+1, 2) edges, each later vertex adds exactly m.
+        let expected = (m + 1) * m / 2 + (40 - (m + 1)) * m;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn caterpillar_and_complete_and_isp_are_connected() {
+        assert!(is_connected(&caterpillar(&cfg(21))));
+        let k = complete(&cfg(8));
+        assert_eq!(k.num_edges(), 28);
+        let isp = two_tier_isp(&cfg(50), 0.2);
+        assert!(is_connected(&isp));
+    }
+
+    #[test]
+    fn weight_range_is_respected() {
+        let c = GeneratorConfig::new(25, 5).with_weights(10, 20);
+        let g = erdos_renyi_connected(&c, 0.2);
+        assert!(g.edges().all(|e| (10..=20).contains(&e.weight)));
+        let u = GeneratorConfig::new(25, 5).unweighted();
+        let g = erdos_renyi_connected(&u, 0.2);
+        assert!(g.edges().all(|e| e.weight == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn erdos_renyi_rejects_bad_probability() {
+        let _ = erdos_renyi(&cfg(5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn config_rejects_zero_min_weight() {
+        let _ = GeneratorConfig::new(5, 0).with_weights(0, 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Structural properties of graphs used to characterise benchmark workloads.
+//!
+//! The benchmark harness reports, next to every measurement, the properties of
+//! the input graph that the paper's bounds are parameterised by: `n`, `m`, the
+//! hop-diameter `D`, the shortest-path diameter `S`, and weight/degree
+//! statistics.
+
+use crate::bellman_ford::shortest_path_diameter;
+use crate::bfs::{hop_diameter, hop_diameter_estimate, is_connected};
+use crate::graph::WeightedGraph;
+
+/// A summary of the structural properties of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphProperties {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Number of edges `m`.
+    pub m: usize,
+    /// Whether the graph is connected.
+    pub connected: bool,
+    /// Hop-diameter `D` (`usize::MAX` if disconnected).
+    pub hop_diameter: usize,
+    /// Shortest-path diameter `S` (`0` if fewer than two vertices).
+    pub shortest_path_diameter: usize,
+    /// Minimum vertex degree.
+    pub min_degree: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Maximum edge weight.
+    pub max_weight: u64,
+}
+
+impl GraphProperties {
+    /// Computes all properties exactly. Quadratic in `n`; intended for the
+    /// moderate sizes used by tests and the harness.
+    pub fn compute(g: &WeightedGraph) -> Self {
+        GraphProperties {
+            n: g.num_nodes(),
+            m: g.num_edges(),
+            connected: is_connected(g),
+            hop_diameter: hop_diameter(g),
+            shortest_path_diameter: shortest_path_diameter(g),
+            min_degree: g.nodes().map(|v| g.degree(v)).min().unwrap_or(0),
+            max_degree: g.max_degree(),
+            max_weight: g.max_weight(),
+        }
+    }
+
+    /// Computes the cheap properties exactly and estimates the hop-diameter
+    /// with a double BFS sweep; the shortest-path diameter is skipped (set to
+    /// 0). Used for larger benchmark graphs.
+    pub fn compute_fast(g: &WeightedGraph) -> Self {
+        GraphProperties {
+            n: g.num_nodes(),
+            m: g.num_edges(),
+            connected: is_connected(g),
+            hop_diameter: hop_diameter_estimate(g),
+            shortest_path_diameter: 0,
+            min_degree: g.nodes().map(|v| g.degree(v)).min().unwrap_or(0),
+            max_degree: g.max_degree(),
+            max_weight: g.max_weight(),
+        }
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_connected, path, GeneratorConfig};
+
+    #[test]
+    fn properties_of_a_path() {
+        let g = path(&GeneratorConfig::new(6, 3));
+        let p = GraphProperties::compute(&g);
+        assert_eq!(p.n, 6);
+        assert_eq!(p.m, 5);
+        assert!(p.connected);
+        assert_eq!(p.hop_diameter, 5);
+        assert_eq!(p.shortest_path_diameter, 5);
+        assert_eq!(p.min_degree, 1);
+        assert_eq!(p.max_degree, 2);
+        assert!((p.avg_degree() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_properties_agree_on_easy_graphs() {
+        let g = path(&GeneratorConfig::new(9, 3));
+        let exact = GraphProperties::compute(&g);
+        let fast = GraphProperties::compute_fast(&g);
+        assert_eq!(exact.hop_diameter, fast.hop_diameter);
+        assert_eq!(exact.n, fast.n);
+        assert_eq!(exact.m, fast.m);
+    }
+
+    #[test]
+    fn fast_estimate_bounded_by_exact_diameter() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(50, 11), 0.08);
+        let exact = GraphProperties::compute(&g);
+        let fast = GraphProperties::compute_fast(&g);
+        assert!(fast.hop_diameter <= exact.hop_diameter);
+        assert!(fast.hop_diameter * 2 >= exact.hop_diameter);
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let p = GraphProperties::compute(&WeightedGraph::new(0));
+        assert_eq!(p.n, 0);
+        assert_eq!(p.avg_degree(), 0.0);
+        assert!(p.connected);
+    }
+
+    #[test]
+    fn s_at_least_d_on_weighted_graphs() {
+        // The paper notes D <= S always.
+        let g = erdos_renyi_connected(&GeneratorConfig::new(40, 9).with_weights(1, 1000), 0.1);
+        let p = GraphProperties::compute(&g);
+        assert!(p.shortest_path_diameter >= p.hop_diameter);
+    }
+}

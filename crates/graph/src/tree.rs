@@ -1,0 +1,406 @@
+//! Rooted-tree utilities shared by the tree-routing crate and cluster trees.
+//!
+//! Both the exact Thorup–Zwick clusters and the paper's approximate clusters
+//! are stored as trees given by parent pointers (Section 3.1: "each vertex
+//! `v ∈ C̃(u)` will store a pointer to its parent in the tree"). This module
+//! provides the [`RootedTree`] view over such parent arrays: children lists,
+//! DFS orders, subtree sizes, depths, and path extraction — everything the
+//! tree-routing scheme of Section 6 consumes.
+
+use crate::graph::WeightedGraph;
+use crate::path::Path;
+use crate::types::{dist_add, Dist, NodeId, Weight};
+
+/// A rooted tree over a subset of the vertices of some host graph.
+///
+/// Vertices not in the tree have no parent and are reported as absent by
+/// [`RootedTree::contains`]. Edge weights are carried explicitly so that a
+/// tree may be *virtual* (its edges need not exist in the host graph), which
+/// is required for the virtual trees `T'` of Section 6 and the cluster trees
+/// built over hopset edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    /// `parent[v] = Some((p, w))` means `p` is the parent of `v` and the edge
+    /// `(p, v)` has weight `w`. `None` for the root and for non-members.
+    parent: Vec<Option<(NodeId, Weight)>>,
+    member: Vec<bool>,
+}
+
+impl RootedTree {
+    /// Creates a tree containing only `root`, over a host of `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root >= n`.
+    pub fn new(n: usize, root: NodeId) -> Self {
+        assert!(root < n, "root {root} out of range");
+        let mut member = vec![false; n];
+        member[root] = true;
+        RootedTree {
+            root,
+            parent: vec![None; n],
+            member,
+        }
+    }
+
+    /// Builds a tree from an explicit parent array.
+    ///
+    /// `parents[v] = Some((p, w))` attaches `v` below `p` with edge weight `w`;
+    /// vertices with `None` that are not the root are treated as non-members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range or if the parent pointers contain a
+    /// cycle reachable from a member vertex.
+    pub fn from_parents(root: NodeId, parents: Vec<Option<(NodeId, Weight)>>) -> Self {
+        let n = parents.len();
+        assert!(root < n, "root {root} out of range");
+        let mut member = vec![false; n];
+        member[root] = true;
+        for v in 0..n {
+            if parents[v].is_some() {
+                member[v] = true;
+            }
+        }
+        let tree = RootedTree {
+            root,
+            parent: parents,
+            member,
+        };
+        // Cycle check: walking up from any member must reach the root within n steps.
+        for v in 0..n {
+            if tree.member[v] {
+                let mut cur = v;
+                let mut steps = 0;
+                while let Some((p, _)) = tree.parent[cur] {
+                    cur = p;
+                    steps += 1;
+                    assert!(steps <= n, "cycle in parent pointers at vertex {v}");
+                }
+                assert_eq!(cur, root, "vertex {v} does not reach the root");
+            }
+        }
+        tree
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of vertices in the host graph (the length of the parent array).
+    pub fn host_size(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if `v` belongs to the tree.
+    pub fn contains(&self, v: NodeId) -> bool {
+        v < self.member.len() && self.member[v]
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    /// Returns `true` if the tree contains only its root... never; a tree
+    /// always contains at least the root, so this reports whether it has no
+    /// other members.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// The parent of `v` together with the connecting edge weight, or `None`
+    /// for the root and non-members.
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, Weight)> {
+        self.parent.get(v).copied().flatten()
+    }
+
+    /// Attaches `child` under `parent` with edge weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a member, if `child` is already a member, or
+    /// if either id is out of range.
+    pub fn attach(&mut self, child: NodeId, parent: NodeId, w: Weight) {
+        assert!(child < self.parent.len(), "child {child} out of range");
+        assert!(self.contains(parent), "parent {parent} not in tree");
+        assert!(!self.contains(child), "child {child} already in tree");
+        self.parent[child] = Some((parent, w));
+        self.member[child] = true;
+    }
+
+    /// Re-parents `v` (which may be new) under `parent` with weight `w`.
+    ///
+    /// Unlike [`attach`](Self::attach) this allows updating the parent of an
+    /// existing member, which is how the Bellman–Ford style cluster growth in
+    /// Section 3 repeatedly improves a vertex's parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range, `parent` is not a member, or `v` is the root.
+    pub fn set_parent(&mut self, v: NodeId, parent: NodeId, w: Weight) {
+        assert!(v < self.parent.len(), "vertex {v} out of range");
+        assert!(self.contains(parent), "parent {parent} not in tree");
+        assert_ne!(v, self.root, "cannot set a parent for the root");
+        self.parent[v] = Some((parent, w));
+        self.member[v] = true;
+    }
+
+    /// The member vertices, in increasing id order.
+    pub fn members(&self) -> Vec<NodeId> {
+        (0..self.member.len()).filter(|&v| self.member[v]).collect()
+    }
+
+    /// Children lists for every vertex (empty for non-members and leaves).
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for v in 0..self.parent.len() {
+            if let Some((p, _)) = self.parent[v] {
+                ch[p].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Hop depth of every member (root = 0); `None` for non-members.
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        let n = self.parent.len();
+        let mut depth = vec![None; n];
+        for v in 0..n {
+            if !self.member[v] {
+                continue;
+            }
+            // Walk up, memoising as we go back down.
+            let mut chain = Vec::new();
+            let mut cur = v;
+            while depth[cur].is_none() {
+                if cur == self.root {
+                    depth[cur] = Some(0);
+                    break;
+                }
+                chain.push(cur);
+                cur = self.parent[cur].expect("member must have parent").0;
+            }
+            let mut d = depth[cur].expect("walk terminated at known depth");
+            for &x in chain.iter().rev() {
+                d += 1;
+                depth[x] = Some(d);
+            }
+        }
+        depth
+    }
+
+    /// Maximum hop depth over all members.
+    pub fn depth(&self) -> usize {
+        self.depths().into_iter().flatten().max().unwrap_or(0)
+    }
+
+    /// Weighted distance from every member to the root along tree edges;
+    /// `None` for non-members.
+    pub fn root_distances(&self) -> Vec<Option<Dist>> {
+        let n = self.parent.len();
+        let mut dist = vec![None; n];
+        for v in 0..n {
+            if !self.member[v] {
+                continue;
+            }
+            let mut chain = Vec::new();
+            let mut cur = v;
+            while dist[cur].is_none() {
+                if cur == self.root {
+                    dist[cur] = Some(0);
+                    break;
+                }
+                chain.push(cur);
+                cur = self.parent[cur].expect("member must have parent").0;
+            }
+            let mut d = dist[cur].expect("walk terminated at known distance");
+            for &x in chain.iter().rev() {
+                let (_, w) = self.parent[x].expect("member must have parent");
+                d = dist_add(d, w);
+                dist[x] = Some(d);
+            }
+        }
+        dist
+    }
+
+    /// The unique tree path from `u` to `v` (both must be members), or `None`
+    /// if either is not a member.
+    pub fn tree_path(&self, u: NodeId, v: NodeId) -> Option<Path> {
+        if !self.contains(u) || !self.contains(v) {
+            return None;
+        }
+        // Collect ancestors of u (including u) with their order.
+        let mut anc_order = vec![usize::MAX; self.parent.len()];
+        let mut up_u = Vec::new();
+        let mut cur = u;
+        loop {
+            anc_order[cur] = up_u.len();
+            up_u.push(cur);
+            match self.parent[cur] {
+                Some((p, _)) => cur = p,
+                None => break,
+            }
+        }
+        // Walk up from v until we hit an ancestor of u (the LCA).
+        let mut up_v = Vec::new();
+        let mut cur = v;
+        while anc_order[cur] == usize::MAX {
+            up_v.push(cur);
+            cur = self.parent[cur]?.0;
+        }
+        let lca = cur;
+        let mut nodes: Vec<NodeId> = up_u[..=anc_order[lca]].to_vec();
+        up_v.reverse();
+        nodes.extend(up_v);
+        Some(Path::new(nodes))
+    }
+
+    /// Weighted length of the unique tree path between two members.
+    pub fn tree_distance(&self, u: NodeId, v: NodeId) -> Option<Dist> {
+        let path = self.tree_path(u, v)?;
+        let mut total = 0;
+        for w in path.nodes().windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let weight = if self.parent(a).map(|(p, _)| p) == Some(b) {
+                self.parent(a).map(|(_, w)| w)
+            } else if self.parent(b).map(|(p, _)| p) == Some(a) {
+                self.parent(b).map(|(_, w)| w)
+            } else {
+                None
+            }?;
+            total = dist_add(total, weight);
+        }
+        Some(total)
+    }
+
+    /// Checks that every tree edge is an edge of `g` with matching weight.
+    ///
+    /// Virtual trees (over hopset edges or contracted subtrees) will fail this
+    /// check by design; the real cluster trees used for routing must pass it.
+    pub fn is_subgraph_of(&self, g: &WeightedGraph) -> bool {
+        (0..self.parent.len()).all(|v| match self.parent[v] {
+            None => true,
+            Some((p, w)) => {
+                v < g.num_nodes() && p < g.num_nodes() && g.edge_weight(v, p) == Some(w)
+            }
+        })
+    }
+
+    /// Extracts the shortest-path tree of a [`ShortestPaths`] result as a
+    /// [`RootedTree`] (only reachable vertices become members).
+    ///
+    /// [`ShortestPaths`]: crate::dijkstra::ShortestPaths
+    pub fn from_shortest_paths(g: &WeightedGraph, sp: &crate::dijkstra::ShortestPaths) -> Self {
+        let n = g.num_nodes();
+        let mut parents = vec![None; n];
+        for v in 0..n {
+            if let Some(p) = sp.parent[v] {
+                let w = g
+                    .edge_weight(p, v)
+                    .expect("shortest-path parent must be a neighbour");
+                parents[v] = Some((p, w));
+            }
+        }
+        RootedTree::from_parents(sp.source, parents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+
+    /// Tree: 0 is root, children 1 (w=2) and 2 (w=3); 3 under 1 (w=1).
+    fn small_tree() -> RootedTree {
+        let mut t = RootedTree::new(5, 0);
+        t.attach(1, 0, 2);
+        t.attach(2, 0, 3);
+        t.attach(3, 1, 1);
+        t
+    }
+
+    #[test]
+    fn membership_and_sizes() {
+        let t = small_tree();
+        assert!(t.contains(0) && t.contains(3));
+        assert!(!t.contains(4));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.members(), vec![0, 1, 2, 3]);
+        assert_eq!(t.host_size(), 5);
+        assert!(!t.is_empty());
+        assert!(RootedTree::new(3, 1).is_empty());
+    }
+
+    #[test]
+    fn depths_and_root_distances() {
+        let t = small_tree();
+        assert_eq!(t.depths()[3], Some(2));
+        assert_eq!(t.depths()[4], None);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.root_distances()[3], Some(3));
+        assert_eq!(t.root_distances()[2], Some(3));
+        assert_eq!(t.root_distances()[0], Some(0));
+    }
+
+    #[test]
+    fn children_lists() {
+        let t = small_tree();
+        let ch = t.children();
+        assert_eq!(ch[0], vec![1, 2]);
+        assert_eq!(ch[1], vec![3]);
+        assert!(ch[3].is_empty());
+    }
+
+    #[test]
+    fn tree_path_goes_through_lca() {
+        let t = small_tree();
+        let p = t.tree_path(3, 2).unwrap();
+        assert_eq!(p.nodes(), &[3, 1, 0, 2]);
+        assert_eq!(t.tree_distance(3, 2), Some(6));
+        assert_eq!(t.tree_distance(3, 3), Some(0));
+        assert!(t.tree_path(3, 4).is_none());
+    }
+
+    #[test]
+    fn set_parent_reparents_existing_member() {
+        let mut t = small_tree();
+        t.set_parent(3, 2, 5);
+        assert_eq!(t.parent(3), Some((2, 5)));
+        assert_eq!(t.root_distances()[3], Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in tree")]
+    fn attach_rejects_existing_member() {
+        let mut t = small_tree();
+        t.attach(3, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn from_parents_rejects_cycles() {
+        let parents = vec![None, Some((2, 1)), Some((1, 1))];
+        let _ = RootedTree::from_parents(0, parents);
+    }
+
+    #[test]
+    fn shortest_path_tree_extraction() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (0, 2, 5), (2, 3, 2)]).unwrap();
+        let sp = dijkstra(&g, 0);
+        let t = RootedTree::from_shortest_paths(&g, &sp);
+        assert!(t.is_subgraph_of(&g));
+        assert_eq!(t.root_distances()[3], Some(4));
+        assert_eq!(t.parent(2), Some((1, 1)));
+    }
+
+    #[test]
+    fn virtual_tree_is_not_subgraph() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1)]).unwrap();
+        let mut t = RootedTree::new(3, 0);
+        t.attach(2, 0, 7); // edge (0,2) does not exist in g
+        assert!(!t.is_subgraph_of(&g));
+    }
+}

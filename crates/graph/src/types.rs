@@ -1,0 +1,76 @@
+//! Core scalar types shared across the workspace.
+//!
+//! The paper assumes integer edge weights in `{1, …, poly(n)}` so that a
+//! weight (or a distance) always fits in a single `O(log n)`-bit message word.
+//! We model a word as a `u64`.
+
+/// Identifier of a vertex. Vertices are always numbered `0..n` densely.
+pub type NodeId = usize;
+
+/// An edge weight, a positive integer bounded by a polynomial in `n`.
+pub type Weight = u64;
+
+/// A distance (sum of weights along a path).
+pub type Dist = u64;
+
+/// Sentinel distance standing for "unreachable" / "+∞".
+///
+/// It is chosen well below `u64::MAX` so that `INFINITY + w` for any legal
+/// weight `w` never wraps around; all shortest-path code in this workspace
+/// uses saturating arithmetic on top of this sentinel.
+pub const INFINITY: Dist = u64::MAX / 4;
+
+/// Returns `a + b`, saturating at [`INFINITY`].
+///
+/// Any sum involving [`INFINITY`] stays at [`INFINITY`], which keeps relaxation
+/// loops free of overflow checks.
+#[inline]
+pub fn dist_add(a: Dist, b: Dist) -> Dist {
+    if a >= INFINITY || b >= INFINITY {
+        INFINITY
+    } else {
+        let s = a.saturating_add(b);
+        if s >= INFINITY {
+            INFINITY
+        } else {
+            s
+        }
+    }
+}
+
+/// Returns `true` if `d` represents a finite (reachable) distance.
+#[inline]
+pub fn is_finite(d: Dist) -> bool {
+    d < INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_add_finite() {
+        assert_eq!(dist_add(3, 4), 7);
+        assert_eq!(dist_add(0, 0), 0);
+    }
+
+    #[test]
+    fn dist_add_saturates_at_infinity() {
+        assert_eq!(dist_add(INFINITY, 1), INFINITY);
+        assert_eq!(dist_add(1, INFINITY), INFINITY);
+        assert_eq!(dist_add(INFINITY, INFINITY), INFINITY);
+    }
+
+    #[test]
+    fn dist_add_does_not_wrap() {
+        assert_eq!(dist_add(INFINITY - 1, INFINITY - 1), INFINITY);
+    }
+
+    #[test]
+    fn is_finite_detects_sentinel() {
+        assert!(is_finite(0));
+        assert!(is_finite(INFINITY - 1));
+        assert!(!is_finite(INFINITY));
+        assert!(!is_finite(u64::MAX));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use en_graph::bellman_ford::{hop_bounded_distances, shortest_path_diameter};
+use en_graph::bfs::{bfs, connected_components, hop_diameter, hop_diameter_estimate, is_connected};
+use en_graph::dijkstra::{dijkstra, multi_source_dijkstra};
+use en_graph::generators::*;
+use en_graph::tree::RootedTree;
+use en_graph::{is_finite, Path, WeightedGraph, INFINITY};
+
+fn arb_connected_graph() -> impl Strategy<Value = WeightedGraph> {
+    (5usize..60, 0u64..10_000, 1u64..500).prop_map(|(n, seed, max_w)| {
+        erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, max_w), 0.15)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn generated_graphs_are_connected_and_weights_in_range(g in arb_connected_graph()) {
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.edges().all(|e| e.weight >= 1 && e.weight <= 500));
+        prop_assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality_over_edges(g in arb_connected_graph()) {
+        let sp = dijkstra(&g, 0);
+        for e in g.edges() {
+            prop_assert!(sp.dist[e.v] <= sp.dist[e.u].saturating_add(e.weight));
+            prop_assert!(sp.dist[e.u] <= sp.dist[e.v].saturating_add(e.weight));
+        }
+    }
+
+    #[test]
+    fn dijkstra_paths_have_matching_lengths(g in arb_connected_graph()) {
+        let sp = dijkstra(&g, 0);
+        for v in g.nodes() {
+            let p = sp.path_to(v).expect("connected graph");
+            prop_assert!(p.is_valid_in(&g));
+            prop_assert_eq!(p.length_in(&g), Some(sp.dist[v]));
+            prop_assert_eq!(p.hops(), sp.hops[v]);
+        }
+    }
+
+    #[test]
+    fn multi_source_is_min_of_single_sources(g in arb_connected_graph(), s1 in 0usize..60, s2 in 0usize..60) {
+        let n = g.num_nodes();
+        let (a, b) = (s1 % n, s2 % n);
+        let (multi, _) = multi_source_dijkstra(&g, &[a, b]);
+        let da = dijkstra(&g, a).dist;
+        let db = dijkstra(&g, b).dist;
+        for v in g.nodes() {
+            prop_assert_eq!(multi[v], da[v].min(db[v]));
+        }
+    }
+
+    #[test]
+    fn hop_bounded_never_below_true_distance(g in arb_connected_graph(), t in 0usize..10) {
+        let sp = dijkstra(&g, 0);
+        let hb = hop_bounded_distances(&g, 0, t);
+        for v in g.nodes() {
+            prop_assert!(hb.dist[v] >= sp.dist[v]);
+            if is_finite(hb.dist[v]) {
+                prop_assert!(hb.dist[v] < INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_lipschitz_across_edges(g in arb_connected_graph()) {
+        let r = bfs(&g, 0);
+        for e in g.edges() {
+            let (hu, hv) = (r.hops[e.u] as i64, r.hops[e.v] as i64);
+            prop_assert!((hu - hv).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn diameter_estimate_within_factor_two(g in arb_connected_graph()) {
+        let exact = hop_diameter(&g);
+        let estimate = hop_diameter_estimate(&g);
+        prop_assert!(estimate <= exact);
+        prop_assert!(2 * estimate >= exact);
+        prop_assert!(shortest_path_diameter(&g) >= exact);
+    }
+
+    #[test]
+    fn shortest_path_tree_reproduces_distances(g in arb_connected_graph(), root in 0usize..60) {
+        let root = root % g.num_nodes();
+        let sp = dijkstra(&g, root);
+        let tree = RootedTree::from_shortest_paths(&g, &sp);
+        prop_assert!(tree.is_subgraph_of(&g));
+        let dists = tree.root_distances();
+        for v in g.nodes() {
+            prop_assert_eq!(dists[v], Some(sp.dist[v]));
+        }
+        prop_assert_eq!(tree.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn tree_paths_are_symmetric_in_length(g in arb_connected_graph(), a in 0usize..60, b in 0usize..60) {
+        let n = g.num_nodes();
+        let (a, b) = (a % n, b % n);
+        let tree = RootedTree::from_shortest_paths(&g, &dijkstra(&g, 0));
+        let ab = tree.tree_distance(a, b).unwrap();
+        let ba = tree.tree_distance(b, a).unwrap();
+        prop_assert_eq!(ab, ba);
+        let path = tree.tree_path(a, b).unwrap();
+        prop_assert_eq!(path.source(), Some(a));
+        prop_assert_eq!(path.target(), Some(b));
+    }
+
+    #[test]
+    fn path_concat_preserves_length(nodes_a in proptest::collection::vec(0usize..20, 1..6),
+                                    nodes_b in proptest::collection::vec(0usize..20, 1..6)) {
+        // Build a complete graph so any vertex sequence is a valid path.
+        let g = complete(&GeneratorConfig::new(20, 1).with_weights(1, 9));
+        let mut a_nodes = nodes_a;
+        a_nodes.dedup();
+        let mut b_nodes = nodes_b;
+        b_nodes.dedup();
+        let a = Path::new(a_nodes.clone());
+        let b = Path::new(b_nodes.clone());
+        if a.is_valid_in(&g) && b.is_valid_in(&g) && a.target() == b.source() {
+            let joined = a.concat(&b);
+            prop_assert!(joined.is_valid_in(&g));
+            prop_assert_eq!(
+                joined.length_in(&g).unwrap(),
+                a.length_in(&g).unwrap() + b.length_in(&g).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn structured_generators_have_expected_edge_counts(n in 4usize..40, seed in 0u64..100) {
+        let tree = random_tree(&GeneratorConfig::new(n, seed));
+        prop_assert_eq!(tree.num_edges(), n - 1);
+        prop_assert!(is_connected(&tree));
+        let p = path(&GeneratorConfig::new(n, seed));
+        prop_assert_eq!(p.num_edges(), n - 1);
+        let s = star(&GeneratorConfig::new(n, seed));
+        prop_assert_eq!(s.num_edges(), n - 1);
+        if n >= 3 {
+            let r = ring(&GeneratorConfig::new(n, seed));
+            prop_assert_eq!(r.num_edges(), n);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The augmented graph `G'' = (V, E ∪ F)`.
+//!
+//! Section 3.3.1 of the paper forms `G''` by adding the hopset edges to the
+//! virtual graph; where a hopset edge parallels an original edge, the hopset
+//! weight wins. Explorations over `G''` need to know, for every traversed
+//! edge, whether it is an original edge or a hopset edge (and in the latter
+//! case which one), because Phase 1.5 treats the two differently.
+
+use std::collections::HashMap;
+
+use en_graph::{Dist, NodeId, WeightedGraph, INFINITY};
+
+use crate::edge::Hopset;
+
+/// One adjacency entry of the augmented graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AugNeighbor {
+    /// The neighbouring vertex.
+    pub node: NodeId,
+    /// The weight under `w''` (hopset weight wins on conflicts).
+    pub weight: Dist,
+    /// `Some(i)` if this adjacency comes from hopset edge `i`, `None` if it is
+    /// an original edge of the base graph.
+    pub hopset_index: Option<usize>,
+}
+
+/// The graph `G'' = (V, E ∪ F)` with per-edge provenance.
+#[derive(Debug, Clone)]
+pub struct AugmentedGraph {
+    n: usize,
+    adj: Vec<Vec<AugNeighbor>>,
+    num_hopset_edges: usize,
+}
+
+impl AugmentedGraph {
+    /// Builds `G''` from a base graph and a hopset over the same vertex set.
+    ///
+    /// Where the hopset contains an edge parallel to a base edge, the hopset
+    /// weight replaces the base weight (the paper's conflict rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hopset edge references a vertex outside the base graph.
+    pub fn new(base: &WeightedGraph, hopset: &Hopset) -> Self {
+        let n = base.num_nodes();
+        // Undirected adjacency map keyed by (min, max) endpoint pair.
+        let mut best: HashMap<(NodeId, NodeId), (Dist, Option<usize>)> = HashMap::new();
+        for e in base.edges() {
+            best.insert((e.u, e.v), (e.weight, None));
+        }
+        for (i, he) in hopset.edges().iter().enumerate() {
+            assert!(he.u < n && he.v < n, "hopset edge endpoint out of range");
+            let key = (he.u.min(he.v), he.u.max(he.v));
+            // Conflict rule: the hopset weight wins.
+            best.insert(key, (he.weight, Some(i)));
+        }
+        let mut adj = vec![Vec::new(); n];
+        let mut num_hopset_edges = 0;
+        for (&(u, v), &(w, idx)) in &best {
+            adj[u].push(AugNeighbor {
+                node: v,
+                weight: w,
+                hopset_index: idx,
+            });
+            adj[v].push(AugNeighbor {
+                node: u,
+                weight: w,
+                hopset_index: idx,
+            });
+            if idx.is_some() {
+                num_hopset_edges += 1;
+            }
+        }
+        for list in &mut adj {
+            list.sort_by_key(|nb| nb.node);
+        }
+        AugmentedGraph {
+            n,
+            adj,
+            num_hopset_edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges whose weight/provenance comes from the hopset.
+    pub fn num_hopset_edges(&self) -> usize {
+        self.num_hopset_edges
+    }
+
+    /// The adjacency list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[AugNeighbor] {
+        &self.adj[u]
+    }
+
+    /// Hop-bounded single-source distances `d^{(β)}_{G''}(source, ·)`, with the
+    /// predecessor (and its provenance) on the best `≤ β`-hop path.
+    ///
+    /// Returns `(dist, parent)` where `parent[v]` is `(predecessor, hopset
+    /// index of the final edge if it is a hopset edge)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn hop_bounded_from(
+        &self,
+        source: NodeId,
+        beta: usize,
+    ) -> (Vec<Dist>, Vec<Option<(NodeId, Option<usize>)>>) {
+        assert!(source < self.n, "source {source} out of range");
+        let mut dist = vec![INFINITY; self.n];
+        let mut parent = vec![None; self.n];
+        dist[source] = 0;
+        let mut current = dist.clone();
+        for _ in 0..beta {
+            let snapshot = current.clone();
+            let mut changed = false;
+            for u in 0..self.n {
+                if snapshot[u] >= INFINITY {
+                    continue;
+                }
+                for nb in &self.adj[u] {
+                    let cand = snapshot[u].saturating_add(nb.weight).min(INFINITY);
+                    if cand < current[nb.node] {
+                        current[nb.node] = cand;
+                        parent[nb.node] = Some((u, nb.hopset_index));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (current, parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_hopset, HopsetConfig};
+    use crate::edge::HopsetEdge;
+    use en_graph::dijkstra::dijkstra;
+    use en_graph::generators::{path, GeneratorConfig};
+    use en_graph::Path;
+
+    #[test]
+    fn augmenting_with_empty_hopset_reproduces_base() {
+        let g = path(&GeneratorConfig::new(5, 1));
+        let aug = AugmentedGraph::new(&g, &Hopset::empty(2));
+        assert_eq!(aug.num_nodes(), 5);
+        assert_eq!(aug.num_hopset_edges(), 0);
+        let (dist, _) = aug.hop_bounded_from(0, 10);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(dist, sp.dist);
+    }
+
+    #[test]
+    fn hopset_weight_wins_on_conflict() {
+        let g = en_graph::WeightedGraph::from_edges(3, [(0, 1, 5), (1, 2, 5), (0, 2, 100)]).unwrap();
+        let hopset = Hopset::new(
+            vec![HopsetEdge {
+                u: 0,
+                v: 2,
+                weight: 10,
+                path: Path::new(vec![0, 1, 2]),
+            }],
+            2,
+            0.0,
+        );
+        let aug = AugmentedGraph::new(&g, &hopset);
+        let direct = aug
+            .neighbors(0)
+            .iter()
+            .find(|nb| nb.node == 2)
+            .expect("edge (0,2) exists");
+        assert_eq!(direct.weight, 10);
+        assert_eq!(direct.hopset_index, Some(0));
+        assert_eq!(aug.num_hopset_edges(), 1);
+    }
+
+    #[test]
+    fn hop_bounded_distances_shrink_with_hopset() {
+        let g = path(&GeneratorConfig::new(20, 4).unweighted());
+        let hopset = build_hopset(&g, &HopsetConfig::new(0.3, 0.0, 4));
+        let aug = AugmentedGraph::new(&g, &hopset);
+        let (with_hopset, _) = aug.hop_bounded_from(0, 4);
+        let plain = en_graph::bellman_ford::hop_bounded_distances(&g, 0, 4);
+        // With shortcuts, at least one far vertex becomes reachable in 4 hops
+        // at its exact distance.
+        let improved = (0..20).any(|v| with_hopset[v] < plain.dist[v]);
+        assert!(improved, "hopset should shorten some 4-hop distance");
+        // And never makes anything worse or below the true distance.
+        let sp = dijkstra(&g, 0);
+        for v in 0..20 {
+            assert!(with_hopset[v] <= plain.dist[v]);
+            assert!(with_hopset[v] >= sp.dist[v]);
+        }
+    }
+
+    #[test]
+    fn parent_provenance_distinguishes_hopset_edges() {
+        let g = path(&GeneratorConfig::new(10, 6).unweighted());
+        let hopset = build_hopset(&g, &HopsetConfig::new(0.3, 0.0, 6));
+        let aug = AugmentedGraph::new(&g, &hopset);
+        let (_, parent) = aug.hop_bounded_from(0, 2);
+        // Any vertex reached through a shortcut must record its hopset index.
+        for v in 0..10 {
+            if let Some((p, Some(idx))) = parent[v] {
+                let edge = &hopset.edges()[idx];
+                assert!(
+                    (edge.u == p && edge.v == v) || (edge.u == v && edge.v == p),
+                    "provenance points at the wrong hopset edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hopset_edge_out_of_range_panics() {
+        let g = path(&GeneratorConfig::new(3, 1));
+        let hopset = Hopset::new(
+            vec![HopsetEdge {
+                u: 0,
+                v: 9,
+                weight: 1,
+                path: Path::new(vec![0, 9]),
+            }],
+            2,
+            0.0,
+        );
+        let _ = AugmentedGraph::new(&g, &hopset);
+    }
+}

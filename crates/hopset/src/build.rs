@@ -1,0 +1,183 @@
+//! Hopset construction.
+//!
+//! Sampled-shortcut construction (see the crate-level documentation for why
+//! this is a faithful stand-in for the \[EN16a\] construction the paper cites):
+//!
+//! 1. sample a pivot set `S ⊆ V`, each vertex independently with probability
+//!    `min(1, m^{-ρ} · c)` (at least one pivot is always forced so small
+//!    graphs are covered);
+//! 2. from every pivot run exact Dijkstra and add a shortcut edge to every
+//!    reachable vertex, weighted by the exact distance and carrying the
+//!    shortest path as its realising path.
+//!
+//! With high probability every shortest path with more than
+//! `β₀ = 4 m^ρ ln m` hops contains a pivot, in which case two shortcut edges
+//! reproduce the exact distance; shorter paths need no shortcut at all. The
+//! result is a path-reporting `(β, 0)`-hopset with `β = max(β₀, 2)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::{NodeId, WeightedGraph};
+
+use crate::edge::{Hopset, HopsetEdge};
+
+/// Parameters of the hopset construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopsetConfig {
+    /// The `ρ ∈ (0, 1/2]` trade-off parameter: larger `ρ` means fewer pivots,
+    /// a larger hopbound, and fewer rounds — mirroring Theorem 2's trade-off.
+    pub rho: f64,
+    /// The stretch slack `ε` the caller budgets for. The sampled-shortcut
+    /// construction actually achieves `ε = 0`, but the value is recorded so
+    /// downstream round charges use the caller's budget consistently.
+    pub epsilon: f64,
+    /// Random seed for pivot sampling.
+    pub seed: u64,
+}
+
+impl HopsetConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not in `(0, 0.5]` or `epsilon` is negative.
+    pub fn new(rho: f64, epsilon: f64, seed: u64) -> Self {
+        assert!(rho > 0.0 && rho <= 0.5, "rho must be in (0, 0.5]");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        HopsetConfig { rho, epsilon, seed }
+    }
+
+    /// The hopbound `β` this configuration guarantees on a graph with `m` vertices.
+    pub fn beta_for(&self, m: usize) -> usize {
+        if m <= 1 {
+            return 2;
+        }
+        let mf = m as f64;
+        let beta0 = 4.0 * mf.powf(self.rho) * mf.ln();
+        (beta0.ceil() as usize).clamp(2, m.max(2))
+    }
+
+    /// The pivot sampling probability on a graph with `m` vertices.
+    pub fn pivot_probability(&self, m: usize) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        (m as f64).powf(-self.rho).min(1.0)
+    }
+
+    /// Round charge of the construction per Theorem 2:
+    /// `Õ(m^{1+ρ} + D) · β²`.
+    pub fn construction_rounds(&self, m: usize, hop_diameter: usize) -> usize {
+        let beta = self.beta_for(m) as f64;
+        let mf = (m.max(1)) as f64;
+        let base = mf.powf(1.0 + self.rho) + hop_diameter as f64;
+        (base * beta * beta).ceil() as usize
+    }
+}
+
+/// Builds a path-reporting hopset for `g` with the given configuration.
+pub fn build_hopset(g: &WeightedGraph, config: &HopsetConfig) -> Hopset {
+    let m = g.num_nodes();
+    let beta = config.beta_for(m);
+    if m == 0 {
+        return Hopset::empty(beta);
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let p = config.pivot_probability(m);
+    let mut pivots: Vec<NodeId> = g.nodes().filter(|_| rng.gen_bool(p)).collect();
+    if pivots.is_empty() {
+        // Always keep at least one pivot so the guarantee degrades gracefully
+        // on tiny graphs.
+        pivots.push(rng.gen_range(0..m));
+    }
+    let mut edges = Vec::new();
+    for &s in &pivots {
+        let sp = dijkstra(g, s);
+        for v in g.nodes() {
+            if v == s {
+                continue;
+            }
+            if let Some(path) = sp.path_to(v) {
+                // Skip shortcuts that coincide with an existing edge of equal
+                // weight: they add nothing.
+                if path.hops() == 1 {
+                    continue;
+                }
+                edges.push(HopsetEdge {
+                    u: s,
+                    v,
+                    weight: sp.dist[v],
+                    path,
+                });
+            }
+        }
+    }
+    Hopset::new(edges, beta, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use en_graph::generators::{erdos_renyi_connected, path, GeneratorConfig};
+
+    #[test]
+    fn config_validation() {
+        let c = HopsetConfig::new(0.5, 0.1, 1);
+        assert!(c.beta_for(100) >= 2);
+        assert!(c.pivot_probability(100) <= 1.0);
+        assert!(c.construction_rounds(100, 5) > 0);
+        assert_eq!(c.beta_for(1), 2);
+        assert_eq!(c.pivot_probability(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_bad_rho() {
+        let _ = HopsetConfig::new(0.9, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_negative_epsilon() {
+        let _ = HopsetConfig::new(0.3, -0.1, 1);
+    }
+
+    #[test]
+    fn construction_is_deterministic_and_path_reporting() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(50, 3), 0.08);
+        let cfg = HopsetConfig::new(0.4, 0.05, 11);
+        let a = build_hopset(&g, &cfg);
+        let b = build_hopset(&g, &cfg);
+        assert_eq!(a, b);
+        assert!(a.is_path_reporting_in(&g));
+    }
+
+    #[test]
+    fn hopset_weights_are_exact_distances() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(40, 5).with_weights(1, 20), 0.1);
+        let cfg = HopsetConfig::new(0.5, 0.0, 2);
+        let h = build_hopset(&g, &cfg);
+        for e in h.edges() {
+            let sp = dijkstra(&g, e.u);
+            assert_eq!(sp.dist[e.v], e.weight);
+        }
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_hopset() {
+        let g = WeightedGraph::new(0);
+        let h = build_hopset(&g, &HopsetConfig::new(0.5, 0.1, 1));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn path_graph_gets_long_shortcuts() {
+        let g = path(&GeneratorConfig::new(30, 9));
+        let h = build_hopset(&g, &HopsetConfig::new(0.3, 0.1, 9));
+        // Every produced shortcut skips at least one intermediate vertex.
+        assert!(h.edges().iter().all(|e| e.path.hops() >= 2));
+        assert!(!h.is_empty());
+    }
+}

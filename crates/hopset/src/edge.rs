@@ -1,0 +1,155 @@
+//! The [`Hopset`] and [`HopsetEdge`] types.
+
+use en_graph::{Dist, NodeId, Path, WeightedGraph};
+
+/// A single hopset edge together with the path in the underlying graph that
+/// realises it (Property 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopsetEdge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The edge weight `b`.
+    pub weight: Dist,
+    /// The realising path `P` from `u` to `v` in the underlying graph, of
+    /// length exactly `weight`.
+    pub path: Path,
+}
+
+impl HopsetEdge {
+    /// Checks the path-reporting property against `g`: the path runs from `u`
+    /// to `v`, uses only edges of `g`, and has length exactly `weight`.
+    pub fn is_path_reporting_in(&self, g: &WeightedGraph) -> bool {
+        self.path.source() == Some(self.u)
+            && self.path.target() == Some(self.v)
+            && self.path.is_valid_in(g)
+            && self.path.length_in(g) == Some(self.weight)
+    }
+}
+
+/// A collection of hopset edges for a specific underlying graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Hopset {
+    edges: Vec<HopsetEdge>,
+    /// The hopbound `β` the construction guarantees (with high probability).
+    beta: usize,
+    /// The stretch slack `ε` the construction guarantees.
+    epsilon: f64,
+}
+
+impl Hopset {
+    /// Creates a hopset from its edges and the guarantees the construction claims.
+    pub fn new(edges: Vec<HopsetEdge>, beta: usize, epsilon: f64) -> Self {
+        Hopset {
+            edges,
+            beta,
+            epsilon,
+        }
+    }
+
+    /// An empty hopset (useful as the identity element: `G ∪ ∅ = G`), with a
+    /// caller-specified hopbound claim.
+    pub fn empty(beta: usize) -> Self {
+        Hopset {
+            edges: Vec::new(),
+            beta,
+            epsilon: 0.0,
+        }
+    }
+
+    /// The hopset edges.
+    pub fn edges(&self) -> &[HopsetEdge] {
+        &self.edges
+    }
+
+    /// Number of hopset edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the hopset has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The hopbound `β` the construction guarantees.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// The stretch slack `ε` the construction guarantees.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Looks up the hopset edge between `u` and `v` (in either orientation).
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<&HopsetEdge> {
+        self.edges
+            .iter()
+            .find(|e| (e.u == u && e.v == v) || (e.u == v && e.v == u))
+    }
+
+    /// Checks Property 1 (path reporting) for every edge against `g`.
+    pub fn is_path_reporting_in(&self, g: &WeightedGraph) -> bool {
+        self.edges.iter().all(|e| e.is_path_reporting_in(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use en_graph::Path;
+
+    fn host() -> WeightedGraph {
+        WeightedGraph::from_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4)]).unwrap()
+    }
+
+    fn good_edge() -> HopsetEdge {
+        HopsetEdge {
+            u: 0,
+            v: 2,
+            weight: 5,
+            path: Path::new(vec![0, 1, 2]),
+        }
+    }
+
+    #[test]
+    fn path_reporting_check_accepts_correct_edge() {
+        assert!(good_edge().is_path_reporting_in(&host()));
+    }
+
+    #[test]
+    fn path_reporting_check_rejects_wrong_weight_or_endpoints() {
+        let g = host();
+        let mut e = good_edge();
+        e.weight = 6;
+        assert!(!e.is_path_reporting_in(&g));
+        let mut e = good_edge();
+        e.v = 3;
+        assert!(!e.is_path_reporting_in(&g));
+        let mut e = good_edge();
+        e.path = Path::new(vec![0, 2]);
+        assert!(!e.is_path_reporting_in(&g));
+    }
+
+    #[test]
+    fn hopset_lookup_is_orientation_agnostic() {
+        let h = Hopset::new(vec![good_edge()], 4, 0.0);
+        assert!(h.edge_between(0, 2).is_some());
+        assert!(h.edge_between(2, 0).is_some());
+        assert!(h.edge_between(0, 3).is_none());
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+        assert_eq!(h.beta(), 4);
+        assert_eq!(h.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn empty_hopset() {
+        let h = Hopset::empty(7);
+        assert!(h.is_empty());
+        assert!(h.is_path_reporting_in(&host()));
+        assert_eq!(h.beta(), 7);
+    }
+}

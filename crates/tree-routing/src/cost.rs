@@ -1,0 +1,80 @@
+//! Round accounting for the distributed tree-routing construction.
+//!
+//! Theorem 7: for a single tree that is a subgraph of `G`, routing tables and
+//! labels can be computed in `Õ(√n + D)` rounds. Remark 3: for a family of
+//! trees in which every vertex participates in at most `s` trees, all the
+//! schemes can be computed in parallel within `Õ(√(n·s) + D)` rounds.
+//!
+//! The formulas below carry the explicit `log` factors the proofs use
+//! (`γ log² n + (n/γ) log n + D` with `γ = √n`, and the staged-broadcast
+//! analysis of Remark 3), so the harness can report concrete round numbers.
+
+/// Natural logarithm of `n`, clamped below at 1 so formulas stay monotone on
+/// tiny inputs.
+fn ln_n(n: usize) -> f64 {
+    (n.max(2) as f64).ln().max(1.0)
+}
+
+/// Round charge of Theorem 7 for a single tree over a host graph with `n`
+/// vertices and hop-diameter `d`:
+/// `O(γ log² n + (n/γ) log n + D)` with the paper's choice `γ = √n`.
+pub fn theorem7_rounds(n: usize, d: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let nf = n as f64;
+    let gamma = nf.sqrt().max(1.0);
+    let ln = ln_n(n);
+    (gamma * ln * ln + (nf / gamma) * ln + d as f64).ceil() as usize
+}
+
+/// Round charge of Remark 3 for `s`-overlapping tree families:
+/// `Õ(√(n·s) + D)`, with the explicit `log²` factor of the staged broadcast
+/// and the paper's choice `γ = √(n/s) / √log n`.
+pub fn remark3_rounds(n: usize, s: usize, d: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let nf = n as f64;
+    let sf = s.max(1) as f64;
+    let ln = ln_n(n);
+    ((nf * sf).sqrt() * ln * ln + d as f64).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem7_scales_like_sqrt_n() {
+        let small = theorem7_rounds(100, 5);
+        let large = theorem7_rounds(10_000, 5);
+        // sqrt(10000)/sqrt(100) = 10; allow slack for the log factors.
+        assert!(large > 5 * small);
+        assert!(large < 40 * small);
+    }
+
+    #[test]
+    fn remark3_grows_with_overlap() {
+        let s1 = remark3_rounds(1_000, 1, 10);
+        let s16 = remark3_rounds(1_000, 16, 10);
+        assert!(s16 > s1);
+        // sqrt(16) = 4.
+        assert!(s16 <= 5 * s1);
+    }
+
+    #[test]
+    fn diameter_term_is_additive() {
+        let base = remark3_rounds(1_000, 4, 0);
+        let with_d = remark3_rounds(1_000, 4, 500);
+        assert_eq!(with_d, base + 500);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(theorem7_rounds(0, 10), 0);
+        assert_eq!(remark3_rounds(0, 3, 10), 0);
+        assert!(theorem7_rounds(1, 0) > 0);
+        assert!(remark3_rounds(1, 0, 0) > 0);
+    }
+}

@@ -1,0 +1,634 @@
+//! Construction of the two-level tree-routing scheme and the forwarding logic.
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use en_graph::tree::RootedTree;
+use en_graph::{NodeId, Path};
+
+use crate::cost::theorem7_rounds;
+use crate::label::{GlobalException, LocalLabel, TreeLabel};
+use crate::table::{GlobalHeavyEntry, TreeTable};
+
+/// Configuration of the tree-routing construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRoutingConfig {
+    /// Seed for the portal sampling.
+    pub seed: u64,
+    /// Expected number of portal vertices `γ`. `None` uses the paper's choice
+    /// `γ = √|T|`; `Some(0)` disables sampling entirely, which degenerates the
+    /// scheme to the classic single-level Thorup–Zwick tree routing.
+    pub gamma: Option<usize>,
+}
+
+impl TreeRoutingConfig {
+    /// The default configuration (`γ = √|T|`) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TreeRoutingConfig { seed, gamma: None }
+    }
+
+    /// Overrides the expected portal count.
+    pub fn with_gamma(mut self, gamma: usize) -> Self {
+        self.gamma = Some(gamma);
+        self
+    }
+
+    /// The classic single-level scheme (no portals besides the root).
+    pub fn single_level() -> Self {
+        TreeRoutingConfig {
+            seed: 0,
+            gamma: Some(0),
+        }
+    }
+}
+
+/// Errors that can occur while forwarding a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeRoutingError {
+    /// The queried vertex is not part of the tree.
+    NotInTree {
+        /// The offending vertex.
+        vertex: NodeId,
+    },
+    /// A routing table invariant was violated (e.g. a missing parent when one
+    /// is required); indicates a construction bug.
+    CorruptTable {
+        /// The vertex whose table was inconsistent.
+        vertex: NodeId,
+    },
+    /// Forwarding did not reach the destination within `n` hops.
+    RoutingLoop {
+        /// The source of the failed route.
+        from: NodeId,
+        /// The destination of the failed route.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for TreeRoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeRoutingError::NotInTree { vertex } => write!(f, "vertex {vertex} is not in the tree"),
+            TreeRoutingError::CorruptTable { vertex } => {
+                write!(f, "routing table of vertex {vertex} is inconsistent")
+            }
+            TreeRoutingError::RoutingLoop { from, to } => {
+                write!(f, "routing from {from} to {to} did not terminate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeRoutingError {}
+
+/// The complete routing scheme for one tree: a table and a label per member.
+///
+/// Tables and labels are stored per member vertex (not per host vertex), so a
+/// scheme over a small cluster tree of a huge host graph stays proportional to
+/// the cluster size — the routing scheme of Section 4 builds one of these per
+/// cluster centre.
+#[derive(Debug, Clone)]
+pub struct TreeRoutingScheme {
+    root: NodeId,
+    host_size: usize,
+    tables: HashMap<NodeId, TreeTable>,
+    labels: HashMap<NodeId, TreeLabel>,
+    portals: Vec<NodeId>,
+    tree_size: usize,
+}
+
+/// Outcome of one local TZ routing step.
+enum LocalStep {
+    Arrived,
+    Hop(NodeId),
+}
+
+impl TreeRoutingScheme {
+    /// Builds the scheme for `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if `tree` violates its own invariants (which
+    /// [`RootedTree`] construction prevents).
+    pub fn build(tree: &RootedTree, config: &TreeRoutingConfig) -> Self {
+        let n_host = tree.host_size();
+        let root = tree.root();
+        let members = tree.members();
+        let tree_size = members.len();
+        let children_all = tree.children();
+
+        // --- Portal sampling -------------------------------------------------
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let gamma = config
+            .gamma
+            .unwrap_or_else(|| (tree_size as f64).sqrt().ceil() as usize);
+        let p = if tree_size == 0 {
+            0.0
+        } else {
+            (gamma as f64 / tree_size as f64).clamp(0.0, 1.0)
+        };
+        let mut is_portal = vec![false; n_host];
+        for &v in &members {
+            if v != root && p > 0.0 && rng.gen_bool(p) {
+                is_portal[v] = true;
+            }
+        }
+        is_portal[root] = true;
+
+        // --- Preorder of T ----------------------------------------------------
+        let preorder = preorder_of(tree, &children_all);
+
+        // --- Subtree assignment ----------------------------------------------
+        let mut subtree_root = vec![usize::MAX; n_host];
+        for &v in &preorder {
+            subtree_root[v] = if is_portal[v] {
+                v
+            } else {
+                let (parent, _) = tree.parent(v).expect("non-root member has a parent");
+                subtree_root[parent]
+            };
+        }
+
+        // --- Local children / sizes / heavy children --------------------------
+        let mut local_children: Vec<Vec<NodeId>> = vec![Vec::new(); n_host];
+        for &v in &members {
+            if let Some((parent, _)) = tree.parent(v) {
+                if subtree_root[v] == subtree_root[parent] {
+                    local_children[parent].push(v);
+                }
+            }
+        }
+        let mut local_size = vec![0usize; n_host];
+        for &v in preorder.iter().rev() {
+            local_size[v] = 1 + local_children[v].iter().map(|&c| local_size[c]).sum::<usize>();
+        }
+        let mut heavy_child: Vec<Option<NodeId>> = vec![None; n_host];
+        for &v in &members {
+            heavy_child[v] = local_children[v]
+                .iter()
+                .copied()
+                .max_by_key(|&c| (local_size[c], Reverse(c)));
+        }
+
+        // --- Local DFS numbering per subtree -----------------------------------
+        let subtree_roots: Vec<NodeId> = preorder
+            .iter()
+            .copied()
+            .filter(|&v| subtree_root[v] == v)
+            .collect();
+        let mut a_local = vec![0u64; n_host];
+        let mut b_local = vec![0u64; n_host];
+        for &w in &subtree_roots {
+            let mut counter = 0u64;
+            let mut stack = vec![w];
+            while let Some(x) = stack.pop() {
+                a_local[x] = counter;
+                b_local[x] = counter + local_size[x] as u64;
+                counter += 1;
+                for &c in local_children[x].iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+
+        // --- Virtual tree T' ----------------------------------------------------
+        let mut tprime_children: Vec<Vec<NodeId>> = vec![Vec::new(); n_host];
+        for &w in &subtree_roots {
+            if w != root {
+                let (parent, _) = tree.parent(w).expect("portal has a parent");
+                tprime_children[subtree_root[parent]].push(w);
+            }
+        }
+        // Subtree roots listed in T-preorder already have T'-parents before
+        // children, so a reverse sweep computes T' subtree sizes.
+        let mut tprime_size = vec![0usize; n_host];
+        for &w in subtree_roots.iter().rev() {
+            tprime_size[w] = 1 + tprime_children[w].iter().map(|&c| tprime_size[c]).sum::<usize>();
+        }
+        let mut tprime_heavy: Vec<Option<NodeId>> = vec![None; n_host];
+        for &w in &subtree_roots {
+            tprime_heavy[w] = tprime_children[w]
+                .iter()
+                .copied()
+                .max_by_key(|&c| (tprime_size[c], Reverse(c)));
+        }
+        let mut a_global = vec![0u64; n_host];
+        let mut b_global = vec![0u64; n_host];
+        {
+            let mut counter = 0u64;
+            let mut stack = vec![root];
+            while let Some(w) = stack.pop() {
+                a_global[w] = counter;
+                b_global[w] = counter + tprime_size[w] as u64;
+                counter += 1;
+                for &c in tprime_children[w].iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+
+        // --- Local labels (per vertex, within its subtree) ----------------------
+        let mut local_label: Vec<LocalLabel> = vec![LocalLabel::default(); n_host];
+        for &w in &subtree_roots {
+            let mut stack: Vec<(NodeId, Vec<(NodeId, NodeId)>)> = vec![(w, Vec::new())];
+            while let Some((x, exceptions)) = stack.pop() {
+                local_label[x] = LocalLabel {
+                    a: a_local[x],
+                    exceptions: exceptions.clone(),
+                };
+                for &c in &local_children[x] {
+                    let mut child_exc = exceptions.clone();
+                    if heavy_child[x] != Some(c) {
+                        child_exc.push((x, c));
+                    }
+                    stack.push((c, child_exc));
+                }
+            }
+        }
+
+        // --- Global exceptions (per subtree root, along the T' path) ------------
+        let mut global_exceptions: Vec<Vec<GlobalException>> = vec![Vec::new(); n_host];
+        {
+            let mut stack: Vec<(NodeId, Vec<GlobalException>)> = vec![(root, Vec::new())];
+            while let Some((w, exceptions)) = stack.pop() {
+                global_exceptions[w] = exceptions.clone();
+                for &c in &tprime_children[w] {
+                    let mut child_exc = exceptions.clone();
+                    if tprime_heavy[w] != Some(c) {
+                        let (portal, _) = tree.parent(c).expect("portal has a parent");
+                        child_exc.push(GlobalException {
+                            parent_subtree: w,
+                            child_subtree: c,
+                            portal,
+                            portal_label: local_label[portal].clone(),
+                        });
+                    }
+                    stack.push((c, child_exc));
+                }
+            }
+        }
+
+        // --- Assemble tables and labels -----------------------------------------
+        let mut tables: HashMap<NodeId, TreeTable> = HashMap::with_capacity(members.len());
+        let mut labels: HashMap<NodeId, TreeLabel> = HashMap::with_capacity(members.len());
+        for &v in &members {
+            let w = subtree_root[v];
+            let global_heavy = tprime_heavy[w].map(|h| {
+                let (portal, _) = tree.parent(h).expect("heavy portal child has a parent");
+                GlobalHeavyEntry {
+                    child_subtree: h,
+                    portal,
+                    portal_label: local_label[portal].clone(),
+                }
+            });
+            tables.insert(v, TreeTable {
+                vertex: v,
+                tree_root: root,
+                subtree_root: w,
+                parent: tree.parent(v).map(|(p, _)| p),
+                heavy_child: heavy_child[v],
+                a_local: a_local[v],
+                b_local: b_local[v],
+                a_global: a_global[w],
+                b_global: b_global[w],
+                global_heavy,
+            });
+            labels.insert(v, TreeLabel {
+                vertex: v,
+                subtree_root: w,
+                local: local_label[v].clone(),
+                a_global: a_global[w],
+                global_exceptions: global_exceptions[w].clone(),
+            });
+        }
+
+        let portals = subtree_roots;
+        TreeRoutingScheme {
+            root,
+            host_size: n_host,
+            tables,
+            labels,
+            portals,
+            tree_size,
+        }
+    }
+
+    /// The root of the routed tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of vertices in the tree.
+    pub fn tree_size(&self) -> usize {
+        self.tree_size
+    }
+
+    /// The portal set `U(T)` (always contains the root).
+    pub fn portals(&self) -> &[NodeId] {
+        &self.portals
+    }
+
+    /// The routing table of `v`, if `v` is in the tree.
+    pub fn table(&self, v: NodeId) -> Option<&TreeTable> {
+        self.tables.get(&v)
+    }
+
+    /// The label of `v`, if `v` is in the tree.
+    pub fn label(&self, v: NodeId) -> Option<&TreeLabel> {
+        self.labels.get(&v)
+    }
+
+    /// The member vertices of the routed tree (unordered).
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.tables.keys().copied()
+    }
+
+    /// Table size of `v` in words (0 if not a member).
+    pub fn table_words(&self, v: NodeId) -> usize {
+        self.table(v).map_or(0, TreeTable::words)
+    }
+
+    /// Label size of `v` in words (0 if not a member).
+    pub fn label_words(&self, v: NodeId) -> usize {
+        self.label(v).map_or(0, TreeLabel::words)
+    }
+
+    /// The largest table over all members, in words.
+    pub fn max_table_words(&self) -> usize {
+        self.tables.values().map(TreeTable::words).max().unwrap_or(0)
+    }
+
+    /// The largest label over all members, in words.
+    pub fn max_label_words(&self) -> usize {
+        self.labels.values().map(TreeLabel::words).max().unwrap_or(0)
+    }
+
+    /// Round charge of building this scheme on a host with hop-diameter `d`
+    /// (Theorem 7).
+    pub fn construction_rounds(&self, d: usize) -> usize {
+        theorem7_rounds(self.tree_size, d)
+    }
+
+    fn local_step(table: &TreeTable, target: &LocalLabel) -> Result<LocalStep, TreeRoutingError> {
+        if table.a_local == target.a {
+            return Ok(LocalStep::Arrived);
+        }
+        if !table.local_interval_contains(target.a) {
+            let parent = table.parent.ok_or(TreeRoutingError::CorruptTable {
+                vertex: table.vertex,
+            })?;
+            return Ok(LocalStep::Hop(parent));
+        }
+        if let Some(child) = target.exception_at(table.vertex) {
+            return Ok(LocalStep::Hop(child));
+        }
+        let heavy = table.heavy_child.ok_or(TreeRoutingError::CorruptTable {
+            vertex: table.vertex,
+        })?;
+        Ok(LocalStep::Hop(heavy))
+    }
+
+    /// Computes the next hop from `current` towards the vertex described by
+    /// `label`, using only `current`'s table and the label (the information a
+    /// real node would have).
+    ///
+    /// Returns `Ok(None)` when `current` *is* the destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `current` is not in the tree or a table invariant
+    /// is violated.
+    pub fn next_hop(
+        &self,
+        current: NodeId,
+        label: &TreeLabel,
+    ) -> Result<Option<NodeId>, TreeRoutingError> {
+        let table = self
+            .table(current)
+            .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
+        // Same subtree: pure local TZ routing on the destination's local label.
+        if table.subtree_root == label.subtree_root {
+            return match Self::local_step(table, &label.local)? {
+                LocalStep::Arrived => Ok(None),
+                LocalStep::Hop(next) => Ok(Some(next)),
+            };
+        }
+        // Destination's subtree is *not* a T'-descendant of ours: climb.
+        if !table.global_interval_contains(label.a_global) {
+            let parent = table.parent.ok_or(TreeRoutingError::CorruptTable {
+                vertex: table.vertex,
+            })?;
+            return Ok(Some(parent));
+        }
+        // Destination's subtree is a strict T'-descendant of ours: route to the
+        // portal of the correct T' child, then cross into that child subtree.
+        let (portal_label, child_subtree) = match label.global_exception_at(table.subtree_root) {
+            Some(exc) => (&exc.portal_label, exc.child_subtree),
+            None => {
+                let gh = table
+                    .global_heavy
+                    .as_ref()
+                    .ok_or(TreeRoutingError::CorruptTable {
+                        vertex: table.vertex,
+                    })?;
+                (&gh.portal_label, gh.child_subtree)
+            }
+        };
+        match Self::local_step(table, portal_label)? {
+            LocalStep::Arrived => Ok(Some(child_subtree)),
+            LocalStep::Hop(next) => Ok(Some(next)),
+        }
+    }
+
+    /// Routes a packet from `from` to `to`, returning the traversed path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is not in the tree, or forwarding
+    /// fails to terminate within `host_size` hops (which would indicate a bug).
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<Path, TreeRoutingError> {
+        let label = self
+            .label(to)
+            .ok_or(TreeRoutingError::NotInTree { vertex: to })?
+            .clone();
+        if self.table(from).is_none() {
+            return Err(TreeRoutingError::NotInTree { vertex: from });
+        }
+        let mut path = Path::trivial(from);
+        let mut current = from;
+        for _ in 0..=self.host_size {
+            match self.next_hop(current, &label)? {
+                None => return Ok(path),
+                Some(next) => {
+                    path.push(next);
+                    current = next;
+                }
+            }
+        }
+        Err(TreeRoutingError::RoutingLoop { from, to })
+    }
+}
+
+/// Preorder traversal of a rooted tree (parents before children).
+fn preorder_of(tree: &RootedTree, children: &[Vec<NodeId>]) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(tree.len());
+    let mut stack = vec![tree.root()];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &c in children[v].iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use en_graph::dijkstra::dijkstra;
+    use en_graph::generators::{erdos_renyi_connected, path, random_tree, star, GeneratorConfig};
+    use en_graph::tree::RootedTree;
+    use en_graph::WeightedGraph;
+
+    fn spt_of(g: &WeightedGraph, root: NodeId) -> RootedTree {
+        RootedTree::from_shortest_paths(g, &dijkstra(g, root))
+    }
+
+    fn assert_exact_routing(tree: &RootedTree, scheme: &TreeRoutingScheme) {
+        let members = tree.members();
+        for &u in &members {
+            for &v in &members {
+                let route = scheme.route(u, v).unwrap_or_else(|e| {
+                    panic!("route {u} -> {v} failed: {e}");
+                });
+                let expected = tree.tree_path(u, v).expect("both are members");
+                assert_eq!(
+                    route.nodes(),
+                    expected.nodes(),
+                    "route {u} -> {v} deviates from the tree path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_scheme_routes_exactly_on_random_trees() {
+        for seed in 0..3 {
+            let g = random_tree(&GeneratorConfig::new(40, seed));
+            let tree = spt_of(&g, 0);
+            let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::single_level());
+            assert_eq!(scheme.portals(), &[0]);
+            assert_exact_routing(&tree, &scheme);
+        }
+    }
+
+    #[test]
+    fn two_level_scheme_routes_exactly_on_random_trees() {
+        for seed in 0..3 {
+            let g = random_tree(&GeneratorConfig::new(60, seed + 100));
+            let tree = spt_of(&g, 5);
+            let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(seed));
+            assert!(scheme.portals().len() >= 1);
+            assert_exact_routing(&tree, &scheme);
+        }
+    }
+
+    #[test]
+    fn two_level_scheme_routes_exactly_on_spt_of_random_graph() {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(70, 9).with_weights(1, 50), 0.06);
+        let tree = spt_of(&g, 3);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(4));
+        assert_exact_routing(&tree, &scheme);
+    }
+
+    #[test]
+    fn many_portals_still_route_exactly() {
+        // Force every other vertex to be a portal (gamma = tree size).
+        let g = random_tree(&GeneratorConfig::new(50, 77));
+        let tree = spt_of(&g, 0);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(1).with_gamma(50));
+        assert!(scheme.portals().len() > 10);
+        assert_exact_routing(&tree, &scheme);
+    }
+
+    #[test]
+    fn path_tree_is_the_hard_case_for_depth_but_still_exact() {
+        let g = path(&GeneratorConfig::new(60, 8));
+        let tree = spt_of(&g, 0);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(2));
+        assert_exact_routing(&tree, &scheme);
+    }
+
+    #[test]
+    fn star_tree_routes_exactly() {
+        let g = star(&GeneratorConfig::new(30, 4));
+        let tree = spt_of(&g, 0);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(3));
+        assert_exact_routing(&tree, &scheme);
+    }
+
+    #[test]
+    fn partial_tree_over_host_graph() {
+        // Tree covering only part of the host: routing between members works,
+        // non-members are rejected.
+        let mut tree = RootedTree::new(10, 0);
+        tree.attach(1, 0, 3);
+        tree.attach(2, 0, 1);
+        tree.attach(3, 1, 2);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(0));
+        assert!(scheme.route(3, 2).is_ok());
+        assert!(matches!(
+            scheme.route(3, 7),
+            Err(TreeRoutingError::NotInTree { vertex: 7 })
+        ));
+        assert!(matches!(
+            scheme.route(8, 3),
+            Err(TreeRoutingError::NotInTree { vertex: 8 })
+        ));
+        assert_eq!(scheme.table_words(7), 0);
+    }
+
+    #[test]
+    fn table_and_label_sizes_are_polylogarithmic() {
+        let n = 200;
+        let g = random_tree(&GeneratorConfig::new(n, 21));
+        let tree = spt_of(&g, 0);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(5));
+        let log2n = (n as f64).log2();
+        // Theorem 7: tables O(log n) words, labels O(log^2 n) words. Generous
+        // explicit constants keep the test robust across seeds.
+        assert!(
+            scheme.max_table_words() <= (8.0 * log2n) as usize + 16,
+            "table too large: {}",
+            scheme.max_table_words()
+        );
+        assert!(
+            scheme.max_label_words() <= (8.0 * log2n * log2n) as usize + 32,
+            "label too large: {}",
+            scheme.max_label_words()
+        );
+    }
+
+    #[test]
+    fn construction_round_charge_is_positive_and_monotone_in_d() {
+        let g = random_tree(&GeneratorConfig::new(64, 2));
+        let tree = spt_of(&g, 0);
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(5));
+        assert!(scheme.construction_rounds(0) > 0);
+        assert!(scheme.construction_rounds(100) > scheme.construction_rounds(0));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = TreeRoutingError::NotInTree { vertex: 4 };
+        assert!(e.to_string().contains('4'));
+        let e = TreeRoutingError::RoutingLoop { from: 1, to: 2 };
+        assert!(e.to_string().contains("did not terminate"));
+        let e = TreeRoutingError::CorruptTable { vertex: 3 };
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Tree-routing tables: the local state each vertex stores for one tree.
+
+use en_graph::NodeId;
+
+use crate::label::LocalLabel;
+
+/// Information a vertex in subtree `T_w` keeps about the heavy child of `w` in
+/// the virtual tree `T'` (the one `T'`-child whose identity is *not* carried
+/// in packet labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHeavyEntry {
+    /// The heavy child `h'(w)` of `w` in `T'` (a subtree root).
+    pub child_subtree: NodeId,
+    /// The portal `y ∈ T_w`: the parent of `h'(w)` in the real tree `T`.
+    pub portal: NodeId,
+    /// The local label of the portal inside `T_w` (routes packets to it).
+    pub portal_label: LocalLabel,
+}
+
+impl GlobalHeavyEntry {
+    /// Size in words.
+    pub fn words(&self) -> usize {
+        2 + self.portal_label.words()
+    }
+}
+
+/// The routing table a single vertex stores for a single tree.
+///
+/// Per the paper this is `O(log n)` words: the local TZ table
+/// (parent, heavy child, DFS interval) for the vertex's subtree, plus the
+/// `T'`-level information of its subtree root (which the subtree root
+/// propagates to all vertices of its subtree during the construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeTable {
+    /// This vertex.
+    pub vertex: NodeId,
+    /// The root of the whole tree.
+    pub tree_root: NodeId,
+    /// The root `w` of the subtree `T_w` containing this vertex.
+    pub subtree_root: NodeId,
+    /// The parent of this vertex in the real tree `T` (None only at the tree root).
+    pub parent: Option<NodeId>,
+    /// The heavy child of this vertex *within its subtree*, if it has children there.
+    pub heavy_child: Option<NodeId>,
+    /// DFS entry time of this vertex within its subtree.
+    pub a_local: u64,
+    /// DFS exit time (entry + local subtree size) within its subtree.
+    pub b_local: u64,
+    /// DFS entry time of `T_w` within the virtual tree `T'`.
+    pub a_global: u64,
+    /// DFS exit time of `T_w` within `T'`.
+    pub b_global: u64,
+    /// The heavy `T'`-child of `w`, with the portal information needed to reach it.
+    pub global_heavy: Option<GlobalHeavyEntry>,
+}
+
+impl TreeTable {
+    /// Returns `true` if the local DFS interval of this vertex contains `a`
+    /// (i.e. the target lies in this vertex's local subtree).
+    pub fn local_interval_contains(&self, a: u64) -> bool {
+        self.a_local <= a && a < self.b_local
+    }
+
+    /// Returns `true` if the global DFS interval of this vertex's subtree
+    /// contains `a_global` (the target's subtree is a `T'`-descendant).
+    pub fn global_interval_contains(&self, a_global: u64) -> bool {
+        self.a_global <= a_global && a_global < self.b_global
+    }
+
+    /// Size of the table in `O(log n)`-bit words.
+    pub fn words(&self) -> usize {
+        // vertex, tree root, subtree root, parent, heavy child, 4 interval
+        // endpoints, plus the global heavy entry.
+        9 + self.global_heavy.as_ref().map_or(0, GlobalHeavyEntry::words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TreeTable {
+        TreeTable {
+            vertex: 5,
+            tree_root: 0,
+            subtree_root: 2,
+            parent: Some(2),
+            heavy_child: Some(7),
+            a_local: 3,
+            b_local: 6,
+            a_global: 1,
+            b_global: 4,
+            global_heavy: Some(GlobalHeavyEntry {
+                child_subtree: 9,
+                portal: 7,
+                portal_label: LocalLabel {
+                    a: 4,
+                    exceptions: vec![],
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn interval_tests() {
+        let t = table();
+        assert!(t.local_interval_contains(3));
+        assert!(t.local_interval_contains(5));
+        assert!(!t.local_interval_contains(6));
+        assert!(!t.local_interval_contains(2));
+        assert!(t.global_interval_contains(1));
+        assert!(!t.global_interval_contains(4));
+    }
+
+    #[test]
+    fn word_count_includes_heavy_entry() {
+        let t = table();
+        assert_eq!(t.words(), 9 + 3);
+        let mut t2 = t;
+        t2.global_heavy = None;
+        assert_eq!(t2.words(), 9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Distance estimation (Section 5): every node keeps an `O(n^{1/k} log n)`-word
+//! sketch, and any two sketches alone determine a `(2k−1+o(1))`-approximate
+//! distance in `O(k)` time — e.g. for server selection or overlay
+//! neighbour picking without any routing.
+//!
+//! Run with: `cargo run --release -p en-routing --example distance_sketches`
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::generators::{random_geometric_connected, GeneratorConfig};
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_routing::RoutingError;
+
+fn main() -> Result<(), RoutingError> {
+    // A mesh-like geometric network (think: a metro-area wireless deployment).
+    let n = 250;
+    let k = 3;
+    let graph = random_geometric_connected(&GeneratorConfig::new(n, 11).with_weights(1, 100), 0.12);
+    println!(
+        "geometric network: {} nodes, {} links",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let built = build_routing_scheme(&graph, &ConstructionConfig::new(k, 11))?;
+    let oracle = &built.sketches;
+    println!(
+        "sketches: max {} words, avg {:.1} words (bound O(n^(1/k) log n)); stretch bound {:.2}",
+        oracle.max_sketch_words(),
+        oracle.avg_sketch_words(),
+        built.params.sketch_stretch_bound()
+    );
+
+    // Server selection: node 0 picks the closest of five candidate servers
+    // using sketches only, then we check how good the pick was.
+    let client = 0;
+    let servers = [37, 81, 120, 199, 249];
+    let mut best_by_sketch = servers[0];
+    let mut best_estimate = u64::MAX;
+    println!("\n{:>8} {:>12} {:>12} {:>9}", "server", "estimate", "true dist", "ratio");
+    let sp = dijkstra(&graph, client);
+    for &s in &servers {
+        let est = oracle.query(client, s)?;
+        let truth = sp.dist[s];
+        println!(
+            "{:>8} {:>12} {:>12} {:>9.3}",
+            s,
+            est.estimate,
+            truth,
+            est.estimate as f64 / truth.max(1) as f64
+        );
+        if est.estimate < best_estimate {
+            best_estimate = est.estimate;
+            best_by_sketch = s;
+        }
+    }
+    let true_best = servers
+        .iter()
+        .copied()
+        .min_by_key(|&s| sp.dist[s])
+        .expect("non-empty server list");
+    println!(
+        "\nsketch-based pick: server {best_by_sketch}; true nearest: server {true_best} \
+         (picked distance {} vs optimal {})",
+        sp.dist[best_by_sketch], sp.dist[true_best]
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Routing on a two-tier ISP-like topology — the scenario that motivates
+//! compact routing: thousands of access routers, a small redundant core, and
+//! per-router memory that must stay tiny.
+//!
+//! The example compares the paper's scheme against the Lenzen–Patt-Shamir
+//! style landmark baseline (whose tables are Θ(√n) regardless of k) and the
+//! centralized Thorup–Zwick baseline on the same topology.
+//!
+//! Run with: `cargo run --release -p en-routing --example isp_topology_routing`
+
+use en_graph::bfs::hop_diameter_estimate;
+use en_graph::generators::{two_tier_isp, GeneratorConfig};
+use en_routing::baselines::landmark::build_landmark_baseline;
+use en_routing::baselines::tz::build_tz_baseline;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_routing::stretch::measure_stretch_sampled;
+use en_routing::RoutingError;
+
+fn main() -> Result<(), RoutingError> {
+    let n = 300;
+    let k = 4;
+    let seed = 7;
+    // 10% of the routers form the densely connected core; the rest are access
+    // routers hanging off it in trees.
+    let graph = two_tier_isp(&GeneratorConfig::new(n, seed).with_weights(1, 50), 0.1);
+    let d = hop_diameter_estimate(&graph);
+    println!(
+        "ISP topology: {} routers, {} links, hop-diameter ~{}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        d
+    );
+
+    let ours = build_routing_scheme(&graph, &ConstructionConfig::new(k, seed))?;
+    let tz = build_tz_baseline(&graph, k, seed)?;
+    let landmark = build_landmark_baseline(&graph, k, seed, d)?;
+
+    println!("\n{:<26} {:>12} {:>12} {:>12} {:>10}", "scheme", "rounds", "tbl max(w)", "tbl avg(w)", "stretch");
+    for (name, rounds, max_t, avg_t, scheme) in [
+        (
+            "this paper (distributed)",
+            ours.total_rounds(),
+            ours.scheme.max_table_words(),
+            ours.scheme.avg_table_words(),
+            &ours.scheme,
+        ),
+        (
+            "TZ01 (centralized)",
+            tz.ledger.total_rounds(),
+            tz.scheme.max_table_words(),
+            tz.scheme.avg_table_words(),
+            &tz.scheme,
+        ),
+        (
+            "LP13-style landmarks",
+            landmark.ledger.total_rounds(),
+            landmark.scheme.max_table_words(),
+            landmark.scheme.avg_table_words(),
+            &landmark.scheme,
+        ),
+    ] {
+        let stretch = measure_stretch_sampled(&graph, scheme, 400, 99);
+        println!(
+            "{:<26} {:>12} {:>12} {:>12.1} {:>10.3}",
+            name, rounds, max_t, avg_t, stretch.avg_stretch
+        );
+    }
+
+    // Trace one access-to-access packet in detail.
+    let outcome = ours.scheme.route(&graph, n - 1, n - 7)?;
+    println!(
+        "\nexample access-to-access packet {} -> {}: path {:?}",
+        n - 1,
+        n - 7,
+        outcome.path.nodes()
+    );
+    println!(
+        "length {} vs shortest {} (stretch {:.3}), routed through the level-{} tree of router {}",
+        outcome.length, outcome.exact, outcome.stretch, outcome.level, outcome.tree_root
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The Section 6 building block on its own: exact (stretch-1) routing in a
+//! tree with O(log n)-word tables and O(log² n)-word labels, built around a
+//! √n-size portal sample so the distributed construction needs only
+//! Õ(√n + D) rounds instead of Θ(depth).
+//!
+//! Run with: `cargo run --release -p en-routing --example tree_routing_demo`
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_graph::tree::RootedTree;
+use en_tree_routing::{theorem7_rounds, TreeRoutingConfig, TreeRoutingScheme};
+
+fn main() {
+    // Take the shortest-path tree of a random network — exactly the kind of
+    // tree (a cluster tree) the full scheme routes on.
+    let n = 400;
+    let graph = erdos_renyi_connected(&GeneratorConfig::new(n, 21).with_weights(1, 100), 8.0 / n as f64);
+    let root = 0;
+    let spt = RootedTree::from_shortest_paths(&graph, &dijkstra(&graph, root));
+    println!(
+        "shortest-path tree rooted at {root}: {} vertices, depth {}",
+        spt.len(),
+        spt.depth()
+    );
+
+    // Two-level scheme with the paper's portal sample (γ = √n)...
+    let two_level = TreeRoutingScheme::build(&spt, &TreeRoutingConfig::new(5));
+    // ...and the classic single-level Thorup–Zwick scheme for comparison.
+    let single_level = TreeRoutingScheme::build(&spt, &TreeRoutingConfig::single_level());
+
+    println!(
+        "\ntwo-level:   {} portals, tables ≤ {} words, labels ≤ {} words, ~{} construction rounds (D=10)",
+        two_level.portals().len(),
+        two_level.max_table_words(),
+        two_level.max_label_words(),
+        two_level.construction_rounds(10)
+    );
+    println!(
+        "single-level: {} portal,  tables ≤ {} words, labels ≤ {} words, but needs Θ(depth) = {} rounds naively",
+        single_level.portals().len(),
+        single_level.max_table_words(),
+        single_level.max_label_words(),
+        spt.depth()
+    );
+    println!(
+        "Theorem 7 round charge at n={n}: {}",
+        theorem7_rounds(n, 10)
+    );
+
+    // Route a packet and verify it follows the unique tree path exactly.
+    let (src, dst) = (n - 1, n / 2);
+    let route = two_level.route(src, dst).expect("both endpoints are in the tree");
+    let tree_path = spt.tree_path(src, dst).expect("unique tree path exists");
+    println!(
+        "\npacket {src} -> {dst}: {} hops, identical to the tree path: {}",
+        route.hops(),
+        route == tree_path
+    );
+    assert_eq!(route, tree_path, "tree routing must have stretch exactly 1");
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the distance-estimation corollary (Section 5):
+//! sketches built by the full distributed construction answer queries with
+//! stretch `2k − 1 + o(1)` in `O(k)` time.
+
+use en_graph::dijkstra::all_pairs_dijkstra;
+use en_graph::generators::{erdos_renyi_connected, random_geometric_connected, GeneratorConfig};
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+#[test]
+fn sketch_stretch_within_2k_minus_1_all_pairs() {
+    for (k, seed) in [(2usize, 1u64), (3, 2)] {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(60, seed).with_weights(1, 60), 0.1);
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, seed)).unwrap();
+        let truth = all_pairs_dijkstra(&g);
+        let bound = built.params.sketch_stretch_bound();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let est = built.sketches.query(u, v).unwrap();
+                assert!(est.estimate >= truth[u][v], "k={k} {u}->{v} undercuts");
+                assert!(
+                    est.estimate as f64 <= bound * truth[u][v] as f64 + 1e-9,
+                    "k={k} {u}->{v}: {} vs {}",
+                    est.estimate,
+                    truth[u][v]
+                );
+                assert!(est.iterations < k, "query used more than k-1 iterations");
+            }
+        }
+    }
+}
+
+#[test]
+fn sketch_sizes_scale_like_n_to_one_over_k() {
+    let g = erdos_renyi_connected(&GeneratorConfig::new(180, 5).with_weights(1, 60), 0.045);
+    let mut sizes = Vec::new();
+    for k in [1usize, 2, 4] {
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 5)).unwrap();
+        sizes.push(built.sketches.avg_sketch_words());
+        // Claim 2: at most O~(n^{1/k}) cluster entries + k pivot entries.
+        assert!(built.sketches.max_sketch_words() <= 2 * built.params.overlap_bound() + 2 * k + 1);
+    }
+    // Sketches shrink as k grows (k=1 stores essentially everything).
+    assert!(sizes[0] > sizes[1]);
+    assert!(sizes[1] > sizes[2] * 0.8, "k=2 vs k=4: {} vs {}", sizes[1], sizes[2]);
+}
+
+#[test]
+fn sketches_work_on_geometric_graphs_with_odd_k() {
+    let g = random_geometric_connected(&GeneratorConfig::new(100, 9).with_weights(1, 100), 0.18);
+    let built = build_routing_scheme(&g, &ConstructionConfig::new(5, 9)).unwrap();
+    let truth = all_pairs_dijkstra(&g);
+    let bound = built.params.sketch_stretch_bound();
+    for u in (0..100).step_by(7) {
+        for v in (0..100).step_by(3) {
+            if u == v {
+                continue;
+            }
+            let est = built.sketches.query(u, v).unwrap();
+            assert!(est.estimate >= truth[u][v]);
+            assert!(est.estimate as f64 <= bound * truth[u][v] as f64 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn routing_stretch_never_better_than_sketch_lower_bound() {
+    // The routed path length is at least the true distance, and the sketch
+    // estimate is too; both are consistent views of the same cluster family.
+    let g = erdos_renyi_connected(&GeneratorConfig::new(50, 13).with_weights(1, 40), 0.12);
+    let built = build_routing_scheme(&g, &ConstructionConfig::new(3, 13)).unwrap();
+    let truth = all_pairs_dijkstra(&g);
+    for u in (0..50).step_by(5) {
+        for v in (0..50).step_by(3) {
+            if u == v {
+                continue;
+            }
+            let est = built.sketches.query(u, v).unwrap().estimate;
+            let routed = built.scheme.route_with_exact(&g, u, v, truth[u][v]).unwrap().length;
+            assert!(est >= truth[u][v]);
+            assert!(routed >= truth[u][v]);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based integration tests (proptest): randomized graphs and
+//! parameters, checking the invariants the paper's correctness rests on.
+
+use proptest::prelude::*;
+
+use en_graph::dijkstra::{all_pairs_dijkstra, dijkstra};
+use en_graph::generators::{erdos_renyi_connected, random_tree, GeneratorConfig};
+use en_graph::tree::RootedTree;
+use en_graph::{bellman_ford::hop_bounded_distances, bfs::is_connected};
+use en_hopset::verify::verify_hopset;
+use en_hopset::{build_hopset, HopsetConfig};
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_routing::exact::exact_cluster_family;
+use en_routing::hierarchy::Hierarchy;
+use en_routing::params::SchemeParams;
+use en_tree_routing::{TreeRoutingConfig, TreeRoutingScheme};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Generated workloads are connected, and hop-bounded distances converge
+    /// to the Dijkstra distances once the hop budget is large enough.
+    #[test]
+    fn hop_bounded_distances_converge_to_dijkstra(
+        n in 10usize..50,
+        seed in 0u64..1000,
+        max_w in 1u64..200,
+    ) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, max_w), 0.15);
+        prop_assert!(is_connected(&g));
+        let sp = dijkstra(&g, 0);
+        let hb = hop_bounded_distances(&g, 0, n);
+        prop_assert_eq!(sp.dist, hb.dist);
+    }
+
+    /// Hop-bounded distances are monotone non-increasing in the hop budget.
+    #[test]
+    fn hop_bounded_distances_monotone_in_budget(
+        n in 8usize..40,
+        seed in 0u64..1000,
+        t in 1usize..6,
+    ) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed), 0.2);
+        let short = hop_bounded_distances(&g, 0, t);
+        let long = hop_bounded_distances(&g, 0, t + 2);
+        for v in g.nodes() {
+            prop_assert!(long.dist[v] <= short.dist[v]);
+        }
+    }
+
+    /// Tree routing is exact (stretch 1) for random trees, random portal
+    /// budgets, and random endpoint pairs.
+    #[test]
+    fn tree_routing_is_exact(
+        n in 5usize..80,
+        seed in 0u64..1000,
+        gamma in 0usize..20,
+        pair in (0usize..80, 0usize..80),
+    ) {
+        let g = random_tree(&GeneratorConfig::new(n, seed).with_weights(1, 50));
+        let tree = RootedTree::from_shortest_paths(&g, &dijkstra(&g, 0));
+        let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(seed).with_gamma(gamma));
+        let (u, v) = (pair.0 % n, pair.1 % n);
+        let route = scheme.route(u, v).unwrap();
+        let expected = tree.tree_path(u, v).unwrap();
+        prop_assert_eq!(route, expected);
+    }
+
+    /// The sampled-shortcut hopset never violates Definition 1 (lower side) and
+    /// achieves ratio 1 (it is exact by construction).
+    #[test]
+    fn hopsets_satisfy_definition_1(
+        n in 8usize..40,
+        seed in 0u64..1000,
+        rho_scaled in 1u32..5,
+    ) {
+        let rho = rho_scaled as f64 / 10.0;
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, 50), 0.2);
+        let h = build_hopset(&g, &HopsetConfig::new(rho, 0.1, seed));
+        let report = verify_hopset(&g, &h);
+        prop_assert_eq!(report.lower_violations, 0);
+        prop_assert!(report.max_ratio <= 1.0 + 1e-9);
+    }
+
+    /// Exact clusters satisfy definition (6), and every vertex lies in exactly
+    /// one cluster per level that contains it as the centre's "own" vertex.
+    #[test]
+    fn exact_cluster_membership_matches_definition(
+        n in 10usize..45,
+        seed in 0u64..500,
+        k in 1usize..4,
+    ) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, 30), 0.2);
+        let params = SchemeParams::new(k, n, seed);
+        let hierarchy = Hierarchy::sample(&params);
+        let family = exact_cluster_family(&g, &hierarchy);
+        let truth = all_pairs_dijkstra(&g);
+        for cluster in family.clusters.values() {
+            let i = cluster.level;
+            for v in g.nodes() {
+                let threshold = if i + 1 < k {
+                    family.pivots[v][i + 1].map_or(u64::MAX / 4, |(_, d)| d)
+                } else {
+                    u64::MAX / 4
+                };
+                let should = truth[cluster.center][v] < threshold || v == cluster.center;
+                prop_assert_eq!(cluster.contains(v), should);
+            }
+        }
+    }
+
+    /// End-to-end: the full construction routes every sampled pair with stretch
+    /// within the bound, for random n, k and seeds.
+    #[test]
+    fn full_construction_routes_within_bound(
+        n in 20usize..60,
+        seed in 0u64..300,
+        k in 1usize..5,
+        pair in (0usize..60, 0usize..60),
+    ) {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, 40), 0.15);
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, seed)).unwrap();
+        let (u, v) = (pair.0 % n, pair.1 % n);
+        if u != v {
+            let out = built.scheme.route(&g, u, v).unwrap();
+            prop_assert!(out.stretch <= built.params.stretch_bound() + 1e-9);
+            prop_assert_eq!(out.path.nodes().last(), Some(&v));
+        }
+        let est = built.sketches.query(u, v).unwrap();
+        let exact = dijkstra(&g, u).dist[v];
+        prop_assert!(est.estimate >= exact);
+        prop_assert!(est.estimate as f64 <= built.params.sketch_stretch_bound() * exact as f64 + 1e-9);
+    }
+}
