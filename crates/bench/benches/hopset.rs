@@ -12,9 +12,11 @@ fn bench_hopset(c: &mut Criterion) {
     let mut group = c.benchmark_group("hopset");
     group.sample_size(10);
     for rho in [0.25f64, 0.5] {
-        group.bench_with_input(BenchmarkId::new("build", format!("rho{rho}")), &rho, |b, &rho| {
-            b.iter(|| build_hopset(&g, &HopsetConfig::new(rho, 0.1, 17)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("rho{rho}")),
+            &rho,
+            |b, &rho| b.iter(|| build_hopset(&g, &HopsetConfig::new(rho, 0.1, 17))),
+        );
     }
     let hopset = build_hopset(&g, &HopsetConfig::new(0.5, 0.1, 17));
     group.bench_function("verify_definition_1", |b| {

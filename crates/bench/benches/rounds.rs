@@ -13,11 +13,9 @@ fn bench_construction_scaling(c: &mut Criterion) {
     for n in [64usize, 128] {
         let g = Workload::ErdosRenyi.generate(n, 11);
         for k in [4usize, 5] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &n,
-                |b, _| b.iter(|| build_routing_scheme(&g, &ConstructionConfig::new(k, 11)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+                b.iter(|| build_routing_scheme(&g, &ConstructionConfig::new(k, 11)).unwrap())
+            });
         }
     }
     group.finish();

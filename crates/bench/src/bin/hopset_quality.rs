@@ -1,7 +1,7 @@
 //! Derived figure F: hopset quality (Theorem 2) — the `(β, ε)` property of the
 //! path-reporting hopsets built on the virtual graphs the construction uses.
 //!
-//! Usage: `cargo run --release -p en-bench --bin hopset_quality [n]`
+//! Usage: `cargo run --release -p en_bench --bin hopset_quality [n]`
 
 use en_bench::Workload;
 use en_graph::bfs::hop_diameter_estimate;
@@ -45,7 +45,9 @@ fn main() {
         );
         assert!(report.satisfies(pre.beta, params.epsilon()));
     }
-    println!("\n(also exercised directly on raw graphs by `cargo bench -p en-bench --bench hopset`)");
+    println!(
+        "\n(also exercised directly on raw graphs by `cargo bench -p en_bench --bench hopset`)"
+    );
     // A standalone check on a raw (non-virtual) graph, for reference.
     let g = Workload::Geometric.generate(n.min(256), seed);
     let h = build_hopset(&g, &HopsetConfig::new(0.4, 0.1, seed));

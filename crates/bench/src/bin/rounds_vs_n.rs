@@ -8,7 +8,7 @@
 //! should track the `n^{1/2+1/k}` (even `k`) / `n^{1/2+1/(2k)}` (odd `k`)
 //! leading term. See EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p en-bench --bin rounds_vs_n [max_n]`
+//! Usage: `cargo run --release -p en_bench --bin rounds_vs_n [max_n]`
 
 use en_bench::{measure_this_paper, Workload};
 use en_graph::bfs::hop_diameter_estimate;
@@ -68,6 +68,8 @@ fn main() {
         }
         println!();
     }
-    println!("(growth per doubling should approach 2^(1/2+1/k) for even k and 2^(1/2+1/(2k)) for odd k,");
+    println!(
+        "(growth per doubling should approach 2^(1/2+1/k) for even k and 2^(1/2+1/(2k)) for odd k,"
+    );
     println!(" i.e. the odd-k rows grow more slowly — the paper's even/odd asymmetry)");
 }

@@ -1,7 +1,7 @@
 //! Derived figure D: distance estimation (Theorem 6) — sketch size, stretch
 //! `2k − 1 + o(1)`, and `O(k)` query time.
 //!
-//! Usage: `cargo run --release -p en-bench --bin sketches [n] [pairs]`
+//! Usage: `cargo run --release -p en_bench --bin sketches [n] [pairs]`
 
 use en_bench::Workload;
 use en_graph::dijkstra::dijkstra;
@@ -19,7 +19,13 @@ fn main() {
     let g = Workload::ErdosRenyi.generate(n, seed);
     println!(
         "{:>3} {:>14} {:>14} {:>12} {:>12} {:>12} {:>10}",
-        "k", "sketch(max w)", "sketch(avg w)", "bound 2k-1", "max stretch", "avg stretch", "max iters"
+        "k",
+        "sketch(max w)",
+        "sketch(avg w)",
+        "bound 2k-1",
+        "max stretch",
+        "avg stretch",
+        "max iters"
     );
     for k in 1..=6usize {
         let built = build_routing_scheme(&g, &ConstructionConfig::new(k, seed + k as u64))

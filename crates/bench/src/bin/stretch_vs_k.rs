@@ -1,7 +1,7 @@
 //! Derived figure A: measured stretch versus `k`, against the `4k − 5 + o(1)`
 //! bound of Theorem 5.
 //!
-//! Usage: `cargo run --release -p en-bench --bin stretch_vs_k [n] [pairs]`
+//! Usage: `cargo run --release -p en_bench --bin stretch_vs_k [n] [pairs]`
 
 use en_bench::{measure_this_paper, print_graph_header, Workload};
 

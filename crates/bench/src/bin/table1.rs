@@ -10,14 +10,14 @@
 //! and prints measured values next to the closed-form round formulas of the
 //! remaining rows (\[LP15\] variants and the `Ω̃(√n + D)` lower bound).
 //!
-//! Usage: `cargo run --release -p en-bench --bin table1 [n] [pairs]`
+//! Usage: `cargo run --release -p en_bench --bin table1 [n] [pairs]`
 
 use en_bench::{
     measure_landmark, measure_this_paper, measure_tz, print_comparison_header, print_graph_header,
     print_measurement, Workload,
 };
-use en_graph::bfs::hop_diameter_estimate;
 use en_graph::bellman_ford::shortest_path_diameter;
+use en_graph::bfs::hop_diameter_estimate;
 use en_routing::baselines::formulas;
 
 fn main() {
@@ -34,10 +34,17 @@ fn main() {
         let g = workload.generate(n, seed);
         print_graph_header(workload.name(), &g);
         let d = hop_diameter_estimate(&g);
-        let s = if n <= 512 { shortest_path_diameter(&g) } else { 0 };
+        let s = if n <= 512 {
+            shortest_path_diameter(&g)
+        } else {
+            0
+        };
         println!("#   shortest-path diameter S = {s}");
         for &k in &ks {
-            println!("\n-- k = {k} (stretch target 4k-5 = {}) --", 4 * k as i64 - 5);
+            println!(
+                "\n-- k = {k} (stretch target 4k-5 = {}) --",
+                4 * k as i64 - 5
+            );
             print_comparison_header();
             let (built, ours) = measure_this_paper(&g, k, seed, pairs);
             let (_, tz) = measure_tz(&g, k, seed, pairs);

@@ -4,7 +4,7 @@
 //! while the LP13-style baseline stays at `Ω(√n)` regardless of `k` — the
 //! central deficiency Table 1 highlights.
 //!
-//! Usage: `cargo run --release -p en-bench --bin table_size_vs_k [n]`
+//! Usage: `cargo run --release -p en_bench --bin table_size_vs_k [n]`
 
 use en_bench::{measure_landmark, measure_this_paper, measure_tz, print_graph_header, Workload};
 use en_graph::bfs::hop_diameter_estimate;
@@ -20,7 +20,12 @@ fn main() {
     let d = hop_diameter_estimate(&g);
     println!(
         "{:>3} {:>16} {:>16} {:>16} {:>16} {:>14}",
-        "k", "ours max(words)", "ours avg(words)", "TZ01 avg(words)", "LP13 avg(words)", "bound n^{1/k}lnn"
+        "k",
+        "ours max(words)",
+        "ours avg(words)",
+        "TZ01 avg(words)",
+        "LP13 avg(words)",
+        "bound n^{1/k}lnn"
     );
     for k in 1..=6usize {
         let (built, ours) = measure_this_paper(&g, k, seed + k as u64, 50);

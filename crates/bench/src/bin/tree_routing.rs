@@ -2,7 +2,7 @@
 //! Remark 3) — stretch 1, `O(log n)` tables, `O(log² n)` labels, and the
 //! `Õ(√n + D)` construction-round charge.
 //!
-//! Usage: `cargo run --release -p en-bench --bin tree_routing [max_n]`
+//! Usage: `cargo run --release -p en_bench --bin tree_routing [max_n]`
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::generators::{random_tree, GeneratorConfig};
@@ -54,7 +54,10 @@ fn main() {
             theorem7_rounds(n, 16),
             remark3_rounds(n, 16, 16)
         );
-        assert!((max_stretch - 1.0).abs() < 1e-12, "tree routing must be exact");
+        assert!(
+            (max_stretch - 1.0).abs() < 1e-12,
+            "tree routing must be exact"
+        );
     }
     println!("\n(tables stay O(log n), labels O(log^2 n), stretch exactly 1)");
 }

@@ -11,7 +11,7 @@
 //! round count *is* `iterations × congestion` — the quantity the paper bounds
 //! by `iterations × Õ(n^{1/k})` via Claim 2.
 //!
-//! The sequential construction (`grow_exact_cluster` in the `en-routing`
+//! The sequential construction (`grow_exact_cluster` in the `en_routing`
 //! crate) produces the same clusters; this protocol exists to validate, on the
 //! simulator, both the membership/distance outcome and the congestion claim.
 
@@ -19,7 +19,9 @@ use std::collections::HashMap;
 
 use en_graph::{dist_add, Dist, NodeId, WeightedGraph, INFINITY};
 
-use en_congest::{Incoming, NodeContext, Outgoing, Protocol, RoundStats, SimulationConfig, Simulator};
+use en_congest::{
+    Incoming, NodeContext, Outgoing, Protocol, RoundStats, SimulationConfig, Simulator,
+};
 
 /// Per-node protocol state for the parallel exploration.
 #[derive(Debug, Clone)]
@@ -78,7 +80,9 @@ impl Protocol for ClusterExploreProtocol {
         }
         for inc in incoming {
             let center = inc.msg.0 as NodeId;
-            let w = ctx.weight_at(inc.port).expect("message arrived on a real port");
+            let w = ctx
+                .weight_at(inc.port)
+                .expect("message arrived on a real port");
             let cand = dist_add(inc.msg.1, w);
             let current = self.best.get(&center).map(|&(d, _)| d).unwrap_or(INFINITY);
             if cand < current && self.is_member(center, cand) {
@@ -125,7 +129,11 @@ pub fn distributed_cluster_exploration(
     thresholds: &[Dist],
     iterations: usize,
 ) -> ClusterExplorationResult {
-    assert_eq!(thresholds.len(), g.num_nodes(), "one threshold per vertex required");
+    assert_eq!(
+        thresholds.len(),
+        g.num_nodes(),
+        "one threshold per vertex required"
+    );
     for &c in centers {
         assert!(c < g.num_nodes(), "centre {c} out of range");
     }
@@ -141,8 +149,10 @@ pub fn distributed_cluster_exploration(
         dirty: Vec::new(),
     });
     let stats = sim.run();
-    let mut clusters: HashMap<NodeId, ExploredCluster> =
-        centers.iter().map(|&c| (c, ExploredCluster::default())).collect();
+    let mut clusters: HashMap<NodeId, ExploredCluster> = centers
+        .iter()
+        .map(|&c| (c, ExploredCluster::default()))
+        .collect();
     for (v, proto) in sim.protocols().iter().enumerate() {
         for (&center, &(dist, parent_port)) in &proto.best {
             if !proto.is_member(center, dist) {
@@ -190,7 +200,11 @@ mod tests {
             let cluster = &res.clusters[&c];
             for v in g.nodes() {
                 let should = v == c || sp.dist[v] < thresholds[v];
-                assert_eq!(cluster.members.contains_key(&v), should, "centre {c} vertex {v}");
+                assert_eq!(
+                    cluster.members.contains_key(&v),
+                    should,
+                    "centre {c} vertex {v}"
+                );
                 if should {
                     assert_eq!(cluster.members[&v].0, sp.dist[v], "centre {c} vertex {v}");
                 }
@@ -208,7 +222,10 @@ mod tests {
                 match parent {
                     None => assert_eq!(v, c),
                     Some(p) => {
-                        assert!(cluster.members.contains_key(&p), "parent of {v} outside C({c})");
+                        assert!(
+                            cluster.members.contains_key(&p),
+                            "parent of {v} outside C({c})"
+                        );
                         let w = g.edge_weight(v, p).expect("parent is a neighbour");
                         assert_eq!(cluster.members[&p].0 + w, dist);
                     }
@@ -228,11 +245,19 @@ mod tests {
         let (g, thresholds, centers) = setup(45, 5, &a1);
         let res = distributed_cluster_exploration(&g, &centers, &thresholds, g.num_nodes());
         let max_overlap = (0..g.num_nodes())
-            .map(|v| res.clusters.values().filter(|c| c.members.contains_key(&v)).count())
+            .map(|v| {
+                res.clusters
+                    .values()
+                    .filter(|c| c.members.contains_key(&v))
+                    .count()
+            })
             .max()
             .unwrap_or(0);
-        assert!(res.stats.max_edge_backlog <= max_overlap.max(1) * 8 + 8,
-            "backlog {} vs overlap {max_overlap}", res.stats.max_edge_backlog);
+        assert!(
+            res.stats.max_edge_backlog <= max_overlap.max(1) * 8 + 8,
+            "backlog {} vs overlap {max_overlap}",
+            res.stats.max_edge_backlog
+        );
         // And the run finishes within iterations x congestion (+ drain slack),
         // which is exactly the charge the paper's analysis assigns.
         assert!(res.stats.rounds <= res.iterations * res.stats.max_edge_backlog.max(1) + 3);

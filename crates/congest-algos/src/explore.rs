@@ -8,7 +8,9 @@
 
 use en_graph::{dist_add, Dist, NodeId, WeightedGraph, INFINITY};
 
-use en_congest::{Incoming, NodeContext, Outgoing, Protocol, RoundStats, SimulationConfig, Simulator};
+use en_congest::{
+    Incoming, NodeContext, Outgoing, Protocol, RoundStats, SimulationConfig, Simulator,
+};
 
 /// Per-node state of the exploration protocol.
 #[derive(Debug, Clone)]
@@ -68,11 +70,13 @@ impl Protocol for ExploreProtocol {
             return vec![];
         }
         for inc in incoming {
-            let w = ctx.weight_at(inc.port).expect("message arrived on a real port");
+            let w = ctx
+                .weight_at(inc.port)
+                .expect("message arrived on a real port");
             let cand = dist_add(inc.msg.1, w);
             let cand_src = inc.msg.0 as NodeId;
-            let better = cand < self.dist
-                || (cand == self.dist && self.source.map_or(true, |s| cand_src < s));
+            let better =
+                cand < self.dist || (cand == self.dist && self.source.is_none_or(|s| cand_src < s));
             if better {
                 self.dist = cand;
                 self.source = Some(cand_src);

@@ -111,7 +111,12 @@ pub fn multi_source_hop_bounded(
         dist.push(cur);
         parent.push(par);
     }
-    let source_index = sources.iter().copied().enumerate().map(|(i, s)| (s, i)).collect();
+    let source_index = sources
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, s)| (s, i))
+        .collect();
     let mut ledger = RoundLedger::new();
     let charged = ((sources.len() + hop_bound + hop_diameter) as f64 / eps).ceil() as usize;
     ledger.charge(
@@ -158,7 +163,10 @@ mod tests {
         for (si, &src) in sources.iter().enumerate() {
             let reference = hop_bounded_distances(&g, src, 6);
             for u in g.nodes() {
-                assert_eq!(res.dist[si][u], reference.dist[u], "source {src}, vertex {u}");
+                assert_eq!(
+                    res.dist[si][u], reference.dist[u],
+                    "source {src}, vertex {u}"
+                );
             }
         }
     }

@@ -116,11 +116,7 @@ pub struct BroadcastResult {
 /// # Panics
 ///
 /// Panics if `root` is out of range or the graph is disconnected.
-pub fn pipelined_broadcast(
-    g: &WeightedGraph,
-    root: NodeId,
-    messages: &[u64],
-) -> BroadcastResult {
+pub fn pipelined_broadcast(g: &WeightedGraph, root: NodeId, messages: &[u64]) -> BroadcastResult {
     let bfs = build_bfs_tree(g, root);
     assert!(
         bfs.tree.len() == g.num_nodes(),
@@ -128,9 +124,10 @@ pub fn pipelined_broadcast(
     );
     let children = bfs.tree.children();
     let mut sim = Simulator::new(g, SimulationConfig::default(), |v| {
-        let parent_port = bfs.tree.parent(v).map(|(p, _)| {
-            g.port_towards(v, p).expect("tree edge must exist in graph")
-        });
+        let parent_port = bfs
+            .tree
+            .parent(v)
+            .map(|(p, _)| g.port_towards(v, p).expect("tree edge must exist in graph"));
         let child_ports = children[v]
             .iter()
             .map(|&c| g.port_towards(v, c).expect("tree edge must exist in graph"))
@@ -225,9 +222,10 @@ pub fn pipelined_convergecast(
         "pipelined convergecast requires a connected graph"
     );
     let mut sim = Simulator::new(g, SimulationConfig::default(), |v| {
-        let parent_port = bfs.tree.parent(v).map(|(p, _)| {
-            g.port_towards(v, p).expect("tree edge must exist in graph")
-        });
+        let parent_port = bfs
+            .tree
+            .parent(v)
+            .map(|(p, _)| g.port_towards(v, p).expect("tree edge must exist in graph"));
         ConvergecastProtocol {
             parent_port,
             to_send: per_node_messages[v].clone(),
@@ -287,14 +285,21 @@ mod tests {
         let res = pipelined_broadcast(&g, 0, &msgs);
         // Pipelining: last of 15 messages reaches depth 19 after ~ 15 + 19 rounds.
         let bound = broadcast_rounds(msgs.len(), res.tree_depth);
-        assert!(res.stats.rounds <= bound + 2, "{} > {}", res.stats.rounds, bound + 2);
+        assert!(
+            res.stats.rounds <= bound + 2,
+            "{} > {}",
+            res.stats.rounds,
+            bound + 2
+        );
         assert!(res.stats.rounds >= res.tree_depth);
     }
 
     #[test]
     fn convergecast_collects_all_messages_at_root() {
         let g = star(&GeneratorConfig::new(12, 3));
-        let per_node: Vec<Vec<u64>> = (0..12).map(|v| vec![v as u64 * 10, v as u64 * 10 + 1]).collect();
+        let per_node: Vec<Vec<u64>> = (0..12)
+            .map(|v| vec![v as u64 * 10, v as u64 * 10 + 1])
+            .collect();
         let res = pipelined_convergecast(&g, 0, &per_node);
         let mut got = res.at_root.clone();
         got.sort_unstable();

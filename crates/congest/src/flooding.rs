@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn star_floods_in_two_rounds_from_a_leaf() {
         let g = star(&GeneratorConfig::new(10, 0));
-        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == 5));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| {
+            FloodProtocol::new(v == 5)
+        });
         sim.run();
         assert_eq!(sim.protocols()[0].informed_at_round(), Some(1));
         assert_eq!(sim.protocols()[9].informed_at_round(), Some(2));

@@ -222,11 +222,17 @@ mod tests {
     #[test]
     fn flooding_on_a_path_takes_diameter_rounds() {
         let g = path(&GeneratorConfig::new(6, 1));
-        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == 0));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| {
+            FloodProtocol::new(v == 0)
+        });
         let stats = sim.run();
         assert!(sim.protocols().iter().all(|p| p.informed()));
         // One extra round to detect quiescence is allowed.
-        assert!(stats.rounds >= 5 && stats.rounds <= 7, "rounds = {}", stats.rounds);
+        assert!(
+            stats.rounds >= 5 && stats.rounds <= 7,
+            "rounds = {}",
+            stats.rounds
+        );
         assert!(!stats.hit_round_limit);
         assert_eq!(stats.max_edge_backlog, 1);
     }
@@ -246,7 +252,9 @@ mod tests {
     #[test]
     fn no_source_means_instant_quiescence() {
         let g = path(&GeneratorConfig::new(4, 1));
-        let mut sim = Simulator::new(&g, SimulationConfig::default(), |_| FloodProtocol::new(false));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |_| {
+            FloodProtocol::new(false)
+        });
         let stats = sim.run();
         assert_eq!(stats.rounds, 0);
         assert_eq!(stats.messages, 0);
@@ -340,7 +348,9 @@ mod tests {
     #[test]
     fn into_protocols_returns_states() {
         let g = path(&GeneratorConfig::new(3, 1));
-        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == 1));
+        let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| {
+            FloodProtocol::new(v == 1)
+        });
         sim.run();
         let protos = sim.into_protocols();
         assert_eq!(protos.len(), 3);

@@ -261,8 +261,7 @@ pub fn large_scale_clusters(
                     }
                     if is_finite(vdist[v]) {
                         let thr = threshold[pre.original(v)];
-                        if thr == INFINITY
-                            || (vdist[v] as f64) < thr as f64 / one_plus_eps.powi(3)
+                        if thr == INFINITY || (vdist[v] as f64) < thr as f64 / one_plus_eps.powi(3)
                         {
                             joined[v] = true;
                         }
@@ -287,11 +286,22 @@ pub fn large_scale_clusters(
                 let len = nodes.len();
                 for (pos_raw, &z) in nodes.iter().enumerate() {
                     let (pos_from_x, neighbor_towards_x) = if forward {
-                        (pos_raw, if pos_raw > 0 { Some(nodes[pos_raw - 1]) } else { None })
+                        (
+                            pos_raw,
+                            if pos_raw > 0 {
+                                Some(nodes[pos_raw - 1])
+                            } else {
+                                None
+                            },
+                        )
                     } else {
                         (
                             len - 1 - pos_raw,
-                            if pos_raw + 1 < len { Some(nodes[pos_raw + 1]) } else { None },
+                            if pos_raw + 1 < len {
+                                Some(nodes[pos_raw + 1])
+                            } else {
+                                None
+                            },
                         )
                     };
                     if z == x {
@@ -358,7 +368,7 @@ pub fn large_scale_clusters(
                         continue;
                     }
                     let cand = dyx.saturating_add(vdist[v]).min(INFINITY);
-                    if best.map_or(true, |(bd, _)| cand < bd) {
+                    if best.is_none_or(|(bd, _)| cand < bd) {
                         best = Some((cand, x));
                     }
                 }
@@ -453,7 +463,13 @@ fn assemble_cluster_tree(
                     .neighbors(v)
                     .iter()
                     .filter(|nb| tree.contains(nb.node))
-                    .min_by_key(|nb| estimate.get(&nb.node).copied().unwrap_or(INFINITY).saturating_add(nb.weight));
+                    .min_by_key(|nb| {
+                        estimate
+                            .get(&nb.node)
+                            .copied()
+                            .unwrap_or(INFINITY)
+                            .saturating_add(nb.weight)
+                    });
                 if let Some(nb) = best {
                     let via = estimate.get(&nb.node).copied().unwrap_or(INFINITY);
                     tree.attach(v, nb.node, nb.weight);
@@ -631,8 +647,8 @@ mod tests {
                 } else {
                     INFINITY
                 };
-                let in_c6eps = thr == INFINITY
-                    || (sp.dist[v] as f64) < thr as f64 / (1.0 + 6.0 * eps);
+                let in_c6eps =
+                    thr == INFINITY || (sp.dist[v] as f64) < thr as f64 / (1.0 + 6.0 * eps);
                 if in_c6eps {
                     assert!(
                         cluster.contains(v),
@@ -683,7 +699,12 @@ mod tests {
         let augmented = AugmentedGraph::new(&gprime, &hopset);
         let theorem1 = multi_source_hop_bounded(&g, &vprime, 6, 0.01, 5);
         let pre = Preprocessing {
-            index_of: vprime.iter().copied().enumerate().map(|(i, v)| (v, i)).collect::<Map<_, _>>(),
+            index_of: vprime
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, v)| (v, i))
+                .collect::<Map<_, _>>(),
             vprime,
             theorem1,
             gprime,
@@ -698,7 +719,11 @@ mod tests {
         // Level 1 is the top level (k = 2), so every centre's cluster spans V.
         for &center in &[0usize, 2, 5] {
             let cluster = &built.clusters[&center];
-            assert_eq!(cluster.size(), 6, "centre {center} must span the whole path");
+            assert_eq!(
+                cluster.size(),
+                6,
+                "centre {center} must span the whole path"
+            );
             assert!(cluster.tree.is_subgraph_of(&g));
             let sp = dijkstra(&g, center);
             for (&v, &est) in &cluster.root_estimate {

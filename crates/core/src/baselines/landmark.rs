@@ -108,7 +108,11 @@ mod tests {
         let baseline = build_landmark_baseline(&g, 4, 2, 6).unwrap();
         let report = measure_stretch_all_pairs(&g, &baseline.scheme);
         assert_eq!(report.failures, 0);
-        assert!(report.max_stretch <= 3.0 + 1e-9, "stretch {}", report.max_stretch);
+        assert!(
+            report.max_stretch <= 3.0 + 1e-9,
+            "stretch {}",
+            report.max_stretch
+        );
     }
 
     #[test]

@@ -144,7 +144,14 @@ pub fn build_routing_scheme(
     merge_diagnostics(&mut diagnostics, middle.diagnostics);
     clusters.extend(middle.clusters);
     if let Some(pre) = &pre {
-        let large = large_scale_clusters(g, &hierarchy, &params, &pivot_table.pivots, pre, hop_diameter);
+        let large = large_scale_clusters(
+            g,
+            &hierarchy,
+            &params,
+            &pivot_table.pivots,
+            pre,
+            hop_diameter,
+        );
         ledger.absorb(large.ledger);
         merge_diagnostics(&mut diagnostics, large.diagnostics);
         clusters.extend(large.clusters);
@@ -194,12 +201,15 @@ fn merge_diagnostics(into: &mut ClusterDiagnostics, from: ClusterDiagnostics) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use en_graph::generators::{erdos_renyi_connected, random_geometric_connected, GeneratorConfig};
+    use en_graph::generators::{
+        erdos_renyi_connected, random_geometric_connected, GeneratorConfig,
+    };
 
     #[test]
     fn construction_succeeds_and_routes_on_random_graphs() {
         for (k, seed) in [(2usize, 1u64), (3, 2), (4, 3)] {
-            let g = erdos_renyi_connected(&GeneratorConfig::new(70, seed).with_weights(1, 40), 0.09);
+            let g =
+                erdos_renyi_connected(&GeneratorConfig::new(70, seed).with_weights(1, 40), 0.09);
             let built = build_routing_scheme(&g, &ConstructionConfig::new(k, seed)).unwrap();
             let bound = built.params.stretch_bound();
             for u in (0..70).step_by(7) {
@@ -207,9 +217,10 @@ mod tests {
                     if u == v {
                         continue;
                     }
-                    let out = built.scheme.route(&g, u, v).unwrap_or_else(|e| {
-                        panic!("k={k} seed={seed} route {u}->{v} failed: {e}")
-                    });
+                    let out = built
+                        .scheme
+                        .route(&g, u, v)
+                        .unwrap_or_else(|e| panic!("k={k} seed={seed} route {u}->{v} failed: {e}"));
                     assert!(
                         out.stretch <= bound + 1e-9,
                         "k={k} stretch {} exceeds {bound} for {u}->{v}",
@@ -268,8 +279,8 @@ mod tests {
     #[test]
     fn explicit_hop_diameter_is_respected() {
         let g = erdos_renyi_connected(&GeneratorConfig::new(30, 7), 0.15);
-        let built =
-            build_routing_scheme(&g, &ConstructionConfig::new(2, 7).with_hop_diameter(123)).unwrap();
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(2, 7).with_hop_diameter(123))
+            .unwrap();
         assert_eq!(built.hop_diameter, 123);
     }
 

@@ -72,7 +72,9 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(RoutingError::InvalidK { k: 0 }.to_string().contains("k"));
-        assert!(RoutingError::DisconnectedGraph.to_string().contains("connected"));
+        assert!(RoutingError::DisconnectedGraph
+            .to_string()
+            .contains("connected"));
         assert!(RoutingError::EmptyGraph.to_string().contains("no vertices"));
         assert!(RoutingError::NodeOutOfRange { node: 7, n: 3 }
             .to_string()
@@ -80,7 +82,9 @@ mod tests {
         assert!(RoutingError::NoCommonTree { from: 1, to: 2 }
             .to_string()
             .contains("cluster tree"));
-        assert!(RoutingError::TreeRouting("x".into()).to_string().contains('x'));
+        assert!(RoutingError::TreeRouting("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

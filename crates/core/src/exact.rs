@@ -44,10 +44,7 @@ pub fn exact_pivots(g: &WeightedGraph, hierarchy: &Hierarchy) -> Vec<Vec<Option<
 
 /// The exact distance from every vertex to `A_{i+1}` (the cluster-membership
 /// threshold at level `i`); [`INFINITY`] when `A_{i+1}` is empty.
-pub fn membership_thresholds(
-    pivots: &[Vec<Option<(NodeId, Dist)>>],
-    level: usize,
-) -> Vec<Dist> {
+pub fn membership_thresholds(pivots: &[Vec<Option<(NodeId, Dist)>>], level: usize) -> Vec<Dist> {
     pivots
         .iter()
         .map(|per_v| {

@@ -112,7 +112,9 @@ impl ClusterFamily {
         self.clusters.values().all(|c| {
             c.tree.root() == c.center
                 && c.tree.is_subgraph_of(g)
-                && c.members().iter().all(|&v| c.root_estimate.contains_key(&v))
+                && c.members()
+                    .iter()
+                    .all(|&v| c.root_estimate.contains_key(&v))
         })
     }
 

@@ -58,7 +58,11 @@ impl Hierarchy {
     /// are not nested.
     pub fn from_levels(n: usize, levels: Vec<Vec<NodeId>>) -> Self {
         assert!(!levels.is_empty(), "at least level A_0 is required");
-        assert_eq!(levels[0], (0..n).collect::<Vec<_>>(), "A_0 must be all of V");
+        assert_eq!(
+            levels[0],
+            (0..n).collect::<Vec<_>>(),
+            "A_0 must be all of V"
+        );
         for i in 1..levels.len() {
             for &v in &levels[i] {
                 assert!(
@@ -75,7 +79,11 @@ impl Hierarchy {
                 level_of[v] = i;
             }
         }
-        Hierarchy { k, levels, level_of }
+        Hierarchy {
+            k,
+            levels,
+            level_of,
+        }
     }
 
     /// The parameter `k` (number of levels including `A_0`, excluding `A_k = ∅`).
@@ -163,7 +171,7 @@ mod tests {
     #[test]
     fn centers_partition_vertices() {
         let h = Hierarchy::sample(&params(120, 3, 5));
-        let mut seen = vec![false; 120];
+        let mut seen = [false; 120];
         for i in 0..3 {
             for v in h.centers_at(i) {
                 assert!(!seen[v], "vertex {v} appears as a centre twice");

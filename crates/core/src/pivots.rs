@@ -133,16 +133,16 @@ pub fn compute_pivots(
             if level.is_empty() {
                 continue;
             }
-            let sources: Vec<usize> = level
-                .iter()
-                .filter_map(|&v| pre.virtual_index(v))
-                .collect();
+            let sources: Vec<usize> = level.iter().filter_map(|&v| pre.virtual_index(v)).collect();
             if sources.is_empty() {
                 continue;
             }
             let (vdist, vorigin) = multi_source_on_augmented(&pre.augmented, &sources, pre.beta);
             ledger.charge(
-                format!("approximate pivots, level {i}: {} Bellman-Ford iterations on G''", pre.beta),
+                format!(
+                    "approximate pivots, level {i}: {} Bellman-Ford iterations on G''",
+                    pre.beta
+                ),
                 pre.beta * lemma1_rounds(pre.m(), hop_diameter) / pre.beta.max(1)
                     + lemma1_rounds(pre.m() * pre.beta, hop_diameter),
                 format!(
@@ -166,7 +166,7 @@ pub fn compute_pivots(
                     let cand = dux.saturating_add(vdist[xi]);
                     let origin = vorigin[xi].map(|o| pre.original(o));
                     if let Some(z) = origin {
-                        if best.map_or(true, |(bd, _)| cand < bd) {
+                        if best.is_none_or(|(bd, _)| cand < bd) {
                             best = Some((cand, z));
                         }
                     }
@@ -208,7 +208,10 @@ mod tests {
         (g, hierarchy, params, 6)
     }
 
-    fn exact_reference(g: &WeightedGraph, hierarchy: &Hierarchy) -> Vec<Vec<Option<(NodeId, Dist)>>> {
+    fn exact_reference(
+        g: &WeightedGraph,
+        hierarchy: &Hierarchy,
+    ) -> Vec<Vec<Option<(NodeId, Dist)>>> {
         crate::exact::exact_pivots(g, hierarchy)
     }
 

@@ -70,11 +70,16 @@ impl Preprocessing {
         let hop_bound = params.large_scale_hop_bound();
         let eps = params.epsilon();
         // Step 1: Theorem 1 with accuracy ε/2.
-        let theorem1 = multi_source_hop_bounded(g, &vprime, hop_bound, (eps / 2.0).max(1e-9), hop_diameter);
+        let theorem1 =
+            multi_source_hop_bounded(g, &vprime, hop_bound, (eps / 2.0).max(1e-9), hop_diameter);
         ledger.absorb(theorem1.ledger.clone());
         // Step 2: the virtual graph G'.
-        let index_of: HashMap<NodeId, usize> =
-            vprime.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+        let index_of: HashMap<NodeId, usize> = vprime
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
         let m = vprime.len();
         let mut gprime = WeightedGraph::new(m);
         for i in 0..m {

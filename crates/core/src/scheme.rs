@@ -123,7 +123,8 @@ impl RoutingScheme {
         let mut tree_schemes = HashMap::with_capacity(family.clusters.len());
         let mut center_level = HashMap::with_capacity(family.clusters.len());
         for (&center, cluster) in &family.clusters {
-            let config = TreeRoutingConfig::new(tree_seed ^ (center as u64).wrapping_mul(0x9E37_79B9));
+            let config =
+                TreeRoutingConfig::new(tree_seed ^ (center as u64).wrapping_mul(0x9E37_79B9));
             let scheme = TreeRoutingScheme::build(&cluster.tree, &config);
             tree_schemes.insert(center, scheme);
             center_level.insert(center, cluster.level);
@@ -144,10 +145,7 @@ impl RoutingScheme {
             let mut entries = Vec::new();
             for i in 0..k {
                 if let Some((pivot, dist)) = family.pivots[v][i] {
-                    let tree_label = tree_schemes
-                        .get(&pivot)
-                        .and_then(|s| s.label(v))
-                        .cloned();
+                    let tree_label = tree_schemes.get(&pivot).and_then(|s| s.label(v)).cloned();
                     entries.push(LabelEntry {
                         level: i,
                         pivot,
@@ -298,7 +296,12 @@ impl RoutingScheme {
     ///
     /// Returns an error if either endpoint is invalid, no common tree exists
     /// (a low-probability sampling failure), or forwarding fails.
-    pub fn route(&self, g: &WeightedGraph, from: NodeId, to: NodeId) -> Result<RouteOutcome, RoutingError> {
+    pub fn route(
+        &self,
+        g: &WeightedGraph,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<RouteOutcome, RoutingError> {
         let (root, header_label) = self.find_tree(from, to)?;
         let scheme = &self.tree_schemes[&root];
         let mut path = Path::trivial(from);
@@ -411,7 +414,9 @@ mod tests {
                 if u == v {
                     continue;
                 }
-                let out = scheme.route(&g, u, v).unwrap_or_else(|e| panic!("{u}->{v}: {e}"));
+                let out = scheme
+                    .route(&g, u, v)
+                    .unwrap_or_else(|e| panic!("{u}->{v}: {e}"));
                 assert_eq!(out.path.nodes().first(), Some(&u));
                 assert_eq!(out.path.nodes().last(), Some(&v));
                 assert!(out.path.is_valid_in(&g));
@@ -479,10 +484,8 @@ mod tests {
         // which are the 4k−5 refinement's extra storage).
         let (_, s1, _) = exact_scheme(80, 1, 5);
         let (_, s3, _) = exact_scheme(80, 3, 5);
-        let avg_trees_1: f64 =
-            (0..80).map(|v| s1.trees_containing(v)).sum::<usize>() as f64 / 80.0;
-        let avg_trees_3: f64 =
-            (0..80).map(|v| s3.trees_containing(v)).sum::<usize>() as f64 / 80.0;
+        let avg_trees_1: f64 = (0..80).map(|v| s1.trees_containing(v)).sum::<usize>() as f64 / 80.0;
+        let avg_trees_3: f64 = (0..80).map(|v| s3.trees_containing(v)).sum::<usize>() as f64 / 80.0;
         assert!(
             avg_trees_3 < avg_trees_1,
             "k=3 should store fewer trees per vertex ({avg_trees_3} vs {avg_trees_1})"

@@ -28,7 +28,7 @@ pub struct StretchReport {
 }
 
 impl StretchReport {
-    fn from_samples(stretches: &mut Vec<f64>, failures: usize) -> Self {
+    fn from_samples(stretches: &mut [f64], failures: usize) -> Self {
         stretches.sort_by(|a, b| a.partial_cmp(b).expect("stretches are finite"));
         let pairs = stretches.len();
         let max_stretch = stretches.last().copied().unwrap_or(1.0);

@@ -26,7 +26,7 @@ pub struct HopBoundedDistances {
 /// Computes `d^{(t)}_G(source, ·)` by `t` rounds of Bellman–Ford relaxation.
 ///
 /// This is the sequential reference implementation; the distributed version
-/// lives in the `en-congest-algos` crate and is tested against this one.
+/// lives in the `en_congest_algos` crate and is tested against this one.
 ///
 /// # Panics
 ///

@@ -116,7 +116,7 @@ pub fn hop_diameter_estimate(g: &WeightedGraph) -> usize {
         return 0;
     }
     let first = bfs(g, 0);
-    if first.hops.iter().any(|&h| h == usize::MAX) {
+    if first.hops.contains(&usize::MAX) {
         return usize::MAX;
     }
     let far = (0..n).max_by_key(|&v| first.hops[v]).unwrap_or(0);

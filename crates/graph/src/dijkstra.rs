@@ -76,7 +76,7 @@ pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
                 || (nd == dist[nb.node] && nh < hops[nb.node])
                 || (nd == dist[nb.node]
                     && nh == hops[nb.node]
-                    && parent[nb.node].map_or(false, |p| u < p));
+                    && parent[nb.node].is_some_and(|p| u < p));
             if better {
                 dist[nb.node] = nd;
                 hops[nb.node] = nh;
@@ -120,20 +120,20 @@ pub fn multi_source_dijkstra(
     let mut heap: BinaryHeap<Reverse<(Dist, NodeId, NodeId)>> = BinaryHeap::new();
     for &s in sources {
         assert!(s < n, "source {s} out of range");
-        if dist[s] > 0 || nearest[s].map_or(true, |x| s < x) {
+        if dist[s] > 0 || nearest[s].is_none_or(|x| s < x) {
             dist[s] = 0;
             nearest[s] = Some(s);
             heap.push(Reverse((0, s, s)));
         }
     }
     while let Some(Reverse((d, src, u))) = heap.pop() {
-        if d > dist[u] || (d == dist[u] && nearest[u].map_or(false, |x| x < src)) {
+        if d > dist[u] || (d == dist[u] && nearest[u].is_some_and(|x| x < src)) {
             continue;
         }
         for nb in g.neighbors(u) {
             let nd = dist_add(d, nb.weight);
             let better = nd < dist[nb.node]
-                || (nd == dist[nb.node] && nearest[nb.node].map_or(true, |x| src < x));
+                || (nd == dist[nb.node] && nearest[nb.node].is_none_or(|x| src < x));
             if better {
                 dist[nb.node] = nd;
                 nearest[nb.node] = Some(src);

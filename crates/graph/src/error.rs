@@ -48,7 +48,10 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {node} out of range for graph with {n} vertices")
             }
             GraphError::ZeroWeight { u, v } => {
-                write!(f, "edge ({u}, {v}) has zero weight; weights must be positive")
+                write!(
+                    f,
+                    "edge ({u}, {v}) has zero weight; weights must be positive"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at vertex {node} is not allowed"),
             GraphError::DuplicateEdge { u, v } => {
@@ -76,7 +79,10 @@ mod tests {
         assert!(e.to_string().contains("3"));
         let e = GraphError::DuplicateEdge { u: 0, v: 5 };
         assert!(e.to_string().contains("(0, 5)"));
-        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(
+            GraphError::Disconnected.to_string(),
+            "graph is not connected"
+        );
         assert_eq!(GraphError::EmptyGraph.to_string(), "graph has no vertices");
     }
 

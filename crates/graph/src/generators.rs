@@ -76,7 +76,10 @@ impl GeneratorConfig {
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn erdos_renyi(cfg: &GeneratorConfig, p: f64) -> WeightedGraph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut rng = cfg.rng();
     let mut g = WeightedGraph::new(cfg.n);
     for u in 0..cfg.n {
@@ -108,7 +111,9 @@ pub fn erdos_renyi_connected(cfg: &GeneratorConfig, p: f64) -> WeightedGraph {
 /// stretch behaviour realistic for mesh-like networks.
 pub fn random_geometric(cfg: &GeneratorConfig, radius: f64) -> WeightedGraph {
     let mut rng = cfg.rng();
-    let pts: Vec<(f64, f64)> = (0..cfg.n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..cfg.n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = WeightedGraph::new(cfg.n);
     for u in 0..cfg.n {
         for v in (u + 1)..cfg.n {

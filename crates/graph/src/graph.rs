@@ -144,7 +144,10 @@ impl WeightedGraph {
     ///
     /// Panics if `u` is out of range.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        self.adj[u].iter().find(|nb| nb.node == v).map(|nb| nb.weight)
+        self.adj[u]
+            .iter()
+            .find(|nb| nb.node == v)
+            .map(|nb| nb.weight)
     }
 
     /// The ordered neighbour list of `u`; position `p` in this slice is port `p`.
@@ -283,7 +286,10 @@ mod tests {
     fn add_edge_rejects_self_loop_zero_weight_duplicate() {
         let mut g = WeightedGraph::new(3);
         assert_eq!(g.add_edge(1, 1, 1), Err(GraphError::SelfLoop { node: 1 }));
-        assert_eq!(g.add_edge(0, 1, 0), Err(GraphError::ZeroWeight { u: 0, v: 1 }));
+        assert_eq!(
+            g.add_edge(0, 1, 0),
+            Err(GraphError::ZeroWeight { u: 0, v: 1 })
+        );
         g.add_edge(0, 1, 3).unwrap();
         assert_eq!(
             g.add_edge(1, 0, 4),

@@ -24,6 +24,11 @@ pub struct AugNeighbor {
     pub hopset_index: Option<usize>,
 }
 
+/// Predecessor entry produced by [`AugmentedGraph::hop_bounded_from`]: the
+/// predecessor vertex plus, if the final edge is a hopset edge, its index in
+/// the hopset (`None` for an original edge of the base graph).
+pub type HopBoundedParent = Option<(NodeId, Option<usize>)>;
+
 /// The graph `G'' = (V, E ∪ F)` with per-edge provenance.
 #[derive(Debug, Clone)]
 pub struct AugmentedGraph {
@@ -113,7 +118,7 @@ impl AugmentedGraph {
         &self,
         source: NodeId,
         beta: usize,
-    ) -> (Vec<Dist>, Vec<Option<(NodeId, Option<usize>)>>) {
+    ) -> (Vec<Dist>, Vec<HopBoundedParent>) {
         assert!(source < self.n, "source {source} out of range");
         let mut dist = vec![INFINITY; self.n];
         let mut parent = vec![None; self.n];
@@ -165,7 +170,8 @@ mod tests {
 
     #[test]
     fn hopset_weight_wins_on_conflict() {
-        let g = en_graph::WeightedGraph::from_edges(3, [(0, 1, 5), (1, 2, 5), (0, 2, 100)]).unwrap();
+        let g =
+            en_graph::WeightedGraph::from_edges(3, [(0, 1, 5), (1, 2, 5), (0, 2, 100)]).unwrap();
         let hopset = Hopset::new(
             vec![HopsetEdge {
                 u: 0,

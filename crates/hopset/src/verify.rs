@@ -85,13 +85,16 @@ mod tests {
     use super::*;
     use crate::build::{build_hopset, HopsetConfig};
     use crate::edge::HopsetEdge;
-    use en_graph::generators::{erdos_renyi_connected, path, random_geometric_connected, GeneratorConfig};
+    use en_graph::generators::{
+        erdos_renyi_connected, path, random_geometric_connected, GeneratorConfig,
+    };
     use en_graph::Path;
 
     #[test]
     fn built_hopsets_satisfy_definition_1_on_random_graphs() {
         for seed in 0..3u64 {
-            let g = erdos_renyi_connected(&GeneratorConfig::new(45, seed).with_weights(1, 40), 0.08);
+            let g =
+                erdos_renyi_connected(&GeneratorConfig::new(45, seed).with_weights(1, 40), 0.08);
             let cfg = HopsetConfig::new(0.4, 0.1, seed);
             let h = build_hopset(&g, &cfg);
             let report = verify_hopset(&g, &h);

@@ -25,7 +25,10 @@ impl LocalLabel {
     /// The child recorded for `x`, if the path through `x` deviates from the
     /// heavy child.
     pub fn exception_at(&self, x: NodeId) -> Option<NodeId> {
-        self.exceptions.iter().find(|(p, _)| *p == x).map(|&(_, c)| c)
+        self.exceptions
+            .iter()
+            .find(|(p, _)| *p == x)
+            .map(|&(_, c)| c)
     }
 
     /// Size of the label in `O(log n)`-bit words.
@@ -76,13 +79,20 @@ pub struct TreeLabel {
 impl TreeLabel {
     /// The global exception whose parent subtree is `w`, if any.
     pub fn global_exception_at(&self, w: NodeId) -> Option<&GlobalException> {
-        self.global_exceptions.iter().find(|e| e.parent_subtree == w)
+        self.global_exceptions
+            .iter()
+            .find(|e| e.parent_subtree == w)
     }
 
     /// Size of the label in `O(log n)`-bit words.
     pub fn words(&self) -> usize {
         // vertex + subtree_root + a_global + local + exceptions
-        3 + self.local.words() + self.global_exceptions.iter().map(GlobalException::words).sum::<usize>()
+        3 + self.local.words()
+            + self
+                .global_exceptions
+                .iter()
+                .map(GlobalException::words)
+                .sum::<usize>()
     }
 }
 

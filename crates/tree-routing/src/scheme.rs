@@ -72,7 +72,9 @@ pub enum TreeRoutingError {
 impl std::fmt::Display for TreeRoutingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TreeRoutingError::NotInTree { vertex } => write!(f, "vertex {vertex} is not in the tree"),
+            TreeRoutingError::NotInTree { vertex } => {
+                write!(f, "vertex {vertex} is not in the tree")
+            }
             TreeRoutingError::CorruptTable { vertex } => {
                 write!(f, "routing table of vertex {vertex} is inconsistent")
             }
@@ -164,7 +166,10 @@ impl TreeRoutingScheme {
         }
         let mut local_size = vec![0usize; n_host];
         for &v in preorder.iter().rev() {
-            local_size[v] = 1 + local_children[v].iter().map(|&c| local_size[c]).sum::<usize>();
+            local_size[v] = 1 + local_children[v]
+                .iter()
+                .map(|&c| local_size[c])
+                .sum::<usize>();
         }
         let mut heavy_child: Vec<Option<NodeId>> = vec![None; n_host];
         for &v in &members {
@@ -207,7 +212,10 @@ impl TreeRoutingScheme {
         // children, so a reverse sweep computes T' subtree sizes.
         let mut tprime_size = vec![0usize; n_host];
         for &w in subtree_roots.iter().rev() {
-            tprime_size[w] = 1 + tprime_children[w].iter().map(|&c| tprime_size[c]).sum::<usize>();
+            tprime_size[w] = 1 + tprime_children[w]
+                .iter()
+                .map(|&c| tprime_size[c])
+                .sum::<usize>();
         }
         let mut tprime_heavy: Vec<Option<NodeId>> = vec![None; n_host];
         for &w in &subtree_roots {
@@ -285,25 +293,31 @@ impl TreeRoutingScheme {
                     portal_label: local_label[portal].clone(),
                 }
             });
-            tables.insert(v, TreeTable {
-                vertex: v,
-                tree_root: root,
-                subtree_root: w,
-                parent: tree.parent(v).map(|(p, _)| p),
-                heavy_child: heavy_child[v],
-                a_local: a_local[v],
-                b_local: b_local[v],
-                a_global: a_global[w],
-                b_global: b_global[w],
-                global_heavy,
-            });
-            labels.insert(v, TreeLabel {
-                vertex: v,
-                subtree_root: w,
-                local: local_label[v].clone(),
-                a_global: a_global[w],
-                global_exceptions: global_exceptions[w].clone(),
-            });
+            tables.insert(
+                v,
+                TreeTable {
+                    vertex: v,
+                    tree_root: root,
+                    subtree_root: w,
+                    parent: tree.parent(v).map(|(p, _)| p),
+                    heavy_child: heavy_child[v],
+                    a_local: a_local[v],
+                    b_local: b_local[v],
+                    a_global: a_global[w],
+                    b_global: b_global[w],
+                    global_heavy,
+                },
+            );
+            labels.insert(
+                v,
+                TreeLabel {
+                    vertex: v,
+                    subtree_root: w,
+                    local: local_label[v].clone(),
+                    a_global: a_global[w],
+                    global_exceptions: global_exceptions[w].clone(),
+                },
+            );
         }
 
         let portals = subtree_roots;
@@ -359,12 +373,20 @@ impl TreeRoutingScheme {
 
     /// The largest table over all members, in words.
     pub fn max_table_words(&self) -> usize {
-        self.tables.values().map(TreeTable::words).max().unwrap_or(0)
+        self.tables
+            .values()
+            .map(TreeTable::words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The largest label over all members, in words.
     pub fn max_label_words(&self) -> usize {
-        self.labels.values().map(TreeLabel::words).max().unwrap_or(0)
+        self.labels
+            .values()
+            .map(TreeLabel::words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Round charge of building this scheme on a host with hop-diameter `d`
@@ -532,7 +554,7 @@ mod tests {
             let g = random_tree(&GeneratorConfig::new(60, seed + 100));
             let tree = spt_of(&g, 5);
             let scheme = TreeRoutingScheme::build(&tree, &TreeRoutingConfig::new(seed));
-            assert!(scheme.portals().len() >= 1);
+            assert!(!scheme.portals().is_empty());
             assert_exact_routing(&tree, &scheme);
         }
     }

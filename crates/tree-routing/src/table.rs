@@ -71,7 +71,10 @@ impl TreeTable {
     pub fn words(&self) -> usize {
         // vertex, tree root, subtree root, parent, heavy child, 4 interval
         // endpoints, plus the global heavy entry.
-        9 + self.global_heavy.as_ref().map_or(0, GlobalHeavyEntry::words)
+        9 + self
+            .global_heavy
+            .as_ref()
+            .map_or(0, GlobalHeavyEntry::words)
     }
 }
 

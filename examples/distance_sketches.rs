@@ -3,7 +3,7 @@
 //! distance in `O(k)` time — e.g. for server selection or overlay
 //! neighbour picking without any routing.
 //!
-//! Run with: `cargo run --release -p en-routing --example distance_sketches`
+//! Run with: `cargo run --release -p en_bench --example distance_sketches`
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::generators::{random_geometric_connected, GeneratorConfig};
@@ -36,7 +36,10 @@ fn main() -> Result<(), RoutingError> {
     let servers = [37, 81, 120, 199, 249];
     let mut best_by_sketch = servers[0];
     let mut best_estimate = u64::MAX;
-    println!("\n{:>8} {:>12} {:>12} {:>9}", "server", "estimate", "true dist", "ratio");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>9}",
+        "server", "estimate", "true dist", "ratio"
+    );
     let sp = dijkstra(&graph, client);
     for &s in &servers {
         let est = oracle.query(client, s)?;

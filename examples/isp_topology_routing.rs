@@ -6,7 +6,7 @@
 //! style landmark baseline (whose tables are Θ(√n) regardless of k) and the
 //! centralized Thorup–Zwick baseline on the same topology.
 //!
-//! Run with: `cargo run --release -p en-routing --example isp_topology_routing`
+//! Run with: `cargo run --release -p en_bench --example isp_topology_routing`
 
 use en_graph::bfs::hop_diameter_estimate;
 use en_graph::generators::{two_tier_isp, GeneratorConfig};
@@ -35,7 +35,10 @@ fn main() -> Result<(), RoutingError> {
     let tz = build_tz_baseline(&graph, k, seed)?;
     let landmark = build_landmark_baseline(&graph, k, seed, d)?;
 
-    println!("\n{:<26} {:>12} {:>12} {:>12} {:>10}", "scheme", "rounds", "tbl max(w)", "tbl avg(w)", "stretch");
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>12} {:>10}",
+        "scheme", "rounds", "tbl max(w)", "tbl avg(w)", "stretch"
+    );
     for (name, rounds, max_t, avg_t, scheme) in [
         (
             "this paper (distributed)",

@@ -1,7 +1,7 @@
 //! Quickstart: build the paper's routing scheme on a random network, route a
 //! few packets, and query the distance-estimation sketches.
 //!
-//! Run with: `cargo run --release -p en-routing --example quickstart`
+//! Run with: `cargo run --release -p en_bench --example quickstart`
 
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
 use en_routing::construction::{build_routing_scheme, ConstructionConfig};
@@ -11,8 +11,15 @@ fn main() -> Result<(), RoutingError> {
     // A reproducible random network: 200 routers, average degree ~8,
     // integer weights (e.g. link latencies) in 1..=100.
     let n = 200;
-    let graph = erdos_renyi_connected(&GeneratorConfig::new(n, 42).with_weights(1, 100), 8.0 / n as f64);
-    println!("network: {} vertices, {} edges", graph.num_nodes(), graph.num_edges());
+    let graph = erdos_renyi_connected(
+        &GeneratorConfig::new(n, 42).with_weights(1, 100),
+        8.0 / n as f64,
+    );
+    println!(
+        "network: {} vertices, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     // Build the compact routing scheme with k = 3 (stretch at most 4k-5 = 7).
     let config = ConstructionConfig::new(3, 42);

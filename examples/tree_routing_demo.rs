@@ -3,7 +3,7 @@
 //! √n-size portal sample so the distributed construction needs only
 //! Õ(√n + D) rounds instead of Θ(depth).
 //!
-//! Run with: `cargo run --release -p en-routing --example tree_routing_demo`
+//! Run with: `cargo run --release -p en_bench --example tree_routing_demo`
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
@@ -14,7 +14,10 @@ fn main() {
     // Take the shortest-path tree of a random network — exactly the kind of
     // tree (a cluster tree) the full scheme routes on.
     let n = 400;
-    let graph = erdos_renyi_connected(&GeneratorConfig::new(n, 21).with_weights(1, 100), 8.0 / n as f64);
+    let graph = erdos_renyi_connected(
+        &GeneratorConfig::new(n, 21).with_weights(1, 100),
+        8.0 / n as f64,
+    );
     let root = 0;
     let spt = RootedTree::from_shortest_paths(&graph, &dijkstra(&graph, root));
     println!(
@@ -49,7 +52,9 @@ fn main() {
 
     // Route a packet and verify it follows the unique tree path exactly.
     let (src, dst) = (n - 1, n / 2);
-    let route = two_level.route(src, dst).expect("both endpoints are in the tree");
+    let route = two_level
+        .route(src, dst)
+        .expect("both endpoints are in the tree");
     let tree_path = spt.tree_path(src, dst).expect("unique tree path exists");
     println!(
         "\npacket {src} -> {dst}: {} hops, identical to the tree path: {}",

@@ -86,7 +86,8 @@ fn odd_k_construction_charges_fewer_rounds_than_even_k_plus_one() {
     // measured construction does not contradict the ordering wildly.
     let n = 1 << 16;
     assert!(
-        formulas::this_paper_odd_rounds(n, 5, 50, 16) < formulas::this_paper_even_rounds(n, 5, 50, 16)
+        formulas::this_paper_odd_rounds(n, 5, 50, 16)
+            < formulas::this_paper_even_rounds(n, 5, 50, 16)
     );
     let g = erdos_renyi_connected(&GeneratorConfig::new(130, 9).with_weights(1, 40), 0.05);
     let odd = build_routing_scheme(&g, &ConstructionConfig::new(5, 9)).unwrap();

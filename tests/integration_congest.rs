@@ -19,7 +19,9 @@ use en_graph::generators::{erdos_renyi_connected, grid, GeneratorConfig};
 fn flooding_round_count_equals_eccentricity() {
     let g = erdos_renyi_connected(&GeneratorConfig::new(100, 1), 0.05);
     let source = 17;
-    let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| FloodProtocol::new(v == source));
+    let mut sim = Simulator::new(&g, SimulationConfig::default(), |v| {
+        FloodProtocol::new(v == source)
+    });
     let stats = sim.run();
     let ecc = bfs(&g, source).eccentricity();
     assert!(stats.rounds >= ecc && stats.rounds <= ecc + 2);
@@ -111,10 +113,17 @@ fn parallel_cluster_exploration_reproduces_the_constructions_level_0_clusters() 
     for &c in &centers {
         let from_construction = &built.family.clusters[&c];
         let from_protocol = &explored.clusters[&c];
-        assert_eq!(from_construction.size(), from_protocol.members.len(), "centre {c}");
+        assert_eq!(
+            from_construction.size(),
+            from_protocol.members.len(),
+            "centre {c}"
+        );
         for v in from_construction.members() {
             let (dist, _) = from_protocol.members[&v];
-            assert_eq!(dist, from_construction.root_estimate[&v], "centre {c} vertex {v}");
+            assert_eq!(
+                dist, from_construction.root_estimate[&v],
+                "centre {c} vertex {v}"
+            );
         }
     }
     // The measured congestion stays within Claim 2's overlap bound.
@@ -136,7 +145,12 @@ fn congestion_is_paid_in_rounds() {
                 vec![]
             }
         }
-        fn on_round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<u64>]) -> Vec<Outgoing<u64>> {
+        fn on_round(
+            &mut self,
+            _: &NodeContext,
+            _: usize,
+            _: &[Incoming<u64>],
+        ) -> Vec<Outgoing<u64>> {
             vec![]
         }
     }

@@ -44,7 +44,12 @@ fn sketch_sizes_scale_like_n_to_one_over_k() {
     }
     // Sketches shrink as k grows (k=1 stores essentially everything).
     assert!(sizes[0] > sizes[1]);
-    assert!(sizes[1] > sizes[2] * 0.8, "k=2 vs k=4: {} vs {}", sizes[1], sizes[2]);
+    assert!(
+        sizes[1] > sizes[2] * 0.8,
+        "k=2 vs k=4: {} vs {}",
+        sizes[1],
+        sizes[2]
+    );
 }
 
 #[test]
@@ -78,7 +83,11 @@ fn routing_stretch_never_better_than_sketch_lower_bound() {
                 continue;
             }
             let est = built.sketches.query(u, v).unwrap().estimate;
-            let routed = built.scheme.route_with_exact(&g, u, v, truth[u][v]).unwrap().length;
+            let routed = built
+                .scheme
+                .route_with_exact(&g, u, v, truth[u][v])
+                .unwrap()
+                .length;
             assert!(est >= truth[u][v]);
             assert!(routed >= truth[u][v]);
         }

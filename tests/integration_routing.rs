@@ -24,7 +24,10 @@ fn assert_scheme_sound(g: &WeightedGraph, k: usize, seed: u64, all_pairs: bool) 
     } else {
         measure_stretch_sampled(g, &built.scheme, 300, seed ^ 0xF00D)
     };
-    assert_eq!(report.failures, 0, "k={k} seed={seed}: some pairs failed to route");
+    assert_eq!(
+        report.failures, 0,
+        "k={k} seed={seed}: some pairs failed to route"
+    );
     assert!(
         report.max_stretch <= built.params.stretch_bound() + 1e-9,
         "k={k} seed={seed}: stretch {} exceeds bound {}",
@@ -36,7 +39,10 @@ fn assert_scheme_sound(g: &WeightedGraph, k: usize, seed: u64, all_pairs: bool) 
 #[test]
 fn erdos_renyi_all_pairs_small() {
     for k in [1, 2, 3] {
-        let g = erdos_renyi_connected(&GeneratorConfig::new(48, 3 + k as u64).with_weights(1, 50), 0.12);
+        let g = erdos_renyi_connected(
+            &GeneratorConfig::new(48, 3 + k as u64).with_weights(1, 50),
+            0.12,
+        );
         assert_scheme_sound(&g, k, 3 + k as u64, true);
     }
 }
@@ -115,7 +121,10 @@ fn label_and_table_sizes_match_theorem_5_shape() {
         );
         // Tables: O~(n^{1/k}) tree tables, each O(log n) words, plus the
         // level-0 member labels of the 4k-5 refinement.
-        let per_vertex_trees: usize = (0..n).map(|v| built.scheme.trees_containing(v)).max().unwrap();
+        let per_vertex_trees: usize = (0..n)
+            .map(|v| built.scheme.trees_containing(v))
+            .max()
+            .unwrap();
         assert!(
             per_vertex_trees <= built.params.overlap_bound(),
             "k={k}: vertex participates in {per_vertex_trees} trees"

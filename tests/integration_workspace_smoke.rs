@@ -1,0 +1,60 @@
+//! Workspace-wiring smoke test: the full public pipeline — generate a graph,
+//! build the routing scheme, route a packet, and query a distance sketch —
+//! round-trips for k ∈ {2, 3}. This is intentionally small and fast: it is
+//! the first test to fail if crate wiring (manifests, re-exports, features)
+//! breaks, independent of the deeper per-theorem integration tests.
+
+use en_graph::bfs::is_connected;
+use en_graph::dijkstra::dijkstra;
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+#[test]
+fn routing_and_sketches_round_trip_on_small_er_graph() {
+    let g = erdos_renyi_connected(&GeneratorConfig::new(48, 11).with_weights(1, 20), 0.15);
+    assert!(is_connected(&g));
+
+    for k in [2usize, 3] {
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 11))
+            .unwrap_or_else(|e| panic!("construction failed for k={k}: {e}"));
+
+        // Route several pairs and check delivery + the stretch guarantee.
+        for (u, v) in [(0usize, 47usize), (3, 31), (17, 5)] {
+            let out = built
+                .scheme
+                .route(&g, u, v)
+                .unwrap_or_else(|e| panic!("routing {u}->{v} failed for k={k}: {e}"));
+            assert_eq!(
+                out.path.nodes().first(),
+                Some(&u),
+                "route must start at source"
+            );
+            assert_eq!(
+                out.path.nodes().last(),
+                Some(&v),
+                "route must end at target"
+            );
+            assert!(
+                out.stretch <= built.params.stretch_bound() + 1e-9,
+                "stretch {} exceeds bound {} for k={k}",
+                out.stretch,
+                built.params.stretch_bound()
+            );
+
+            // Distance estimation: never below the true distance, and within
+            // the sketch stretch bound.
+            let exact = dijkstra(&g, u).dist[v];
+            let est = built
+                .sketches
+                .query(u, v)
+                .unwrap_or_else(|e| panic!("sketch query {u}->{v} failed for k={k}: {e}"));
+            assert!(est.estimate >= exact, "sketch estimate below true distance");
+            assert!(
+                est.estimate as f64 <= built.params.sketch_stretch_bound() * exact as f64 + 1e-9,
+                "sketch estimate {} exceeds bound for exact {} at k={k}",
+                est.estimate,
+                exact
+            );
+        }
+    }
+}

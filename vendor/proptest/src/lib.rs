@@ -1,0 +1,326 @@
+//! Vendored, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the slice of proptest its tests actually use: the [`proptest!`] macro with
+//! an optional `#![proptest_config(...)]` header, [`Strategy`] implemented
+//! for integer ranges / tuples / [`collection::vec`], `prop_map`, and the
+//! `prop_assert!` family. Inputs are generated from a deterministic RNG
+//! seeded from the test's module path and name, so failures are reproducible
+//! run-to-run. Shrinking is not implemented: a failing case panics with the
+//! case index so it can be replayed by re-running the test.
+//!
+//! Swap this for the real crate by editing `[workspace.dependencies]` in the
+//! root `Cargo.toml`; the test syntax is compatible, but generated inputs
+//! will differ (different RNG and generation scheme).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy is
+    /// just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// A strategy that always yields clones of one value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "vec strategy needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test configuration and RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    ///
+    /// Only `cases` is honoured; the remaining fields exist so struct-update
+    /// syntax against `ProptestConfig::default()` compiles.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; rejection sampling is not implemented.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// An RNG whose stream depends only on (`test_path`, `case`), so every
+        /// run regenerates the same inputs.
+        pub fn deterministic(test_path: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Samples uniformly from `range`.
+        pub fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+            self.inner.gen_range(range)
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the subset of real-proptest syntax the workspace uses: an
+/// optional `#![proptest_config(expr)]` header followed by test functions of
+/// the form `#[test] fn name(pattern in strategy, ...) { body }`, each of
+/// which may carry doc comments and extra attributes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config); $($rest)*);
+    };
+    (@munch ($config:expr); ) => {};
+    (@munch ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut runner_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);)+
+                let _ = case;
+                $body
+            }
+        }
+        $crate::proptest!(@munch ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0usize..10, 0usize..10), e in arb_even()) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0usize..20, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0u64..1_000_000, 0u64..1_000_000);
+        let a: Vec<_> = (0..10)
+            .map(|c| s.generate(&mut TestRng::deterministic("x", c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| s.generate(&mut TestRng::deterministic("x", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
