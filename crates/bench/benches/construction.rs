@@ -1,0 +1,60 @@
+//! End-to-end construction bench plus the Theorem-1 kernel comparison.
+//!
+//! Two groups:
+//!
+//! * `construction`: wall time of `build_routing_scheme` at
+//!   `n ∈ {200, 500, 1000}`, `k ∈ {2, 3}` — the repo's headline perf
+//!   trajectory (the `perf_baseline` harness bin records the same numbers
+//!   into `BENCH_construction.json`).
+//! * `theorem1_kernel`: the batched frontier/CSR `multi_source_hop_bounded`
+//!   against the retained naive reference on the acceptance workload
+//!   (1000 vertices, |V'| = 32, B = 16); the batched kernel must stay ≥ 5×
+//!   faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for n in [200usize, 500, 1000] {
+        let g = erdos_renyi_connected(
+            &GeneratorConfig::new(n, 42).with_weights(1, 100),
+            8.0 / n as f64,
+        );
+        for k in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new("build_routing_scheme", format!("n{n}_k{k}")),
+                &(n, k),
+                |b, &(_, k)| {
+                    b.iter(|| build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_theorem1_kernel(c: &mut Criterion) {
+    let n = 1000;
+    let g = erdos_renyi_connected(
+        &GeneratorConfig::new(n, 7).with_weights(1, 100),
+        8.0 / n as f64,
+    );
+    let sources: Vec<usize> = (0..32).map(|i| i * 31 % n).collect();
+    let mut group = c.benchmark_group("theorem1_kernel");
+    group.sample_size(20);
+    group.bench_function("batched_n1000_s32_b16", |b| {
+        b.iter(|| multi_source_hop_bounded(&g, &sources, 16, 0.25, 10))
+    });
+    group.bench_function("naive_reference_n1000_s32_b16", |b| {
+        b.iter(|| multi_source_hop_bounded_reference(&g, &sources, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_theorem1_kernel);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Records the repo's perf trajectory: wall time per construction phase at
+//! the standard bench sizes, written to `BENCH_construction.json`.
+//!
+//! Per `(n, k)` point the harness times each phase the quickstart exercises —
+//! workload generation, the Theorem-1 batched kernel on the acceptance
+//! workload shape (|V'| = 32, B = 16), the end-to-end
+//! `build_routing_scheme`, and a routing + sketch query batch — and, once per
+//! run, the batched-vs-naive kernel ratio the acceptance bar tracks
+//! (`≥ 5×`). Each measurement is a best-of-N (N = 3 for phases, 9 for the
+//! kernel comparison), so the committed JSON stays comparable across
+//! machines with noisy schedulers.
+//!
+//! Usage: `cargo run --release -p en_bench --bin perf_baseline [--smoke]`
+//!
+//! `--smoke` restricts the sweep to the smallest size and skips the file
+//! write — the CI smoke check that keeps this bin (and the phase plumbing it
+//! exercises) green.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use en_bench::warn_if_round_limit_hit;
+use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_graph::WeightedGraph;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+const OUTPUT: &str = "BENCH_construction.json";
+
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best * 1e3, out.expect("runs >= 1"))
+}
+
+fn workload(n: usize) -> WeightedGraph {
+    erdos_renyi_connected(
+        &GeneratorConfig::new(n, 42).with_weights(1, 100),
+        8.0 / n as f64,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[200] } else { &[200, 500, 1000] };
+    let runs = if smoke { 1 } else { 3 };
+
+    // The acceptance-bar kernel comparison: batched vs retained naive on a
+    // 1000-vertex graph, |V'| = 32, B = 16 (200 vertices in smoke mode).
+    let kn = if smoke { 200 } else { 1000 };
+    let kg = erdos_renyi_connected(
+        &GeneratorConfig::new(kn, 7).with_weights(1, 100),
+        8.0 / kn as f64,
+    );
+    let ksources: Vec<usize> = (0..32).map(|i| i * 31 % kn).collect();
+    let kernel_runs = if smoke { 3 } else { 9 };
+    let (kernel_batched_ms, _) = best_of(kernel_runs, || {
+        multi_source_hop_bounded(&kg, &ksources, 16, 0.25, 10)
+    });
+    let (kernel_naive_ms, _) = best_of(kernel_runs, || {
+        multi_source_hop_bounded_reference(&kg, &ksources, 16)
+    });
+    let kernel_speedup = kernel_naive_ms / kernel_batched_ms;
+    println!(
+        "theorem1 kernel (n={kn}, |V'|=32, B=16): batched {kernel_batched_ms:.3} ms, \
+         naive {kernel_naive_ms:.3} ms, speedup {kernel_speedup:.1}x"
+    );
+
+    let mut entries = String::new();
+    for &n in sizes {
+        for k in [2usize, 3] {
+            let (gen_ms, g) = best_of(runs, || workload(n));
+            let sources: Vec<usize> = (0..32).map(|i| i * 31 % n).collect();
+            let (kernel_ms, _) = best_of(runs, || {
+                multi_source_hop_bounded(&g, &sources, 16, 0.25, 10)
+            });
+            let (build_ms, built) = best_of(runs, || {
+                build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap()
+            });
+            warn_if_round_limit_hit(&built);
+            let (route_ms, _) = best_of(runs, || {
+                let mut total = 0u64;
+                for (src, dst) in [(0, n - 1), (n / 7, n / 2), (n / 3, n - 2)] {
+                    total += built.scheme.route(&g, src, dst).unwrap().length;
+                    total += built.sketches.query(src, dst).unwrap().estimate;
+                }
+                total
+            });
+            println!(
+                "n={n} k={k}: generate {gen_ms:.3} ms, theorem1 {kernel_ms:.3} ms, \
+                 build {build_ms:.3} ms ({} rounds charged), route+sketch {route_ms:.3} ms",
+                built.total_rounds()
+            );
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            let _ = write!(
+                entries,
+                "    {{\"n\": {n}, \"k\": {k}, \"generate_ms\": {gen_ms:.3}, \
+                 \"theorem1_kernel_ms\": {kernel_ms:.3}, \"build_ms\": {build_ms:.3}, \
+                 \"charged_rounds\": {}, \"route_and_sketch_ms\": {route_ms:.3}}}",
+                built.total_rounds()
+            );
+        }
+    }
+
+    if smoke {
+        println!("smoke mode: skipping {OUTPUT} write");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"en-bench/construction-v1\",\n  \"workload\": \
+         \"erdos-renyi avg-degree 8, weights 1..=100, seed 42\",\n  \
+         \"theorem1_kernel\": {{\"n\": {kn}, \"sources\": 32, \"hop_bound\": 16, \
+         \"batched_ms\": {kernel_batched_ms:.3}, \"naive_ms\": {kernel_naive_ms:.3}, \
+         \"speedup\": {kernel_speedup:.2}}},\n  \"entries\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(OUTPUT, json).expect("write BENCH_construction.json");
+    println!("wrote {OUTPUT}");
+}

@@ -79,6 +79,23 @@ pub struct SchemeMeasurement {
     pub stretch: StretchReport,
 }
 
+/// Prints a warning to stderr when any simulated CONGEST run inside the
+/// construction was cut off by the simulator's round limit before reaching
+/// quiescence — the reported round counts would be silently truncated
+/// otherwise ([`SimulationConfig::with_max_rounds`] keeps `Default`'s
+/// 1M-round cap unless a harness overrides it).
+///
+/// [`SimulationConfig::with_max_rounds`]: en_congest::SimulationConfig::with_max_rounds
+pub fn warn_if_round_limit_hit(built: &BuiltScheme) {
+    if built.diagnostics.round_limit_hits > 0 {
+        eprintln!(
+            "warning: {} simulated exploration(s) hit the simulator round limit before \
+             quiescence; reported round counts are truncated (raise SimulationConfig::max_rounds)",
+            built.diagnostics.round_limit_hits
+        );
+    }
+}
+
 /// Builds the paper's scheme and measures it.
 pub fn measure_this_paper(
     g: &WeightedGraph,
@@ -88,6 +105,7 @@ pub fn measure_this_paper(
 ) -> (BuiltScheme, SchemeMeasurement) {
     let built = build_routing_scheme(g, &ConstructionConfig::new(k, seed))
         .expect("construction on a connected workload succeeds");
+    warn_if_round_limit_hit(&built);
     let stretch = measure_stretch_sampled(g, &built.scheme, pairs, seed ^ 0x57AE);
     let m = SchemeMeasurement {
         scheme: format!("this paper (k={k})"),

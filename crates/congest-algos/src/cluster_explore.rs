@@ -41,15 +41,13 @@ struct ClusterExploreProtocol {
 type ClusterMsg = (u64, u64); // (centre id, distance)
 
 impl ClusterExploreProtocol {
-    fn announce(&mut self, ctx: &NodeContext) -> Vec<Outgoing<ClusterMsg>> {
-        let mut out = Vec::new();
+    fn announce(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<ClusterMsg>>) {
         for center in self.dirty.drain(..) {
             let (dist, _) = self.best[&center];
             for port in 0..ctx.degree() {
                 out.push(Outgoing::new(port, (center as u64, dist)));
             }
         }
-        out
     }
 
     fn is_member(&self, center: NodeId, dist: Dist) -> bool {
@@ -61,12 +59,12 @@ impl ClusterExploreProtocol {
 impl Protocol for ClusterExploreProtocol {
     type Msg = ClusterMsg;
 
-    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<ClusterMsg>> {
+    fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<ClusterMsg>>) {
         for &c in &self.own_centers.clone() {
             self.best.insert(c, (0, None));
             self.dirty.push(c);
         }
-        self.announce(ctx)
+        self.announce(ctx, out);
     }
 
     fn on_round(
@@ -74,9 +72,10 @@ impl Protocol for ClusterExploreProtocol {
         ctx: &NodeContext,
         round: usize,
         incoming: &[Incoming<ClusterMsg>],
-    ) -> Vec<Outgoing<ClusterMsg>> {
+        out: &mut Vec<Outgoing<ClusterMsg>>,
+    ) {
         if round > self.iterations {
-            return vec![];
+            return;
         }
         for inc in incoming {
             let center = inc.msg.0 as NodeId;
@@ -92,7 +91,7 @@ impl Protocol for ClusterExploreProtocol {
                 }
             }
         }
-        self.announce(ctx)
+        self.announce(ctx, out);
     }
 }
 

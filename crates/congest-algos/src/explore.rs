@@ -32,29 +32,25 @@ struct ExploreProtocol {
 type ExploreMsg = (u64, u64); // (source id, distance)
 
 impl ExploreProtocol {
-    fn announce(&mut self, ctx: &NodeContext) -> Vec<Outgoing<ExploreMsg>> {
+    fn announce(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<ExploreMsg>>) {
         if !self.dirty || self.dist >= INFINITY {
-            return vec![];
+            return;
         }
         self.dirty = false;
         let src = self.source.expect("finite distance implies a source") as u64;
-        (0..ctx.degree())
-            .map(|p| Outgoing::new(p, (src, self.dist)))
-            .collect()
+        out.extend((0..ctx.degree()).map(|p| Outgoing::new(p, (src, self.dist))));
     }
 }
 
 impl Protocol for ExploreProtocol {
     type Msg = ExploreMsg;
 
-    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<ExploreMsg>> {
+    fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<ExploreMsg>>) {
         if self.is_source {
             self.dist = 0;
             self.source = Some(ctx.id);
             self.dirty = true;
-            self.announce(ctx)
-        } else {
-            vec![]
+            self.announce(ctx, out);
         }
     }
 
@@ -63,11 +59,12 @@ impl Protocol for ExploreProtocol {
         ctx: &NodeContext,
         round: usize,
         incoming: &[Incoming<ExploreMsg>],
-    ) -> Vec<Outgoing<ExploreMsg>> {
+        out: &mut Vec<Outgoing<ExploreMsg>>,
+    ) {
         // Stop relaying once the allotted number of iterations has elapsed;
         // this mirrors the fixed iteration count of the paper's explorations.
         if round > self.iterations {
-            return vec![];
+            return;
         }
         for inc in incoming {
             let w = ctx
@@ -84,7 +81,7 @@ impl Protocol for ExploreProtocol {
                 self.dirty = true;
             }
         }
-        self.announce(ctx)
+        self.announce(ctx, out);
     }
 }
 

@@ -20,23 +20,55 @@
 //! [`RoundLedger`](en_congest::RoundLedger). The exactness also makes (3) hold
 //! with the hop-bounded parent (proof: `d^{(B)}(u,v) = w(u,p) + d^{(B-1)}(p,v)
 //! ≥ w(u,p) + d^{(B)}(p,v)`).
+//!
+//! # Implementation
+//!
+//! The computation is batched over a single [`CsrGraph`] view built once.
+//! Sources are processed in chunks of up to 64; within a chunk the distance
+//! state is *vertex-major* (one contiguous row of per-source values per
+//! vertex), and every sweep walks the adjacency once for the **union
+//! frontier** — the vertices whose value changed for *any* chunk source in
+//! the previous sweep — relaxing all chunk sources of an edge in one
+//! contiguous, branchless min loop that the compiler can vectorise. When the
+//! largest possible finite distance fits, the cells are `u32` (twice the SIMD
+//! width, half the memory traffic); otherwise the same kernel runs with `u64`
+//! cells. Start-of-sweep values live in a swap-buffered `prev` array whose
+//! rows are refreshed only for frontier vertices, so the levelled semantics
+//! (`dist[v] = d^{(t)}(v)` after sweep `t`) are preserved with no per-sweep
+//! snapshot clone. Remark-1 parents are recovered after the sweeps in one
+//! argmin pass over the adjacency (the neighbour `p` minimising
+//! `d_pv + w(u, p)` satisfies inequality (3) by the levelled-path argument),
+//! keeping the hot loop free of conditional stores. The finished chunk is
+//! transposed into the flat source-major output. The retained naive
+//! implementation ([`multi_source_hop_bounded_reference`]) is the oracle the
+//! property tests validate the batched kernel against, bit for bit on
+//! `dist`.
 
 use std::collections::HashMap;
 
-use en_graph::{dist_add, Dist, NodeId, WeightedGraph, INFINITY};
+use en_graph::{dist_add, CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
 
 use en_congest::RoundLedger;
 
 /// The output of the Theorem 1 computation.
+///
+/// Distances and parents are stored flat, source-major (`|V'|` rows of `n`
+/// entries); use [`MultiSourceHopBounded::dist_row`] /
+/// [`MultiSourceHopBounded::parent_row`] for bulk access, or
+/// [`MultiSourceHopBounded::value`] / [`MultiSourceHopBounded::parent_towards`]
+/// for point lookups by source id.
 #[derive(Debug, Clone)]
 pub struct MultiSourceHopBounded {
-    /// The source set `V'`, in the order used by the index maps below.
+    /// The source set `V'`, in the order used by the row indices below.
     pub sources: Vec<NodeId>,
-    /// `dist[s][u]` is `d_{u, sources[s]}` (satisfying inequality (2)).
-    pub dist: Vec<Vec<Dist>>,
-    /// `parent[s][u]` is the neighbour `p_{sources[s]}(u)` of `u` (Remark 1),
-    /// or `None` when `u` is the source itself or unreachable within `B` hops.
-    pub parent: Vec<Vec<Option<NodeId>>>,
+    /// `dist[s * n + u]` is `d_{u, sources[s]}` (satisfying inequality (2)).
+    dist: Vec<Dist>,
+    /// `parent[s * n + u]` is the neighbour `p_{sources[s]}(u)` of `u`
+    /// (Remark 1), or `None` when `u` is the source itself or unreachable
+    /// within `B` hops.
+    parent: Vec<Option<NodeId>>,
+    /// Number of vertices `n` (the row stride).
+    n: usize,
     /// Maps a source id back to its row index in `dist` / `parent`.
     pub source_index: HashMap<NodeId, usize>,
     /// The hop bound `B` used.
@@ -46,18 +78,43 @@ pub struct MultiSourceHopBounded {
 }
 
 impl MultiSourceHopBounded {
+    /// Number of vertices `n` (the stride of each row).
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The distance row of source index `s`: `dist_row(s)[u] = d_{u, sources[s]}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= sources.len()`.
+    pub fn dist_row(&self, s: usize) -> &[Dist] {
+        &self.dist[s * self.n..(s + 1) * self.n]
+    }
+
+    /// The parent row of source index `s` (Remark 1 parents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= sources.len()`.
+    pub fn parent_row(&self, s: usize) -> &[Option<NodeId>] {
+        &self.parent[s * self.n..(s + 1) * self.n]
+    }
+
     /// The value `d_uv` for source `v` and vertex `u`, or [`INFINITY`] if `v`
     /// is not a source or `u` is unreachable within `B` hops.
     pub fn value(&self, u: NodeId, v: NodeId) -> Dist {
         match self.source_index.get(&v) {
-            Some(&s) => self.dist[s][u],
+            Some(&s) => self.dist[s * self.n + u],
             None => INFINITY,
         }
     }
 
     /// The parent `p_v(u)` of Remark 1, if defined.
     pub fn parent_towards(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
-        self.source_index.get(&v).and_then(|&s| self.parent[s][u])
+        self.source_index
+            .get(&v)
+            .and_then(|&s| self.parent[s * self.n + u])
     }
 }
 
@@ -81,35 +138,18 @@ pub fn multi_source_hop_bounded(
         assert!(s < g.num_nodes(), "source {s} out of range");
     }
     let n = g.num_nodes();
-    let mut dist = Vec::with_capacity(sources.len());
-    let mut parent = Vec::with_capacity(sources.len());
-    for &src in sources {
-        // Levelled Bellman-Ford: after t sweeps, cur[u] = d^{(t)}(src, u).
-        let mut cur = vec![INFINITY; n];
-        let mut par: Vec<Option<NodeId>> = vec![None; n];
-        cur[src] = 0;
-        for _ in 0..hop_bound {
-            let snapshot = cur.clone();
-            let mut changed = false;
-            for u in 0..n {
-                if snapshot[u] >= INFINITY {
-                    continue;
-                }
-                for nb in g.neighbors(u) {
-                    let cand = dist_add(snapshot[u], nb.weight);
-                    if cand < cur[nb.node] {
-                        cur[nb.node] = cand;
-                        par[nb.node] = Some(u);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        dist.push(cur);
-        parent.push(par);
+    let csr = CsrGraph::from_graph(g);
+    let mut dist = vec![INFINITY; sources.len() * n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; sources.len() * n];
+    // The u32 kernel is exact whenever every finite levelled distance fits
+    // below its sentinel: a B-hop path has at most n - 1 edges of weight at
+    // most max_weight.
+    let max_weight = g.max_weight();
+    let fits_i32 = (n as u128).saturating_mul(max_weight as u128) < <i32 as DistCell>::INF as u128;
+    if fits_i32 {
+        batched_chunks::<i32>(&csr, sources, hop_bound, &mut dist, &mut parent);
+    } else {
+        batched_chunks::<u64>(&csr, sources, hop_bound, &mut dist, &mut parent);
     }
     let source_index = sources
         .iter()
@@ -138,10 +178,306 @@ pub fn multi_source_hop_bounded(
         sources: sources.to_vec(),
         dist,
         parent,
+        n,
         source_index,
         hop_bound,
         ledger,
     }
+}
+
+/// A distance cell of the batched kernel: `u32` when the instance's maximum
+/// finite distance fits (twice the SIMD width and half the memory traffic of
+/// `u64`), `u64` otherwise. Both use a "quarter of the type's range" sentinel
+/// for +∞ so a saturating add can never wrap.
+trait DistCell: Copy + Ord + std::ops::BitXor<Output = Self> + std::ops::BitOr<Output = Self> {
+    /// The unreachable sentinel for this cell width.
+    const INF: Self;
+    /// The zero distance.
+    const ZERO: Self;
+    /// Converts an edge weight (checked to fit by the caller).
+    fn from_weight(w: en_graph::Weight) -> Self;
+    /// Converts back into the public [`Dist`] domain (`INF` → [`INFINITY`]).
+    fn into_dist(self) -> Dist;
+    /// `self + w`, saturating at [`DistCell::INF`].
+    fn add_capped(self, w: Self) -> Self;
+    /// Packed `(value, neighbour)` key for the branchless argmin parent pass.
+    type Key: Copy + Ord;
+    /// The largest key (no candidate seen yet).
+    const KEY_MAX: Self::Key;
+    /// Packs a candidate value and the offering neighbour into one key whose
+    /// natural order is (value, neighbour id).
+    fn pack(self, nb: u32) -> Self::Key;
+    /// The value part of a packed key.
+    fn key_value(key: Self::Key) -> Self;
+    /// The neighbour part of a packed key.
+    fn key_neighbor(key: Self::Key) -> u32;
+}
+
+impl DistCell for u64 {
+    const INF: u64 = INFINITY;
+    const ZERO: u64 = 0;
+
+    #[inline]
+    fn from_weight(w: en_graph::Weight) -> u64 {
+        w
+    }
+
+    #[inline]
+    fn into_dist(self) -> Dist {
+        self
+    }
+
+    #[inline]
+    fn add_capped(self, w: u64) -> u64 {
+        self.saturating_add(w).min(INFINITY)
+    }
+
+    type Key = u128;
+    const KEY_MAX: u128 = u128::MAX;
+
+    #[inline]
+    fn pack(self, nb: u32) -> u128 {
+        ((self as u128) << 32) | nb as u128
+    }
+
+    #[inline]
+    fn key_value(key: u128) -> u64 {
+        (key >> 32) as u64
+    }
+
+    #[inline]
+    fn key_neighbor(key: u128) -> u32 {
+        key as u32
+    }
+}
+
+// Signed 32-bit cells rather than unsigned: a signed vector min lowers to
+// baseline-SSE2 `pcmpgtd` + blend, while unsigned 32-bit min needs SSE4.1.
+// All values stay below i32::MAX / 4, so signedness never matters.
+impl DistCell for i32 {
+    const INF: i32 = i32::MAX / 4;
+    const ZERO: i32 = 0;
+
+    #[inline]
+    fn from_weight(w: en_graph::Weight) -> i32 {
+        w as i32
+    }
+
+    #[inline]
+    fn into_dist(self) -> Dist {
+        if self >= Self::INF {
+            INFINITY
+        } else {
+            self as Dist
+        }
+    }
+
+    #[inline]
+    fn add_capped(self, w: i32) -> i32 {
+        // Both operands are below i32::MAX / 4, so the plain sum cannot wrap.
+        (self + w).min(Self::INF)
+    }
+
+    type Key = u64;
+    const KEY_MAX: u64 = u64::MAX;
+
+    #[inline]
+    fn pack(self, nb: u32) -> u64 {
+        ((self as u64) << 32) | nb as u64
+    }
+
+    #[inline]
+    fn key_value(key: u64) -> i32 {
+        (key >> 32) as i32
+    }
+
+    #[inline]
+    fn key_neighbor(key: u64) -> u32 {
+        key as u32
+    }
+}
+
+/// The batched vertex-major kernel: processes `sources` in chunks of up to
+/// 64, writing levelled `B`-hop distances and Remark-1 parents into the flat
+/// source-major `dist` / `parent` output arrays.
+fn batched_chunks<T: DistCell>(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+    hop_bound: usize,
+    dist: &mut [Dist],
+    parent: &mut [Option<NodeId>],
+) {
+    let n = csr.num_nodes();
+    // Local packed adjacency: u32 targets and cell-width weights halve the
+    // per-sweep memory traffic relative to the usize/u64 CSR arrays.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * csr.num_edges());
+    let mut weights: Vec<T> = Vec::with_capacity(2 * csr.num_edges());
+    offsets.push(0usize);
+    for v in 0..n {
+        let (ts, ws) = csr.arcs(v);
+        targets.extend(ts.iter().map(|&t| t as u32));
+        weights.extend(ws.iter().map(|&w| T::from_weight(w)));
+        offsets.push(targets.len());
+    }
+    // Union-frontier worklist plus the dense changed-flag array it is
+    // rebuilt from after every sweep.
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut changed = vec![0u8; n];
+    const CHUNK: usize = 64;
+    for (chunk_index, chunk) in sources.chunks(CHUNK).enumerate() {
+        let sc = chunk.len();
+        // Vertex-major state: `cur[v * sc + j]` is the current best value of
+        // vertex `v` for chunk source `j`; `prev` holds the start-of-sweep
+        // values, refreshed lazily for frontier vertices only.
+        let mut cur = vec![T::INF; n * sc];
+        let mut prev = vec![T::INF; n * sc];
+        frontier.clear();
+        for (j, &src) in chunk.iter().enumerate() {
+            cur[src * sc + j] = T::ZERO;
+            if changed[src] == 0 {
+                changed[src] = 1;
+                frontier.push(src as u32);
+            }
+        }
+        for &src in &frontier {
+            changed[src as usize] = 0;
+        }
+        for _ in 0..hop_bound {
+            if frontier.is_empty() {
+                break;
+            }
+            // Refresh the start-of-sweep rows of the vertices that will relay
+            // this sweep; no other `prev` row is read.
+            for &u in &frontier {
+                let urow = u as usize * sc;
+                prev[urow..urow + sc].copy_from_slice(&cur[urow..urow + sc]);
+            }
+            for &u in &frontier {
+                let urow = u as usize * sc;
+                let lo = offsets[u as usize];
+                let hi = offsets[u as usize + 1];
+                for (&v, &w) in targets[lo..hi].iter().zip(&weights[lo..hi]) {
+                    let vrow = v as usize * sc;
+                    // Relaxing every chunk source here (including ones whose
+                    // value at `u` did not change last sweep) only re-offers
+                    // candidates that were already applied — a no-op — so
+                    // the inner loop is a contiguous branchless min that the
+                    // compiler vectorises; INF saturates and never wins. The
+                    // XOR accumulator detects any change without a branch.
+                    let urows = &prev[urow..urow + sc];
+                    let vrows = &mut cur[vrow..vrow + sc];
+                    let mut delta = T::ZERO;
+                    for (vd, &ud) in vrows.iter_mut().zip(urows) {
+                        let cand = ud.add_capped(w);
+                        let old = *vd;
+                        let new = if cand < old { cand } else { old };
+                        delta = delta | (old ^ new);
+                        *vd = new;
+                    }
+                    changed[v as usize] |= u8::from(delta != T::ZERO);
+                }
+            }
+            // Rebuild the frontier from the dense changed flags (an O(n)
+            // scan, negligible next to the relaxation work).
+            frontier.clear();
+            for (v, flag) in changed.iter_mut().enumerate() {
+                if *flag != 0 {
+                    *flag = 0;
+                    frontier.push(v as u32);
+                }
+            }
+        }
+        // Remark-1 parents, recovered post hoc: for every reachable
+        // non-source vertex, the neighbour `p` minimising `d_pv + w(u, p)`
+        // (ties to the smallest id) satisfies `d_uv ≥ w(u, p) + d_pv`,
+        // because the final edge (p*, u) of a levelled B-hop path gives
+        // `d_uv = w + d^{(B-1)}(p*) ≥ w + d_p*v ≥ min_p (w + d_pv)`.
+        // The argmin runs branchlessly over packed `(cand << 32) | p` keys.
+        let mut best_key: Vec<T::Key> = vec![T::KEY_MAX; sc];
+        for v in 0..n {
+            let vrow = v * sc;
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            for key in best_key.iter_mut() {
+                *key = T::KEY_MAX;
+            }
+            for (&p, &w) in targets[lo..hi].iter().zip(&weights[lo..hi]) {
+                let prow = p as usize * sc;
+                for (key, &pd) in best_key.iter_mut().zip(&cur[prow..prow + sc]) {
+                    let cand = pd.add_capped(w).pack(p);
+                    *key = (*key).min(cand);
+                }
+            }
+            for j in 0..sc {
+                let si = chunk_index * CHUNK + j;
+                let d = cur[vrow + j];
+                dist[si * n + v] = d.into_dist();
+                parent[si * n + v] = if d < T::INF && d > T::ZERO && T::key_value(best_key[j]) <= d
+                {
+                    Some(T::key_neighbor(best_key[j]) as NodeId)
+                } else {
+                    None
+                };
+            }
+        }
+    }
+}
+
+/// The retained naive reference for [`multi_source_hop_bounded`]: one
+/// levelled Bellman–Ford per source, each sweep a full `O(n + m)` pass over a
+/// per-sweep snapshot — exactly the seed implementation this repository
+/// started from.
+///
+/// Returns `(dist, parent)` in the nested per-source layout. Kept as the
+/// equivalence oracle for the property tests and the perf-comparison bench;
+/// not for production use.
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+#[allow(clippy::type_complexity)]
+pub fn multi_source_hop_bounded_reference(
+    g: &WeightedGraph,
+    sources: &[NodeId],
+    hop_bound: usize,
+) -> (Vec<Vec<Dist>>, Vec<Vec<Option<NodeId>>>) {
+    for &s in sources {
+        assert!(s < g.num_nodes(), "source {s} out of range");
+    }
+    let n = g.num_nodes();
+    let mut dist = Vec::with_capacity(sources.len());
+    let mut parent = Vec::with_capacity(sources.len());
+    let mut snapshot = vec![INFINITY; n];
+    for &src in sources {
+        // Levelled Bellman-Ford: after t sweeps, cur[u] = d^{(t)}(src, u).
+        let mut cur = vec![INFINITY; n];
+        let mut par: Vec<Option<NodeId>> = vec![None; n];
+        cur[src] = 0;
+        for _ in 0..hop_bound {
+            snapshot.copy_from_slice(&cur);
+            let mut any = false;
+            for u in 0..n {
+                if snapshot[u] >= INFINITY {
+                    continue;
+                }
+                for nb in g.neighbors(u) {
+                    let cand = dist_add(snapshot[u], nb.weight);
+                    if cand < cur[nb.node] {
+                        cur[nb.node] = cand;
+                        par[nb.node] = Some(u);
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        dist.push(cur);
+        parent.push(par);
+    }
+    (dist, parent)
 }
 
 #[cfg(test)]
@@ -164,10 +500,20 @@ mod tests {
             let reference = hop_bounded_distances(&g, src, 6);
             for u in g.nodes() {
                 assert_eq!(
-                    res.dist[si][u], reference.dist[u],
+                    res.dist_row(si)[u],
+                    reference.dist[u],
                     "source {src}, vertex {u}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference_bit_for_bit() {
+        let (g, sources, res) = setup();
+        let (ref_dist, _) = multi_source_hop_bounded_reference(&g, &sources, 6);
+        for si in 0..sources.len() {
+            assert_eq!(res.dist_row(si), ref_dist[si].as_slice(), "source row {si}");
         }
     }
 
@@ -176,14 +522,14 @@ mod tests {
         let (g, sources, res) = setup();
         for (si, &src) in sources.iter().enumerate() {
             for u in g.nodes() {
-                if let Some(p) = res.parent[si][u] {
+                if let Some(p) = res.parent_row(si)[u] {
                     let w = g.edge_weight(u, p).expect("parent is a neighbour");
                     assert!(
-                        res.dist[si][u] >= w + res.dist[si][p],
+                        res.dist_row(si)[u] >= w + res.dist_row(si)[p],
                         "source {src}, vertex {u}: {} < {} + {}",
-                        res.dist[si][u],
+                        res.dist_row(si)[u],
                         w,
-                        res.dist[si][p]
+                        res.dist_row(si)[p]
                     );
                 }
             }
@@ -196,6 +542,7 @@ mod tests {
         assert_eq!(res.value(0, 0), 0);
         assert_eq!(res.value(5, 999), INFINITY);
         assert_eq!(res.parent_towards(0, 0), None);
+        assert_eq!(res.num_vertices(), g.num_nodes());
         // A neighbour of source 0 should have 0 recorded as its parent when the
         // direct edge is its best 6-hop path.
         let nb = g.neighbors(0)[0];

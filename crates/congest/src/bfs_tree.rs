@@ -45,24 +45,22 @@ impl BfsTreeProtocol {
         self.level
     }
 
-    fn forward(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+    fn forward(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
         if self.forwarded {
-            return vec![];
+            return;
         }
         self.forwarded = true;
         let level = self.level.expect("forwarding node knows its level") as u64;
-        (0..ctx.degree()).map(|p| Outgoing::new(p, level)).collect()
+        out.extend((0..ctx.degree()).map(|p| Outgoing::new(p, level)));
     }
 }
 
 impl Protocol for BfsTreeProtocol {
     type Msg = u64;
 
-    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+    fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
         if self.is_root {
-            self.forward(ctx)
-        } else {
-            vec![]
+            self.forward(ctx, out);
         }
     }
 
@@ -71,7 +69,8 @@ impl Protocol for BfsTreeProtocol {
         ctx: &NodeContext,
         _round: usize,
         incoming: &[Incoming<u64>],
-    ) -> Vec<Outgoing<u64>> {
+        out: &mut Vec<Outgoing<u64>>,
+    ) {
         if self.level.is_none() {
             if let Some(first) = incoming.iter().min_by_key(|m| (m.msg, m.port)) {
                 self.level = Some(first.msg as usize + 1);
@@ -79,9 +78,7 @@ impl Protocol for BfsTreeProtocol {
             }
         }
         if self.level.is_some() {
-            self.forward(ctx)
-        } else {
-            vec![]
+            self.forward(ctx, out);
         }
     }
 }

@@ -69,14 +69,12 @@ struct DowncastProtocol {
 impl Protocol for DowncastProtocol {
     type Msg = TreeMsg;
 
-    fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<TreeMsg>> {
-        let mut out = Vec::new();
+    fn init(&mut self, _ctx: &NodeContext, out: &mut Vec<Outgoing<TreeMsg>>) {
         for (i, &payload) in self.to_send.iter().enumerate() {
             for &cp in &self.child_ports {
                 out.push(Outgoing::new(cp, (i as u64, payload)));
             }
         }
-        out
     }
 
     fn on_round(
@@ -84,8 +82,8 @@ impl Protocol for DowncastProtocol {
         _ctx: &NodeContext,
         _round: usize,
         incoming: &[Incoming<TreeMsg>],
-    ) -> Vec<Outgoing<TreeMsg>> {
-        let mut out = Vec::new();
+        out: &mut Vec<Outgoing<TreeMsg>>,
+    ) {
         for inc in incoming {
             if Some(inc.port) == self.parent_port {
                 self.received.push(inc.msg.1);
@@ -94,7 +92,6 @@ impl Protocol for DowncastProtocol {
                 }
             }
         }
-        out
     }
 }
 
@@ -164,10 +161,9 @@ struct ConvergecastProtocol {
 impl Protocol for ConvergecastProtocol {
     type Msg = u64;
 
-    fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<u64>> {
-        match self.parent_port {
-            Some(pp) => self.to_send.iter().map(|&m| Outgoing::new(pp, m)).collect(),
-            None => vec![],
+    fn init(&mut self, _ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
+        if let Some(pp) = self.parent_port {
+            out.extend(self.to_send.iter().map(|&m| Outgoing::new(pp, m)));
         }
     }
 
@@ -176,15 +172,14 @@ impl Protocol for ConvergecastProtocol {
         _ctx: &NodeContext,
         _round: usize,
         incoming: &[Incoming<u64>],
-    ) -> Vec<Outgoing<u64>> {
-        let mut out = Vec::new();
+        out: &mut Vec<Outgoing<u64>>,
+    ) {
         for inc in incoming {
             self.received.push(inc.msg);
             if let Some(pp) = self.parent_port {
                 out.push(Outgoing::new(pp, inc.msg));
             }
         }
-        out
     }
 }
 

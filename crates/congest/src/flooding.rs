@@ -35,23 +35,21 @@ impl FloodProtocol {
         self.informed_at_round
     }
 
-    fn forward_all(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+    fn forward_all(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
         if self.forwarded {
-            return vec![];
+            return;
         }
         self.forwarded = true;
-        (0..ctx.degree()).map(|p| Outgoing::new(p, 1)).collect()
+        out.extend((0..ctx.degree()).map(|p| Outgoing::new(p, 1)));
     }
 }
 
 impl Protocol for FloodProtocol {
     type Msg = u64;
 
-    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+    fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
         if self.informed {
-            self.forward_all(ctx)
-        } else {
-            vec![]
+            self.forward_all(ctx, out);
         }
     }
 
@@ -60,15 +58,14 @@ impl Protocol for FloodProtocol {
         ctx: &NodeContext,
         round: usize,
         incoming: &[Incoming<u64>],
-    ) -> Vec<Outgoing<u64>> {
+        out: &mut Vec<Outgoing<u64>>,
+    ) {
         if !incoming.is_empty() && !self.informed {
             self.informed = true;
             self.informed_at_round = Some(round);
         }
         if self.informed {
-            self.forward_all(ctx)
-        } else {
-            vec![]
+            self.forward_all(ctx, out);
         }
     }
 }

@@ -53,6 +53,11 @@ pub struct Simulator<P: Protocol> {
     /// `queues[v][p]` is the outgoing FIFO on the directed edge from `v`
     /// through its port `p`.
     queues: Vec<Vec<VecDeque<P::Msg>>>,
+    /// Per-node inbox scratch, cleared and refilled every round (capacity is
+    /// retained, so steady-state rounds allocate nothing here).
+    inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    /// Shared outbox scratch handed to each protocol call in turn.
+    outbox: Vec<Outgoing<P::Msg>>,
     config: SimulationConfig,
     stats: RoundStats,
     started: bool,
@@ -79,10 +84,13 @@ impl<P: Protocol> Simulator<P> {
             .iter()
             .map(|ctx| vec![VecDeque::new(); ctx.ports.len()])
             .collect();
+        let inboxes = (0..contexts.len()).map(|_| Vec::new()).collect();
         Simulator {
             contexts,
             protocols,
             queues,
+            inboxes,
+            outbox: Vec::new(),
             config,
             stats: RoundStats::default(),
             started: false,
@@ -105,27 +113,35 @@ impl<P: Protocol> Simulator<P> {
         self.stats
     }
 
-    fn enqueue(&mut self, node: usize, outgoing: Vec<Outgoing<P::Msg>>) {
-        for out in outgoing {
+    /// Drains `outbox` into `node`'s port queues. A free-standing associated
+    /// function over the individual fields so callers can hold disjoint
+    /// borrows of the other simulator state.
+    fn flush_outbox(
+        queues: &mut [Vec<VecDeque<P::Msg>>],
+        stats: &mut RoundStats,
+        config: &SimulationConfig,
+        node: usize,
+        outbox: &mut Vec<Outgoing<P::Msg>>,
+    ) {
+        if outbox.is_empty() {
+            return;
+        }
+        for out in outbox.drain(..) {
             assert!(
-                out.port < self.contexts[node].ports.len(),
+                out.port < queues[node].len(),
                 "node {node} sent through nonexistent port {}",
                 out.port
             );
             assert!(
-                out.msg.words() <= self.config.word_limit,
+                out.msg.words() <= config.word_limit,
                 "node {node} sent a {}-word message; the CONGEST budget is {} words",
                 out.msg.words(),
-                self.config.word_limit
+                config.word_limit
             );
-            self.queues[node][out.port].push_back(out.msg);
+            queues[node][out.port].push_back(out.msg);
         }
-        let backlog = self.queues[node]
-            .iter()
-            .map(VecDeque::len)
-            .max()
-            .unwrap_or(0);
-        self.stats.max_edge_backlog = self.stats.max_edge_backlog.max(backlog);
+        let backlog = queues[node].iter().map(VecDeque::len).max().unwrap_or(0);
+        stats.max_edge_backlog = stats.max_edge_backlog.max(backlog);
     }
 
     /// Runs `init` on every node (enqueuing their initial sends). Called
@@ -135,11 +151,19 @@ impl<P: Protocol> Simulator<P> {
             return;
         }
         self.started = true;
+        let mut outbox = std::mem::take(&mut self.outbox);
         for v in 0..self.contexts.len() {
-            let ctx = self.contexts[v].clone();
-            let outgoing = self.protocols[v].init(&ctx);
-            self.enqueue(v, outgoing);
+            outbox.clear();
+            self.protocols[v].init(&self.contexts[v], &mut outbox);
+            Self::flush_outbox(
+                &mut self.queues,
+                &mut self.stats,
+                &self.config,
+                v,
+                &mut outbox,
+            );
         }
+        self.outbox = outbox;
     }
 
     /// Returns `true` if no message is queued anywhere in the network.
@@ -156,8 +180,12 @@ impl<P: Protocol> Simulator<P> {
     pub fn step(&mut self) -> bool {
         self.start();
         let n = self.contexts.len();
-        // Phase 1: pop at most one message per directed edge.
-        let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); n];
+        // Phase 1: pop at most one message per directed edge. The per-node
+        // inbox buffers are cleared, not reallocated, so their capacity is
+        // reused round over round.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
         let mut delivered_any = false;
         for v in 0..n {
             for port in 0..self.contexts[v].ports.len() {
@@ -169,7 +197,7 @@ impl<P: Protocol> Simulator<P> {
                         .expect("adjacency must be symmetric");
                     self.stats.messages += 1;
                     self.stats.words += msg.words();
-                    inboxes[target].push(Incoming {
+                    self.inboxes[target].push(Incoming {
                         port: back_port,
                         msg,
                     });
@@ -177,17 +205,27 @@ impl<P: Protocol> Simulator<P> {
             }
         }
         self.stats.rounds += 1;
-        // Phase 2: run every protocol on its inbox.
+        // Phase 2: run every protocol on its inbox, all sharing one outbox
+        // scratch buffer (and borrowing the node context in place rather than
+        // cloning its port list).
         let round = self.stats.rounds;
         let mut sent_any = false;
+        let mut outbox = std::mem::take(&mut self.outbox);
         for v in 0..n {
-            let ctx = self.contexts[v].clone();
-            let outgoing = self.protocols[v].on_round(&ctx, round, &inboxes[v]);
-            if !outgoing.is_empty() {
+            outbox.clear();
+            self.protocols[v].on_round(&self.contexts[v], round, &self.inboxes[v], &mut outbox);
+            if !outbox.is_empty() {
                 sent_any = true;
             }
-            self.enqueue(v, outgoing);
+            Self::flush_outbox(
+                &mut self.queues,
+                &mut self.stats,
+                &self.config,
+                v,
+                &mut outbox,
+            );
         }
+        self.outbox = outbox;
         delivered_any || sent_any
     }
 
@@ -266,16 +304,16 @@ mod tests {
         struct Bad;
         impl Protocol for Bad {
             type Msg = u64;
-            fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<u64>> {
-                vec![Outgoing::new(99, 1)]
+            fn init(&mut self, _ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
+                out.push(Outgoing::new(99, 1));
             }
             fn on_round(
                 &mut self,
                 _ctx: &NodeContext,
                 _round: usize,
                 _incoming: &[Incoming<u64>],
-            ) -> Vec<Outgoing<u64>> {
-                vec![]
+                _out: &mut Vec<Outgoing<u64>>,
+            ) {
             }
         }
         let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
@@ -289,16 +327,16 @@ mod tests {
         struct Chatty;
         impl Protocol for Chatty {
             type Msg = Vec<u64>;
-            fn init(&mut self, _ctx: &NodeContext) -> Vec<Outgoing<Vec<u64>>> {
-                vec![Outgoing::new(0, vec![0; 100])]
+            fn init(&mut self, _ctx: &NodeContext, out: &mut Vec<Outgoing<Vec<u64>>>) {
+                out.push(Outgoing::new(0, vec![0; 100]));
             }
             fn on_round(
                 &mut self,
                 _ctx: &NodeContext,
                 _round: usize,
                 _incoming: &[Incoming<Vec<u64>>],
-            ) -> Vec<Outgoing<Vec<u64>>> {
-                vec![]
+                _out: &mut Vec<Outgoing<Vec<u64>>>,
+            ) {
             }
         }
         let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
@@ -316,12 +354,10 @@ mod tests {
         }
         impl Protocol for Burst {
             type Msg = u64;
-            fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+            fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
                 if ctx.id == 0 {
                     self.fired = true;
-                    (0..5).map(|i| Outgoing::new(0, i)).collect()
-                } else {
-                    vec![]
+                    out.extend((0..5).map(|i| Outgoing::new(0, i)));
                 }
             }
             fn on_round(
@@ -329,9 +365,9 @@ mod tests {
                 _ctx: &NodeContext,
                 _round: usize,
                 incoming: &[Incoming<u64>],
-            ) -> Vec<Outgoing<u64>> {
+                _out: &mut Vec<Outgoing<u64>>,
+            ) {
                 self.received += incoming.len();
-                vec![]
             }
         }
         let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();

@@ -70,22 +70,28 @@ impl<M> Outgoing<M> {
 /// through `init` (before round 1) and then `on_round` once per round. The
 /// execution terminates when the network is *quiescent*: no messages are in
 /// flight or queued and the previous round produced no new sends.
+///
+/// Sends are pushed into the `out` buffer the simulator passes in — one
+/// reusable scratch vector shared by every node, cleared before each call —
+/// so steady-state rounds allocate nothing per node.
 pub trait Protocol {
     /// The message type exchanged by this protocol.
     type Msg: Clone + MessageSize;
 
-    /// Called once before the first round; returns the initial sends.
-    fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<Self::Msg>>;
+    /// Called once before the first round; pushes the initial sends into
+    /// `out` (cleared by the simulator before the call).
+    fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<Self::Msg>>);
 
-    /// Called once per round with the messages delivered this round; returns
-    /// the messages to send (they are delivered next round, subject to the
-    /// one-message-per-edge-per-round budget).
+    /// Called once per round with the messages delivered this round; pushes
+    /// the messages to send into `out` (they are delivered next round,
+    /// subject to the one-message-per-edge-per-round budget).
     fn on_round(
         &mut self,
         ctx: &NodeContext,
         round: usize,
         incoming: &[Incoming<Self::Msg>],
-    ) -> Vec<Outgoing<Self::Msg>>;
+        out: &mut Vec<Outgoing<Self::Msg>>,
+    );
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ use en_congest_algos::theorem1::multi_source_hop_bounded;
 use en_graph::tree::RootedTree;
 use en_graph::{is_finite, Dist, NodeId, WeightedGraph, INFINITY};
 
-use crate::exact::grow_exact_cluster;
+use crate::exact::grow_exact_cluster_csr;
 use crate::family::Cluster;
 use crate::hierarchy::Hierarchy;
 use crate::params::SchemeParams;
@@ -42,6 +42,10 @@ pub struct ClusterDiagnostics {
     pub parent_fixups: usize,
     /// Number of cluster trees built per level.
     pub clusters_per_level: HashMap<usize, usize>,
+    /// Number of simulated CONGEST runs that were cut off by the simulator's
+    /// round limit before quiescence (should be 0; the harness bins warn when
+    /// it is not, because the reported round counts would be truncated).
+    pub round_limit_hits: usize,
 }
 
 /// Output of the approximate-cluster construction for a set of levels.
@@ -83,6 +87,7 @@ pub fn small_scale_clusters(
     let mut diagnostics = ClusterDiagnostics::default();
     let half = params.half_k();
     let middle = params.middle_level();
+    let csr = en_graph::CsrGraph::from_graph(g);
     for i in 0..half.min(params.k) {
         if Some(i) == middle {
             continue;
@@ -94,7 +99,7 @@ pub fn small_scale_clusters(
         let threshold = thresholds(pivots, params.k, i);
         let mut level_overlap = vec![0usize; g.num_nodes()];
         for &center in &centers {
-            let cluster = grow_exact_cluster(g, center, i, &threshold);
+            let cluster = grow_exact_cluster_csr(g, &csr, center, i, &threshold);
             for v in cluster.members() {
                 level_overlap[v] += 1;
             }
@@ -154,14 +159,16 @@ pub fn middle_level_clusters(
         let mut estimate: HashMap<NodeId, Dist> = HashMap::new();
         let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
         estimate.insert(center, 0);
+        let dist_row = t1.dist_row(ci);
+        let parent_row = t1.parent_row(ci);
         for v in g.nodes() {
             if v == center {
                 continue;
             }
-            let bv = t1.dist[ci][v];
+            let bv = dist_row[v];
             if is_finite(bv) && bv < threshold[v] {
                 estimate.insert(v, bv);
-                if let Some(p) = t1.parent[ci][v] {
+                if let Some(p) = parent_row[v] {
                     parent.insert(v, p);
                 }
             }
@@ -237,39 +244,50 @@ pub fn large_scale_clusters(
             let mut joined = vec![false; m];
             vdist[cu] = 0;
             joined[cu] = true;
+            // Frontier-based sweeps: only *joined* vertices relay, and only
+            // when their value changed in the previous sweep. The frontier
+            // carries the value each relaying vertex had at the start of the
+            // sweep, preserving the levelled semantics without per-sweep
+            // snapshot clones of `vdist` / `joined`. A vertex's joined flag
+            // can only flip in a sweep where its value changed (thresholds
+            // are static and values only decrease), so re-testing (14) on the
+            // changed set alone is exhaustive.
+            let mut frontier: Vec<(usize, Dist)> = vec![(cu, 0)];
+            let mut touched: Vec<usize> = Vec::new();
+            let mut in_touched = vec![false; m];
             for _ in 0..pre.beta {
-                let snapshot = vdist.clone();
-                let snapshot_joined = joined.clone();
-                let mut changed = false;
-                for x in 0..m {
-                    if !snapshot_joined[x] || snapshot[x] >= INFINITY {
-                        continue;
-                    }
+                if frontier.is_empty() {
+                    break;
+                }
+                for &(x, dx) in &frontier {
                     for nb in pre.augmented.neighbors(x) {
-                        let cand = snapshot[x].saturating_add(nb.weight).min(INFINITY);
+                        let cand = dx.saturating_add(nb.weight).min(INFINITY);
                         if cand < vdist[nb.node] {
                             vdist[nb.node] = cand;
                             vparent[nb.node] = Some((x, nb.hopset_index));
-                            changed = true;
+                            if !in_touched[nb.node] {
+                                in_touched[nb.node] = true;
+                                touched.push(nb.node);
+                            }
                         }
                     }
                 }
-                // Join test (14): b_v(u) < d̂_{i+1}(v) / (1+ε)^3.
-                for v in 0..m {
-                    if v == cu || joined[v] {
-                        continue;
-                    }
-                    if is_finite(vdist[v]) {
+                frontier.clear();
+                for &v in &touched {
+                    in_touched[v] = false;
+                    // Join test (14): b_v(u) < d̂_{i+1}(v) / (1+ε)^3.
+                    if v != cu && !joined[v] {
                         let thr = threshold[pre.original(v)];
                         if thr == INFINITY || (vdist[v] as f64) < thr as f64 / one_plus_eps.powi(3)
                         {
                             joined[v] = true;
                         }
                     }
+                    if joined[v] {
+                        frontier.push((v, vdist[v]));
+                    }
                 }
-                if !changed {
-                    break;
-                }
+                touched.clear();
             }
 
             // ---- Phase 1.5: pull realising paths of used hopset edges. ----
@@ -350,24 +368,29 @@ pub fn large_scale_clusters(
             }
             total_virtual_members += virtual_members.len() + 1;
 
-            // ---- Phase 2: extend to all of V through the Theorem-1 values. ----
+            // ---- Phase 2: extend to all of V through the Theorem-1 values,
+            // ---- reading each virtual member's flat distance row once. ----
+            let centre_row = pre.theorem1.dist_row(cu);
+            let member_rows: Vec<(&[Dist], Dist, NodeId)> = virtual_members
+                .iter()
+                .map(|&v| (pre.theorem1.dist_row(v), vdist[v], pre.original(v)))
+                .collect();
             for y in g.nodes() {
                 if estimate.contains_key(&y) {
                     continue;
                 }
                 let mut best: Option<(Dist, NodeId)> = None;
                 // The centre itself broadcasts b_u(u) = 0 as well.
-                let centre_d = pre.value(y, center);
+                let centre_d = centre_row[y];
                 if is_finite(centre_d) {
                     best = Some((centre_d, center));
                 }
-                for &v in &virtual_members {
-                    let x = pre.original(v);
-                    let dyx = pre.value(y, x);
+                for &(row, dv, x) in &member_rows {
+                    let dyx = row[y];
                     if !is_finite(dyx) {
                         continue;
                     }
-                    let cand = dyx.saturating_add(vdist[v]).min(INFINITY);
+                    let cand = dyx.saturating_add(dv).min(INFINITY);
                     if best.is_none_or(|(bd, _)| cand < bd) {
                         best = Some((cand, x));
                     }

@@ -134,6 +134,7 @@ pub fn build_routing_scheme(
 
     // 4. Clusters.
     let mut diagnostics = ClusterDiagnostics::default();
+    diagnostics.round_limit_hits += pivot_table.round_limit_hits;
     let mut clusters = std::collections::HashMap::new();
     let small = small_scale_clusters(g, &hierarchy, &params, &pivot_table.pivots);
     ledger.absorb(small.ledger);
@@ -193,6 +194,7 @@ pub fn build_routing_scheme(
 
 fn merge_diagnostics(into: &mut ClusterDiagnostics, from: ClusterDiagnostics) {
     into.parent_fixups += from.parent_fixups;
+    into.round_limit_hits += from.round_limit_hits;
     for (level, count) in from.clusters_per_level {
         *into.clusters_per_level.entry(level).or_insert(0) += count;
     }

@@ -12,9 +12,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use en_graph::dijkstra::multi_source_dijkstra;
+use en_graph::dijkstra::multi_source_dijkstra_csr;
 use en_graph::tree::RootedTree;
-use en_graph::{dist_add, is_finite, Dist, NodeId, WeightedGraph, INFINITY};
+use en_graph::{dist_add, is_finite, CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
 
 use crate::family::{Cluster, ClusterFamily};
 use crate::hierarchy::Hierarchy;
@@ -26,13 +26,14 @@ use crate::hierarchy::Hierarchy;
 pub fn exact_pivots(g: &WeightedGraph, hierarchy: &Hierarchy) -> Vec<Vec<Option<(NodeId, Dist)>>> {
     let n = g.num_nodes();
     let k = hierarchy.k();
+    let csr = CsrGraph::from_graph(g);
     let mut pivots = vec![vec![None; k]; n];
     for i in 0..k {
         let level = hierarchy.level(i);
         if level.is_empty() {
             continue;
         }
-        let (dist, nearest) = multi_source_dijkstra(g, level);
+        let (dist, nearest) = multi_source_dijkstra_csr(&csr, level);
         for v in 0..n {
             if let (true, Some(z)) = (is_finite(dist[v]), nearest[v]) {
                 pivots[v][i] = Some((z, dist[v]));
@@ -70,6 +71,19 @@ pub fn grow_exact_cluster(
     level: usize,
     threshold: &[Dist],
 ) -> Cluster {
+    grow_exact_cluster_csr(g, &CsrGraph::from_graph(g), center, level, threshold)
+}
+
+/// [`grow_exact_cluster`] over a prebuilt [`CsrGraph`] view of the same graph,
+/// so callers growing many clusters (one per centre) pay the CSR construction
+/// once.
+pub fn grow_exact_cluster_csr(
+    g: &WeightedGraph,
+    csr: &CsrGraph,
+    center: NodeId,
+    level: usize,
+    threshold: &[Dist],
+) -> Cluster {
     let n = g.num_nodes();
     let mut dist = vec![INFINITY; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -86,12 +100,13 @@ pub fn grow_exact_cluster(
             continue;
         }
         joined[v] = true;
-        for nb in g.neighbors(v) {
-            let nd = dist_add(d, nb.weight);
-            if nd < dist[nb.node] {
-                dist[nb.node] = nd;
-                parent[nb.node] = Some(v);
-                heap.push(Reverse((nd, nb.node)));
+        let (targets, weights) = csr.arcs(v);
+        for (&t, &w) in targets.iter().zip(weights) {
+            let nd = dist_add(d, w);
+            if nd < dist[t] {
+                dist[t] = nd;
+                parent[t] = Some(v);
+                heap.push(Reverse((nd, t)));
             }
         }
     }
@@ -119,11 +134,12 @@ pub fn grow_exact_cluster(
 /// exact pivot table.
 pub fn exact_cluster_family(g: &WeightedGraph, hierarchy: &Hierarchy) -> ClusterFamily {
     let pivots = exact_pivots(g, hierarchy);
+    let csr = CsrGraph::from_graph(g);
     let mut clusters = HashMap::new();
     for i in 0..hierarchy.k() {
         let threshold = membership_thresholds(&pivots, i);
         for center in hierarchy.centers_at(i) {
-            let cluster = grow_exact_cluster(g, center, i, &threshold);
+            let cluster = grow_exact_cluster_csr(g, &csr, center, i, &threshold);
             clusters.insert(center, cluster);
         }
     }
@@ -138,7 +154,7 @@ pub fn exact_cluster_family(g: &WeightedGraph, hierarchy: &Hierarchy) -> Cluster
 mod tests {
     use super::*;
     use crate::params::SchemeParams;
-    use en_graph::dijkstra::dijkstra;
+    use en_graph::dijkstra::{dijkstra, multi_source_dijkstra};
     use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
 
     fn setup(n: usize, k: usize, seed: u64) -> (WeightedGraph, Hierarchy, ClusterFamily) {

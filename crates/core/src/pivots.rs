@@ -33,6 +33,10 @@ pub struct PivotTable {
     /// Number of (vertex, level) entries where the whp guarantee failed and the
     /// exact fallback value was used instead.
     pub fallbacks: usize,
+    /// Number of simulated explorations that were cut off by the simulator's
+    /// round limit before reaching quiescence (should be 0; surfaced so the
+    /// harness can warn instead of silently reporting truncated rounds).
+    pub round_limit_hits: usize,
 }
 
 /// Multi-source hop-bounded Bellman–Ford on the augmented virtual graph,
@@ -46,30 +50,41 @@ pub fn multi_source_on_augmented(
     let m = aug.num_nodes();
     let mut dist = vec![INFINITY; m];
     let mut origin: Vec<Option<usize>> = vec![None; m];
+    // Frontier-based levelled Bellman-Ford over the CSR adjacency of G'':
+    // each sweep relaxes only the vertices whose value changed in the
+    // previous sweep, carrying the (value, origin) pair each one had at the
+    // start of the sweep — no per-sweep snapshot clones.
+    let mut frontier: Vec<(usize, Dist, Option<usize>)> = Vec::with_capacity(sources.len());
     for &s in sources {
         dist[s] = 0;
         origin[s] = Some(s);
+        frontier.push((s, 0, Some(s)));
     }
+    let mut touched: Vec<usize> = Vec::new();
+    let mut in_touched = vec![false; m];
     for _ in 0..beta {
-        let snapshot = dist.clone();
-        let snapshot_origin = origin.clone();
-        let mut changed = false;
-        for x in 0..m {
-            if snapshot[x] >= INFINITY {
-                continue;
-            }
+        if frontier.is_empty() {
+            break;
+        }
+        for &(x, dx, ox) in &frontier {
             for nb in aug.neighbors(x) {
-                let cand = snapshot[x].saturating_add(nb.weight).min(INFINITY);
+                let cand = dx.saturating_add(nb.weight).min(INFINITY);
                 if cand < dist[nb.node] {
                     dist[nb.node] = cand;
-                    origin[nb.node] = snapshot_origin[x];
-                    changed = true;
+                    origin[nb.node] = ox;
+                    if !in_touched[nb.node] {
+                        in_touched[nb.node] = true;
+                        touched.push(nb.node);
+                    }
                 }
             }
         }
-        if !changed {
-            break;
+        frontier.clear();
+        for &v in &touched {
+            in_touched[v] = false;
+            frontier.push((v, dist[v], origin[v]));
         }
+        touched.clear();
     }
     (dist, origin)
 }
@@ -88,6 +103,7 @@ pub fn compute_pivots(
     let mut pivots: Vec<Vec<Option<(NodeId, Dist)>>> = vec![vec![None; k]; n];
     let mut ledger = RoundLedger::new();
     let mut fallbacks = 0;
+    let mut round_limit_hits = 0;
 
     // Level 0: every vertex is its own pivot at distance 0.
     for v in 0..n {
@@ -102,6 +118,9 @@ pub fn compute_pivots(
         }
         let depth = params.exploration_depth(i);
         let res = distributed_exploration(g, level, depth);
+        if res.stats.hit_round_limit {
+            round_limit_hits += 1;
+        }
         ledger.charge(
             format!("exact pivots, level {i}: Bellman-Ford rooted at A_{i}"),
             res.stats.rounds,
@@ -151,24 +170,23 @@ pub fn compute_pivots(
                     pre.beta
                 ),
             );
-            // Extend from V' to all of V through the Theorem-1 values.
+            // Extend from V' to all of V through the Theorem-1 values,
+            // reading each virtual vertex's flat distance row once.
+            let reachable: Vec<(usize, Dist, NodeId)> = (0..pre.m())
+                .filter(|&xi| is_finite(vdist[xi]))
+                .filter_map(|xi| vorigin[xi].map(|o| (xi, vdist[xi], pre.original(o))))
+                .collect();
             let mut fallback: Option<(Vec<Dist>, Vec<Option<NodeId>>)> = None;
             for u in 0..n {
                 let mut best: Option<(Dist, NodeId)> = None;
-                for (xi, &x) in pre.vprime.iter().enumerate() {
-                    if !is_finite(vdist[xi]) {
-                        continue;
-                    }
-                    let dux = pre.value(u, x);
+                for &(xi, dxv, z) in &reachable {
+                    let dux = pre.theorem1.dist_row(xi)[u];
                     if !is_finite(dux) {
                         continue;
                     }
-                    let cand = dux.saturating_add(vdist[xi]);
-                    let origin = vorigin[xi].map(|o| pre.original(o));
-                    if let Some(z) = origin {
-                        if best.is_none_or(|(bd, _)| cand < bd) {
-                            best = Some((cand, z));
-                        }
+                    let cand = dux.saturating_add(dxv);
+                    if best.is_none_or(|(bd, _)| cand < bd) {
+                        best = Some((cand, z));
                     }
                 }
                 match best {
@@ -193,6 +211,7 @@ pub fn compute_pivots(
         pivots,
         ledger,
         fallbacks,
+        round_limit_hits,
     }
 }
 

@@ -83,8 +83,11 @@ impl Preprocessing {
         let m = vprime.len();
         let mut gprime = WeightedGraph::new(m);
         for i in 0..m {
+            // Row access into the flat source-major Theorem-1 output: one
+            // slice per virtual vertex instead of a hash lookup per pair.
+            let row = theorem1.dist_row(i);
             for j in (i + 1)..m {
-                let d = theorem1.value(vprime[j], vprime[i]);
+                let d = row[vprime[j]];
                 if is_finite(d) && d > 0 {
                     gprime
                         .add_edge(i, j, d)

@@ -6,6 +6,7 @@
 //! Both quantities are needed to validate the distributed hop-bounded
 //! explorations against a sequential reference.
 
+use crate::csr::CsrGraph;
 use crate::dijkstra::dijkstra;
 use crate::graph::WeightedGraph;
 use crate::types::{dist_add, Dist, NodeId, INFINITY};
@@ -23,10 +24,12 @@ pub struct HopBoundedDistances {
     pub parent: Vec<Option<NodeId>>,
 }
 
-/// Computes `d^{(t)}_G(source, ·)` by `t` rounds of Bellman–Ford relaxation.
+/// Computes `d^{(t)}_G(source, ·)` by `t` frontier-based Bellman–Ford sweeps.
 ///
-/// This is the sequential reference implementation; the distributed version
-/// lives in the `en_congest_algos` crate and is tested against this one.
+/// Builds a [`CsrGraph`] view of `g` once and delegates to
+/// [`hop_bounded_distances_csr`]; callers that already hold a CSR view (or
+/// that run many explorations over the same graph) should build the CSR
+/// themselves and call the `_csr` variant directly.
 ///
 /// # Panics
 ///
@@ -36,33 +39,112 @@ pub fn hop_bounded_distances(
     source: NodeId,
     hop_bound: usize,
 ) -> HopBoundedDistances {
+    hop_bounded_distances_csr(&CsrGraph::from_graph(g), source, hop_bound)
+}
+
+/// CSR-view implementation of [`hop_bounded_distances`].
+///
+/// Each sweep relaxes only the *frontier* — the vertices whose distance
+/// changed in the previous sweep — reading the value each frontier vertex had
+/// at the start of the sweep, so the result is the exact levelled quantity
+/// `d^{(t)}_G(source, ·)` with no per-sweep snapshot allocation. The sweep
+/// loop stops as soon as a sweep relaxes nothing (empty frontier).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn hop_bounded_distances_csr(
+    csr: &CsrGraph,
+    source: NodeId,
+    hop_bound: usize,
+) -> HopBoundedDistances {
+    assert!(source < csr.num_nodes(), "source {source} out of range");
+    let n = csr.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    dist[source] = 0;
+    // `frontier` carries (vertex, its distance at the end of the previous
+    // sweep); relaxing from that recorded value — never from `dist`, which
+    // may already hold this sweep's improvements — preserves the levelled
+    // semantics exactly.
+    let mut frontier: Vec<(NodeId, Dist)> = vec![(source, 0)];
+    let mut changed: Vec<NodeId> = Vec::new();
+    let mut in_changed = vec![false; n];
+    for _ in 0..hop_bound {
+        if frontier.is_empty() {
+            break;
+        }
+        for &(u, du) in &frontier {
+            let (targets, weights) = csr.arcs(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                let nd = dist_add(du, w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = Some(u);
+                    if !in_changed[v] {
+                        in_changed[v] = true;
+                        changed.push(v);
+                    }
+                }
+            }
+        }
+        frontier.clear();
+        for &v in &changed {
+            in_changed[v] = false;
+            frontier.push((v, dist[v]));
+        }
+        changed.clear();
+    }
+    HopBoundedDistances {
+        source,
+        hop_bound,
+        dist,
+        parent,
+    }
+}
+
+/// The retained naive reference implementation of [`hop_bounded_distances`]:
+/// textbook levelled Bellman–Ford, one full `O(n + m)` pass per sweep.
+///
+/// Kept (and exercised by the equivalence property tests) as the oracle the
+/// frontier-based kernel is validated against; not for production use.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn hop_bounded_distances_reference(
+    g: &WeightedGraph,
+    source: NodeId,
+    hop_bound: usize,
+) -> HopBoundedDistances {
     assert!(source < g.num_nodes(), "source {source} out of range");
     let n = g.num_nodes();
     let mut dist = vec![INFINITY; n];
     let mut parent = vec![None; n];
     dist[source] = 0;
-    // Standard "levelled" Bellman-Ford: dist_next[v] = min over neighbours of
-    // dist[u] + w(u, v), so after round t, dist[v] = d^{(t)}(source, v).
-    let mut current = dist.clone();
+    // Standard "levelled" Bellman-Ford: after sweep t, dist[v] = d^{(t)}(v).
+    // The snapshot buffer is allocated once and refilled per sweep.
+    let mut snapshot = vec![INFINITY; n];
     for _ in 0..hop_bound {
-        let mut next = current.clone();
-        let mut next_parent = parent.clone();
+        snapshot.copy_from_slice(&dist);
+        let mut any = false;
         for u in 0..n {
-            if current[u] >= INFINITY {
+            if snapshot[u] >= INFINITY {
                 continue;
             }
             for nb in g.neighbors(u) {
-                let nd = dist_add(current[u], nb.weight);
-                if nd < next[nb.node] {
-                    next[nb.node] = nd;
-                    next_parent[nb.node] = Some(u);
+                let nd = dist_add(snapshot[u], nb.weight);
+                if nd < dist[nb.node] {
+                    dist[nb.node] = nd;
+                    parent[nb.node] = Some(u);
+                    any = true;
                 }
             }
         }
-        current = next;
-        parent = next_parent;
+        if !any {
+            break;
+        }
     }
-    dist = current;
     HopBoundedDistances {
         source,
         hop_bound,
@@ -90,9 +172,14 @@ pub fn shortest_path_hops(g: &WeightedGraph, source: NodeId) -> Vec<usize> {
 /// Returns 0 for graphs with fewer than two vertices; unreachable pairs are
 /// ignored.
 pub fn shortest_path_diameter(g: &WeightedGraph) -> usize {
+    let csr = CsrGraph::from_graph(g);
     let mut s = 0;
     for u in g.nodes() {
-        for (v, &h) in shortest_path_hops(g, u).iter().enumerate() {
+        for (v, &h) in crate::dijkstra::dijkstra_csr(&csr, u)
+            .hops
+            .iter()
+            .enumerate()
+        {
             if v != u && h != usize::MAX {
                 s = s.max(h);
             }

@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use crate::csr::CsrGraph;
 use crate::graph::WeightedGraph;
 use crate::types::NodeId;
 
@@ -49,19 +50,29 @@ impl BfsResult {
 ///
 /// Panics if `source` is out of range.
 pub fn bfs(g: &WeightedGraph, source: NodeId) -> BfsResult {
-    assert!(source < g.num_nodes(), "source {source} out of range");
-    let n = g.num_nodes();
+    bfs_csr(&CsrGraph::from_graph(g), source)
+}
+
+/// [`bfs`] over a prebuilt [`CsrGraph`] view; callers sweeping many sources
+/// on the same graph (e.g. [`hop_diameter`]) build the CSR once and call this.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_csr(csr: &CsrGraph, source: NodeId) -> BfsResult {
+    assert!(source < csr.num_nodes(), "source {source} out of range");
+    let n = csr.num_nodes();
     let mut hops = vec![usize::MAX; n];
     let mut parent = vec![None; n];
     let mut queue = VecDeque::new();
     hops[source] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for nb in g.neighbors(u) {
-            if hops[nb.node] == usize::MAX {
-                hops[nb.node] = hops[u] + 1;
-                parent[nb.node] = Some(u);
-                queue.push_back(nb.node);
+        for &v in csr.targets(u) {
+            if hops[v] == usize::MAX {
+                hops[v] = hops[u] + 1;
+                parent[v] = Some(u);
+                queue.push_back(v);
             }
         }
     }
@@ -91,9 +102,10 @@ pub fn hop_diameter(g: &WeightedGraph) -> usize {
     if n <= 1 {
         return 0;
     }
+    let csr = CsrGraph::from_graph(g);
     let mut d = 0;
     for u in g.nodes() {
-        let r = bfs(g, u);
+        let r = bfs_csr(&csr, u);
         for &h in &r.hops {
             if h == usize::MAX {
                 return usize::MAX;
@@ -115,12 +127,13 @@ pub fn hop_diameter_estimate(g: &WeightedGraph) -> usize {
     if n <= 1 {
         return 0;
     }
-    let first = bfs(g, 0);
+    let csr = CsrGraph::from_graph(g);
+    let first = bfs_csr(&csr, 0);
     if first.hops.contains(&usize::MAX) {
         return usize::MAX;
     }
     let far = (0..n).max_by_key(|&v| first.hops[v]).unwrap_or(0);
-    bfs(g, far).eccentricity()
+    bfs_csr(&csr, far).eccentricity()
 }
 
 /// The connected components of the graph, each as a sorted vertex list.
@@ -128,11 +141,12 @@ pub fn connected_components(g: &WeightedGraph) -> Vec<Vec<NodeId>> {
     let n = g.num_nodes();
     let mut seen = vec![false; n];
     let mut comps = Vec::new();
+    let csr = CsrGraph::from_graph(g);
     for s in 0..n {
         if seen[s] {
             continue;
         }
-        let r = bfs(g, s);
+        let r = bfs_csr(&csr, s);
         let mut comp: Vec<NodeId> = (0..n)
             .filter(|&v| r.hops[v] != usize::MAX && !seen[v])
             .collect();

@@ -1,0 +1,189 @@
+//! Compressed sparse row (CSR) adjacency — the cache-friendly graph view the
+//! hot exploration kernels run on.
+//!
+//! [`WeightedGraph`] stores one heap-allocated `Vec<Neighbor>` per vertex,
+//! which is convenient for incremental construction but scatters the adjacency
+//! lists across the heap: a Bellman–Ford sweep that touches many vertices pays
+//! a cache miss per list. [`CsrGraph`] packs the same adjacency into three
+//! flat arrays (`offsets` / `targets` / `weights`) built once, so a sweep
+//! walks memory linearly and the whole structure stays resident in cache
+//! across sweeps and across sources.
+//!
+//! The neighbour *order* of every vertex is preserved exactly, so the index of
+//! a neighbour inside [`CsrGraph::targets`]`(v)` is still the CONGEST port
+//! number of that edge at `v`, interchangeable with
+//! [`WeightedGraph::neighbors`].
+//!
+//! # Example
+//!
+//! ```
+//! use en_graph::{CsrGraph, WeightedGraph};
+//!
+//! let g = WeightedGraph::from_edges(3, [(0, 1, 5), (1, 2, 7)]).unwrap();
+//! let csr = CsrGraph::from_graph(&g);
+//! assert_eq!(csr.num_nodes(), 3);
+//! assert_eq!(csr.targets(1), &[0, 2]);
+//! assert_eq!(csr.weights(1), &[5, 7]);
+//! ```
+
+use crate::graph::{Neighbor, WeightedGraph};
+use crate::types::{NodeId, Weight};
+
+/// A read-only CSR view of a [`WeightedGraph`].
+///
+/// Built once with [`CsrGraph::from_graph`]; all hot shortest-path kernels in
+/// the workspace (`bellman_ford`, `dijkstra`, `bfs`, the Theorem-1 batched
+/// exploration) iterate adjacency through this structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` / `weights` for `v`.
+    offsets: Vec<usize>,
+    /// Flat neighbour ids, vertex-major, in port order.
+    targets: Vec<NodeId>,
+    /// Flat edge weights, parallel to `targets`.
+    weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR view of `g` in one pass, preserving port order.
+    pub fn from_graph(g: &WeightedGraph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        let mut weights = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in 0..n {
+            for nb in g.neighbors(v) {
+                targets.push(nb.node);
+                weights.push(nb.weight);
+            }
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The neighbour ids of `v`, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn targets(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The edge weights of `v`, parallel to [`CsrGraph::targets`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn weights(&self, v: NodeId) -> &[Weight] {
+        &self.weights[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Paired `(targets, weights)` slices of `v` — the shape the relaxation
+    /// kernels consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn arcs(&self, v: NodeId) -> (&[NodeId], &[Weight]) {
+        let lo = self.offsets[v];
+        let hi = self.offsets[v + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterator over the neighbours of `v` as [`Neighbor`] values, in port
+    /// order — drop-in compatible with [`WeightedGraph::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = Neighbor> + '_ {
+        let (targets, weights) = self.arcs(v);
+        targets
+            .iter()
+            .zip(weights)
+            .map(|(&node, &weight)| Neighbor { node, weight })
+    }
+}
+
+impl From<&WeightedGraph> for CsrGraph {
+    fn from(g: &WeightedGraph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph {
+        WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 2), (0, 2, 5)]).unwrap()
+    }
+
+    #[test]
+    fn csr_matches_adjacency_lists_in_port_order() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(csr.degree(v), g.degree(v));
+            let from_csr: Vec<Neighbor> = csr.neighbors(v).collect();
+            assert_eq!(from_csr.as_slice(), g.neighbors(v));
+            let (targets, weights) = csr.arcs(v);
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(targets[p], nb.node);
+                assert_eq!(weights[p], nb.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_slices() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert!(csr.targets(3).is_empty());
+        assert!(csr.weights(3).is_empty());
+        assert_eq!(csr.degree(3), 0);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let csr = CsrGraph::from_graph(&WeightedGraph::new(0));
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_impl_agrees_with_from_graph() {
+        let g = sample();
+        assert_eq!(CsrGraph::from(&g), CsrGraph::from_graph(&g));
+    }
+}

@@ -8,6 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::csr::CsrGraph;
 use crate::graph::WeightedGraph;
 use crate::path::Path;
 use crate::types::{dist_add, is_finite, Dist, NodeId, INFINITY};
@@ -56,8 +57,21 @@ impl ShortestPaths {
 ///
 /// Panics if `source` is out of range.
 pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
-    assert!(source < g.num_nodes(), "source {source} out of range");
-    let n = g.num_nodes();
+    dijkstra_csr(&CsrGraph::from_graph(g), source)
+}
+
+/// [`dijkstra`] over a prebuilt [`CsrGraph`] view.
+///
+/// Callers that run Dijkstra from many sources on the same graph (all-pairs
+/// ground truth, hopset pivots, cluster growing) should build the CSR once
+/// and call this directly.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn dijkstra_csr(csr: &CsrGraph, source: NodeId) -> ShortestPaths {
+    assert!(source < csr.num_nodes(), "source {source} out of range");
+    let n = csr.num_nodes();
     let mut dist = vec![INFINITY; n];
     let mut parent = vec![None; n];
     let mut hops = vec![usize::MAX; n];
@@ -69,19 +83,18 @@ pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
         if d > dist[u] || (d == dist[u] && h > hops[u]) {
             continue;
         }
-        for nb in g.neighbors(u) {
-            let nd = dist_add(d, nb.weight);
+        let (targets, weights) = csr.arcs(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let nd = dist_add(d, w);
             let nh = h + 1;
-            let better = nd < dist[nb.node]
-                || (nd == dist[nb.node] && nh < hops[nb.node])
-                || (nd == dist[nb.node]
-                    && nh == hops[nb.node]
-                    && parent[nb.node].is_some_and(|p| u < p));
+            let better = nd < dist[v]
+                || (nd == dist[v] && nh < hops[v])
+                || (nd == dist[v] && nh == hops[v] && parent[v].is_some_and(|p| u < p));
             if better {
-                dist[nb.node] = nd;
-                hops[nb.node] = nh;
-                parent[nb.node] = Some(u);
-                heap.push(Reverse((nd, nh, nb.node)));
+                dist[v] = nd;
+                hops[v] = nh;
+                parent[v] = Some(u);
+                heap.push(Reverse((nd, nh, v)));
             }
         }
     }
@@ -114,7 +127,19 @@ pub fn multi_source_dijkstra(
     g: &WeightedGraph,
     sources: &[NodeId],
 ) -> (Vec<Dist>, Vec<Option<NodeId>>) {
-    let n = g.num_nodes();
+    multi_source_dijkstra_csr(&CsrGraph::from_graph(g), sources)
+}
+
+/// [`multi_source_dijkstra`] over a prebuilt [`CsrGraph`] view.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn multi_source_dijkstra_csr(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+) -> (Vec<Dist>, Vec<Option<NodeId>>) {
+    let n = csr.num_nodes();
     let mut dist = vec![INFINITY; n];
     let mut nearest: Vec<Option<NodeId>> = vec![None; n];
     let mut heap: BinaryHeap<Reverse<(Dist, NodeId, NodeId)>> = BinaryHeap::new();
@@ -130,14 +155,14 @@ pub fn multi_source_dijkstra(
         if d > dist[u] || (d == dist[u] && nearest[u].is_some_and(|x| x < src)) {
             continue;
         }
-        for nb in g.neighbors(u) {
-            let nd = dist_add(d, nb.weight);
-            let better = nd < dist[nb.node]
-                || (nd == dist[nb.node] && nearest[nb.node].is_none_or(|x| src < x));
+        let (targets, weights) = csr.arcs(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let nd = dist_add(d, w);
+            let better = nd < dist[v] || (nd == dist[v] && nearest[v].is_none_or(|x| src < x));
             if better {
-                dist[nb.node] = nd;
-                nearest[nb.node] = Some(src);
-                heap.push(Reverse((nd, src, nb.node)));
+                dist[v] = nd;
+                nearest[v] = Some(src);
+                heap.push(Reverse((nd, src, v)));
             }
         }
     }
@@ -145,9 +170,11 @@ pub fn multi_source_dijkstra(
 }
 
 /// All-pairs shortest distances, computed by running Dijkstra from every
-/// vertex. Intended for ground-truth computation on benchmark-sized graphs.
+/// vertex over one shared CSR view. Intended for ground-truth computation on
+/// benchmark-sized graphs.
 pub fn all_pairs_dijkstra(g: &WeightedGraph) -> Vec<Vec<Dist>> {
-    g.nodes().map(|s| dijkstra(g, s).dist).collect()
+    let csr = CsrGraph::from_graph(g);
+    g.nodes().map(|s| dijkstra_csr(&csr, s).dist).collect()
 }
 
 #[cfg(test)]

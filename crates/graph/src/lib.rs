@@ -8,6 +8,9 @@
 //!   `{1, …, poly(n)}`, stored as adjacency lists with stable port numbers
 //!   (the index of a neighbour in a node's adjacency list is that node's
 //!   *port* towards the neighbour, exactly as in the CONGEST model).
+//! * [`csr`] — the flat [`CsrGraph`] view (`offsets`/`targets`/`weights`)
+//!   built once from a [`WeightedGraph`]; every hot shortest-path kernel in
+//!   the workspace iterates adjacency through it.
 //! * [`generators`] — reproducible random and structured graph generators
 //!   (Erdős–Rényi, random geometric, grids, rings, trees, Barabási–Albert,
 //!   caterpillars, …) used as workloads by the benchmark harness.
@@ -39,6 +42,7 @@
 
 pub mod bellman_ford;
 pub mod bfs;
+pub mod csr;
 pub mod dijkstra;
 pub mod error;
 pub mod generators;
@@ -48,6 +52,7 @@ pub mod properties;
 pub mod tree;
 pub mod types;
 
+pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use graph::{Edge, Neighbor, WeightedGraph};
 pub use path::Path;

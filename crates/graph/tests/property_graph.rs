@@ -2,12 +2,14 @@
 
 use proptest::prelude::*;
 
-use en_graph::bellman_ford::{hop_bounded_distances, shortest_path_diameter};
+use en_graph::bellman_ford::{
+    hop_bounded_distances, hop_bounded_distances_reference, shortest_path_diameter,
+};
 use en_graph::bfs::{bfs, connected_components, hop_diameter, hop_diameter_estimate, is_connected};
 use en_graph::dijkstra::{dijkstra, multi_source_dijkstra};
 use en_graph::generators::*;
 use en_graph::tree::RootedTree;
-use en_graph::{is_finite, Path, WeightedGraph, INFINITY};
+use en_graph::{is_finite, CsrGraph, Neighbor, Path, WeightedGraph, INFINITY};
 
 fn arb_connected_graph() -> impl Strategy<Value = WeightedGraph> {
     (5usize..60, 0u64..10_000, 1u64..500).prop_map(|(n, seed, max_w)| {
@@ -146,6 +148,40 @@ proptest! {
         if n >= 3 {
             let r = ring(&GeneratorConfig::new(n, seed));
             prop_assert_eq!(r.num_edges(), n);
+        }
+    }
+
+    #[test]
+    fn csr_neighbors_agree_with_adjacency_lists(g in arb_connected_graph()) {
+        let csr = CsrGraph::from_graph(&g);
+        prop_assert_eq!(csr.num_nodes(), g.num_nodes());
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            prop_assert_eq!(csr.degree(v), g.degree(v));
+            let from_csr: Vec<Neighbor> = csr.neighbors(v).collect();
+            prop_assert_eq!(from_csr.as_slice(), g.neighbors(v), "vertex {}", v);
+            let (targets, weights) = csr.arcs(v);
+            for (port, nb) in g.neighbors(v).iter().enumerate() {
+                prop_assert_eq!(targets[port], nb.node);
+                prop_assert_eq!(weights[port], nb.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_hop_bounded_matches_naive_reference(g in arb_connected_graph(), t in 0usize..12, src in 0usize..60) {
+        let src = src % g.num_nodes();
+        let frontier = hop_bounded_distances(&g, src, t);
+        let naive = hop_bounded_distances_reference(&g, src, t);
+        prop_assert_eq!(&frontier.dist, &naive.dist);
+        // Parents may differ on ties but must always be Remark-1 consistent.
+        for v in g.nodes() {
+            if let Some(p) = frontier.parent[v] {
+                let w = g.edge_weight(v, p).expect("parent must be a neighbour");
+                prop_assert!(frontier.dist[v] >= w + frontier.dist[p], "vertex {}", v);
+            } else {
+                prop_assert!(v == src || !is_finite(frontier.dist[v]));
+            }
         }
     }
 }

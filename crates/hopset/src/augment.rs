@@ -30,10 +30,18 @@ pub struct AugNeighbor {
 pub type HopBoundedParent = Option<(NodeId, Option<usize>)>;
 
 /// The graph `G'' = (V, E ∪ F)` with per-edge provenance.
+///
+/// The adjacency is stored in CSR form — one flat [`AugNeighbor`] array plus
+/// per-vertex offsets — so the `β`-hop Bellman–Ford explorations of Phases 1
+/// and 3.3.2 walk memory linearly; [`AugmentedGraph::neighbors`] is a slice
+/// view into it.
 #[derive(Debug, Clone)]
 pub struct AugmentedGraph {
     n: usize,
-    adj: Vec<Vec<AugNeighbor>>,
+    /// `offsets[v]..offsets[v + 1]` indexes `arcs` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Flat adjacency entries, vertex-major, sorted by neighbour id.
+    arcs: Vec<AugNeighbor>,
     num_hopset_edges: usize,
 }
 
@@ -76,12 +84,19 @@ impl AugmentedGraph {
                 num_hopset_edges += 1;
             }
         }
+        // Flatten into CSR, each vertex's entries sorted by neighbour id.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut arcs = Vec::with_capacity(2 * best.len());
+        offsets.push(0);
         for list in &mut adj {
             list.sort_by_key(|nb| nb.node);
+            arcs.extend_from_slice(list);
+            offsets.push(arcs.len());
         }
         AugmentedGraph {
             n,
-            adj,
+            offsets,
+            arcs,
             num_hopset_edges,
         }
     }
@@ -96,13 +111,14 @@ impl AugmentedGraph {
         self.num_hopset_edges
     }
 
-    /// The adjacency list of `u`.
+    /// The adjacency list of `u` — a slice view into the flat CSR array.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
+    #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[AugNeighbor] {
-        &self.adj[u]
+        &self.arcs[self.offsets[u]..self.offsets[u + 1]]
     }
 
     /// Hop-bounded single-source distances `d^{(β)}_{G''}(source, ·)`, with the
@@ -123,28 +139,37 @@ impl AugmentedGraph {
         let mut dist = vec![INFINITY; self.n];
         let mut parent = vec![None; self.n];
         dist[source] = 0;
-        let mut current = dist.clone();
+        // Frontier-based levelled Bellman-Ford: each sweep relaxes only the
+        // vertices whose value changed in the previous sweep, reading the
+        // value they had at the start of the sweep — no per-sweep snapshot.
+        let mut frontier: Vec<(NodeId, Dist)> = vec![(source, 0)];
+        let mut changed: Vec<NodeId> = Vec::new();
+        let mut in_changed = vec![false; self.n];
         for _ in 0..beta {
-            let snapshot = current.clone();
-            let mut changed = false;
-            for u in 0..self.n {
-                if snapshot[u] >= INFINITY {
-                    continue;
-                }
-                for nb in &self.adj[u] {
-                    let cand = snapshot[u].saturating_add(nb.weight).min(INFINITY);
-                    if cand < current[nb.node] {
-                        current[nb.node] = cand;
+            if frontier.is_empty() {
+                break;
+            }
+            for &(u, du) in &frontier {
+                for nb in self.neighbors(u) {
+                    let cand = du.saturating_add(nb.weight).min(INFINITY);
+                    if cand < dist[nb.node] {
+                        dist[nb.node] = cand;
                         parent[nb.node] = Some((u, nb.hopset_index));
-                        changed = true;
+                        if !in_changed[nb.node] {
+                            in_changed[nb.node] = true;
+                            changed.push(nb.node);
+                        }
                     }
                 }
             }
-            if !changed {
-                break;
+            frontier.clear();
+            for &v in &changed {
+                in_changed[v] = false;
+                frontier.push((v, dist[v]));
             }
+            changed.clear();
         }
-        (current, parent)
+        (dist, parent)
     }
 }
 

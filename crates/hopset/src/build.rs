@@ -18,8 +18,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use en_graph::dijkstra::dijkstra;
-use en_graph::{NodeId, WeightedGraph};
+use en_graph::dijkstra::dijkstra_csr;
+use en_graph::{CsrGraph, NodeId, WeightedGraph};
 
 use crate::edge::{Hopset, HopsetEdge};
 
@@ -93,8 +93,9 @@ pub fn build_hopset(g: &WeightedGraph, config: &HopsetConfig) -> Hopset {
         pivots.push(rng.gen_range(0..m));
     }
     let mut edges = Vec::new();
+    let csr = CsrGraph::from_graph(g);
     for &s in &pivots {
-        let sp = dijkstra(g, s);
+        let sp = dijkstra_csr(&csr, s);
         for v in g.nodes() {
             if v == s {
                 continue;
@@ -160,7 +161,7 @@ mod tests {
         let cfg = HopsetConfig::new(0.5, 0.0, 2);
         let h = build_hopset(&g, &cfg);
         for e in h.edges() {
-            let sp = dijkstra(&g, e.u);
+            let sp = en_graph::dijkstra::dijkstra(&g, e.u);
             assert_eq!(sp.dist[e.v], e.weight);
         }
     }

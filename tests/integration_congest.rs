@@ -78,16 +78,16 @@ fn theorem1_values_bracket_hop_bounded_distances() {
         for v in g.nodes() {
             // Inequality (2): d^(B) <= d_uv <= (1+eps) d^(B); our reproduction
             // returns the exact value.
-            assert!(t1.dist[si][v] >= reference.dist[v]);
-            assert!(t1.dist[si][v] as f64 <= 1.1 * reference.dist[v] as f64 + 1.0);
+            assert!(t1.dist_row(si)[v] >= reference.dist[v]);
+            assert!(t1.dist_row(si)[v] as f64 <= 1.1 * reference.dist[v] as f64 + 1.0);
         }
     }
     // Remark 1 / inequality (3).
     for (si, _) in sources.iter().enumerate() {
         for v in g.nodes() {
-            if let Some(p) = t1.parent[si][v] {
+            if let Some(p) = t1.parent_row(si)[v] {
                 let w = g.edge_weight(v, p).unwrap();
-                assert!(t1.dist[si][v] >= w + t1.dist[si][p]);
+                assert!(t1.dist_row(si)[v] >= w + t1.dist_row(si)[p]);
             }
         }
     }
@@ -138,11 +138,9 @@ fn congestion_is_paid_in_rounds() {
     struct Burst(usize);
     impl Protocol for Burst {
         type Msg = u64;
-        fn init(&mut self, ctx: &NodeContext) -> Vec<Outgoing<u64>> {
+        fn init(&mut self, ctx: &NodeContext, out: &mut Vec<Outgoing<u64>>) {
             if ctx.id == 0 {
-                (0..self.0 as u64).map(|i| Outgoing::new(0, i)).collect()
-            } else {
-                vec![]
+                out.extend((0..self.0 as u64).map(|i| Outgoing::new(0, i)));
             }
         }
         fn on_round(
@@ -150,8 +148,8 @@ fn congestion_is_paid_in_rounds() {
             _: &NodeContext,
             _: usize,
             _: &[Incoming<u64>],
-        ) -> Vec<Outgoing<u64>> {
-            vec![]
+            _: &mut Vec<Outgoing<u64>>,
+        ) {
         }
     }
     let g = en_graph::WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
