@@ -10,12 +10,25 @@
 //!   against the retained naive reference on the acceptance workload
 //!   (1000 vertices, |V'| = 32, B = 16); the batched kernel must stay ≥ 5×
 //!   faster.
+//! * `clusters`: the batched restricted multi-source cluster growing
+//!   (`grow_exact_clusters_batched_with_pivots`) against the retained
+//!   per-centre restricted Dijkstra oracle, whole exact family at n = 1000,
+//!   k = 2. The recorded bar (BENCH_construction.json): the spanning top
+//!   level must stay ≥ 3× faster batched; whole-family growth is tracked
+//!   alongside (currently ~parity — level-0 clusters average ~30 members at
+//!   degree 8, where the per-centre heap search is already cheap).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_graph::CsrGraph;
 use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_routing::exact::{
+    exact_pivots_csr, grow_exact_cluster_csr, grow_exact_clusters_batched_with_pivots,
+    membership_thresholds,
+};
+use en_routing::{Hierarchy, SchemeParams};
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction");
@@ -56,5 +69,58 @@ fn bench_theorem1_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_theorem1_kernel);
+fn bench_clusters_kernel(c: &mut Criterion) {
+    let n = 1000;
+    let g = erdos_renyi_connected(
+        &GeneratorConfig::new(n, 7).with_weights(1, 100),
+        8.0 / n as f64,
+    );
+    let params = SchemeParams::new(2, n, 42);
+    let hierarchy = Hierarchy::sample(&params);
+    let csr = CsrGraph::from_graph(&g);
+    let pivots = exact_pivots_csr(&csr, &hierarchy);
+    let per_level: Vec<(usize, Vec<usize>, Vec<u64>)> = (0..hierarchy.k())
+        .map(|i| {
+            (
+                i,
+                hierarchy.centers_at(i),
+                membership_thresholds(&pivots, i),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("clusters");
+    group.sample_size(10);
+    group.bench_function("batched_family_n1000_k2", |b| {
+        b.iter(|| {
+            per_level
+                .iter()
+                .map(|(i, centers, threshold)| {
+                    grow_exact_clusters_batched_with_pivots(&csr, centers, *i, threshold, &pivots)
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("per_centre_oracle_n1000_k2", |b| {
+        b.iter(|| {
+            per_level
+                .iter()
+                .map(|(i, centers, threshold)| {
+                    centers
+                        .iter()
+                        .map(|&c| grow_exact_cluster_csr(&csr, c, *i, threshold).size())
+                        .sum::<usize>()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_theorem1_kernel,
+    bench_clusters_kernel
+);
 criterion_main!(benches);

@@ -29,10 +29,11 @@
 //! vertex), and every sweep walks the adjacency once for the **union
 //! frontier** — the vertices whose value changed for *any* chunk source in
 //! the previous sweep — relaxing all chunk sources of an edge in one
-//! contiguous, branchless min loop that the compiler can vectorise. When the
-//! largest possible finite distance fits, the cells are `u32` (twice the SIMD
-//! width, half the memory traffic); otherwise the same kernel runs with `u64`
-//! cells. Start-of-sweep values live in a swap-buffered `prev` array whose
+//! contiguous, branchless min loop that the compiler can vectorise. The cell
+//! width comes from the shared [`en_graph::cell`] machinery (also used by the
+//! restricted cluster kernel in `en_graph::restricted`): `i32` when the
+//! largest possible finite distance fits (twice the SIMD width, half the
+//! memory traffic), `u64` otherwise. Start-of-sweep values live in a swap-buffered `prev` array whose
 //! rows are refreshed only for frontier vertices, so the levelled semantics
 //! (`dist[v] = d^{(t)}(v)` after sweep `t`) are preserved with no per-sweep
 //! snapshot clone. Remark-1 parents are recovered after the sweeps in one
@@ -46,6 +47,7 @@
 
 use std::collections::HashMap;
 
+use en_graph::cell::{fits_i32, DistCell};
 use en_graph::{dist_add, CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
 
 use en_congest::RoundLedger;
@@ -141,12 +143,10 @@ pub fn multi_source_hop_bounded(
     let csr = CsrGraph::from_graph(g);
     let mut dist = vec![INFINITY; sources.len() * n];
     let mut parent: Vec<Option<NodeId>> = vec![None; sources.len() * n];
-    // The u32 kernel is exact whenever every finite levelled distance fits
+    // The i32 kernel is exact whenever every finite levelled distance fits
     // below its sentinel: a B-hop path has at most n - 1 edges of weight at
     // most max_weight.
-    let max_weight = g.max_weight();
-    let fits_i32 = (n as u128).saturating_mul(max_weight as u128) < <i32 as DistCell>::INF as u128;
-    if fits_i32 {
+    if fits_i32(n, g.max_weight()) {
         batched_chunks::<i32>(&csr, sources, hop_bound, &mut dist, &mut parent);
     } else {
         batched_chunks::<u64>(&csr, sources, hop_bound, &mut dist, &mut parent);
@@ -182,118 +182,6 @@ pub fn multi_source_hop_bounded(
         source_index,
         hop_bound,
         ledger,
-    }
-}
-
-/// A distance cell of the batched kernel: `u32` when the instance's maximum
-/// finite distance fits (twice the SIMD width and half the memory traffic of
-/// `u64`), `u64` otherwise. Both use a "quarter of the type's range" sentinel
-/// for +∞ so a saturating add can never wrap.
-trait DistCell: Copy + Ord + std::ops::BitXor<Output = Self> + std::ops::BitOr<Output = Self> {
-    /// The unreachable sentinel for this cell width.
-    const INF: Self;
-    /// The zero distance.
-    const ZERO: Self;
-    /// Converts an edge weight (checked to fit by the caller).
-    fn from_weight(w: en_graph::Weight) -> Self;
-    /// Converts back into the public [`Dist`] domain (`INF` → [`INFINITY`]).
-    fn into_dist(self) -> Dist;
-    /// `self + w`, saturating at [`DistCell::INF`].
-    fn add_capped(self, w: Self) -> Self;
-    /// Packed `(value, neighbour)` key for the branchless argmin parent pass.
-    type Key: Copy + Ord;
-    /// The largest key (no candidate seen yet).
-    const KEY_MAX: Self::Key;
-    /// Packs a candidate value and the offering neighbour into one key whose
-    /// natural order is (value, neighbour id).
-    fn pack(self, nb: u32) -> Self::Key;
-    /// The value part of a packed key.
-    fn key_value(key: Self::Key) -> Self;
-    /// The neighbour part of a packed key.
-    fn key_neighbor(key: Self::Key) -> u32;
-}
-
-impl DistCell for u64 {
-    const INF: u64 = INFINITY;
-    const ZERO: u64 = 0;
-
-    #[inline]
-    fn from_weight(w: en_graph::Weight) -> u64 {
-        w
-    }
-
-    #[inline]
-    fn into_dist(self) -> Dist {
-        self
-    }
-
-    #[inline]
-    fn add_capped(self, w: u64) -> u64 {
-        self.saturating_add(w).min(INFINITY)
-    }
-
-    type Key = u128;
-    const KEY_MAX: u128 = u128::MAX;
-
-    #[inline]
-    fn pack(self, nb: u32) -> u128 {
-        ((self as u128) << 32) | nb as u128
-    }
-
-    #[inline]
-    fn key_value(key: u128) -> u64 {
-        (key >> 32) as u64
-    }
-
-    #[inline]
-    fn key_neighbor(key: u128) -> u32 {
-        key as u32
-    }
-}
-
-// Signed 32-bit cells rather than unsigned: a signed vector min lowers to
-// baseline-SSE2 `pcmpgtd` + blend, while unsigned 32-bit min needs SSE4.1.
-// All values stay below i32::MAX / 4, so signedness never matters.
-impl DistCell for i32 {
-    const INF: i32 = i32::MAX / 4;
-    const ZERO: i32 = 0;
-
-    #[inline]
-    fn from_weight(w: en_graph::Weight) -> i32 {
-        w as i32
-    }
-
-    #[inline]
-    fn into_dist(self) -> Dist {
-        if self >= Self::INF {
-            INFINITY
-        } else {
-            self as Dist
-        }
-    }
-
-    #[inline]
-    fn add_capped(self, w: i32) -> i32 {
-        // Both operands are below i32::MAX / 4, so the plain sum cannot wrap.
-        (self + w).min(Self::INF)
-    }
-
-    type Key = u64;
-    const KEY_MAX: u64 = u64::MAX;
-
-    #[inline]
-    fn pack(self, nb: u32) -> u64 {
-        ((self as u64) << 32) | nb as u64
-    }
-
-    #[inline]
-    fn key_value(key: u64) -> i32 {
-        (key >> 32) as i32
-    }
-
-    #[inline]
-    fn key_neighbor(key: u64) -> u32 {
-        key as u32
     }
 }
 

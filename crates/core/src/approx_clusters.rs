@@ -25,10 +25,11 @@ use std::collections::HashMap;
 use en_congest::broadcast::lemma1_rounds;
 use en_congest::RoundLedger;
 use en_congest_algos::theorem1::multi_source_hop_bounded;
+use en_graph::restricted::restricted_multi_source_csr;
 use en_graph::tree::RootedTree;
-use en_graph::{is_finite, Dist, NodeId, WeightedGraph, INFINITY};
+use en_graph::{is_finite, Dist, NodeId, NodeMap, WeightedGraph, INFINITY};
 
-use crate::exact::grow_exact_cluster_csr;
+use crate::exact::{grow_exact_clusters_batched_with_pivots, membership_thresholds};
 use crate::family::Cluster;
 use crate::hierarchy::Hierarchy;
 use crate::params::SchemeParams;
@@ -59,23 +60,11 @@ pub struct ApproxClusters {
     pub diagnostics: ClusterDiagnostics,
 }
 
-/// The membership threshold `d̂_{i+1}(v)` of every vertex at level `i`
-/// ([`INFINITY`] for the top level, where `d(·, A_k) = ∞`).
-fn thresholds(pivots: &[Vec<Option<(NodeId, Dist)>>], k: usize, i: usize) -> Vec<Dist> {
-    pivots
-        .iter()
-        .map(|per_v| {
-            if i + 1 < k {
-                per_v[i + 1].map_or(INFINITY, |(_, d)| d)
-            } else {
-                INFINITY
-            }
-        })
-        .collect()
-}
-
 /// Builds the small-scale clusters (levels `i < ⌈k/2⌉`, excluding the odd-`k`
-/// middle level, which has its own routine).
+/// middle level, which has its own routine): every level is grown by one
+/// batched restricted multi-source pass over a shared CSR view (all centres
+/// of the level share the threshold vector `d̂_{i+1}(·)`), replacing the old
+/// one-heap-Dijkstra-per-centre loop.
 pub fn small_scale_clusters(
     g: &WeightedGraph,
     hierarchy: &Hierarchy,
@@ -96,14 +85,15 @@ pub fn small_scale_clusters(
         if centers.is_empty() {
             continue;
         }
-        let threshold = thresholds(pivots, params.k, i);
+        let threshold = membership_thresholds(pivots, i);
         let mut level_overlap = vec![0usize; g.num_nodes()];
-        for &center in &centers {
-            let cluster = grow_exact_cluster_csr(g, &csr, center, i, &threshold);
+        for cluster in
+            grow_exact_clusters_batched_with_pivots(&csr, &centers, i, &threshold, pivots)
+        {
             for v in cluster.members() {
                 level_overlap[v] += 1;
             }
-            clusters.insert(center, cluster);
+            clusters.insert(cluster.center, cluster);
         }
         diagnostics.clusters_per_level.insert(i, centers.len());
         let congestion = level_overlap.into_iter().max().unwrap_or(1).max(1);
@@ -154,9 +144,9 @@ pub fn middle_level_clusters(
     let eps = params.epsilon();
     let t1 = multi_source_hop_bounded(g, &centers, b, eps.max(1e-9), hop_diameter);
     ledger.absorb(t1.ledger.clone());
-    let threshold = thresholds(pivots, params.k, i);
+    let threshold = membership_thresholds(pivots, i);
     for (ci, &center) in centers.iter().enumerate() {
-        let mut estimate: HashMap<NodeId, Dist> = HashMap::new();
+        let mut estimate: NodeMap<Dist> = NodeMap::default();
         let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
         estimate.insert(center, 0);
         let dist_row = t1.dist_row(ci);
@@ -223,71 +213,56 @@ pub fn large_scale_clusters(
         })
         .collect();
 
+    // The restricted kernel runs on a plain CSR view of G''; edge provenance
+    // (original vs hopset) is recovered per recovered parent arc, which is
+    // unambiguous because G'' holds no parallel edges.
+    let aug_csr = pre.augmented.to_csr();
     let mut total_virtual_members = 0usize;
     for i in half..params.k {
         let centers = hierarchy.centers_at(i);
         if centers.is_empty() {
             continue;
         }
-        let threshold = thresholds(pivots, params.k, i);
-        // Threshold for the *virtual* vertices (condition (14) divides by (1+eps)^3).
-        for &center in &centers {
-            let cu = pre
-                .virtual_index(center)
-                .expect("large-scale centre is in A_i ⊆ A_{⌈k/2⌉} = V'");
-
-            // ---- Phase 1: β iterations of depth-bounded Bellman-Ford on G''. ----
-            let mut vdist: Vec<Dist> = vec![INFINITY; m];
-            // Virtual parent: (virtual predecessor, hopset edge index if the
-            // final edge was a hopset edge).
+        let threshold = membership_thresholds(pivots, i);
+        // ---- Phase 1: β iterations of depth-bounded Bellman-Ford on G'',
+        // ---- batched over every centre of the level at once. The join test
+        // ---- (14), `b_v(u) < d̂_{i+1}(v) / (1+ε)^3`, is integerised into the
+        // ---- kernel's strict threshold: an integer b satisfies `b < T` for
+        // ---- real `T = thr / (1+ε)^3` iff `b < ⌈T⌉`.
+        let vthreshold: Vec<Dist> = (0..m)
+            .map(|xi| {
+                let thr = threshold[pre.original(xi)];
+                if thr == INFINITY {
+                    INFINITY
+                } else {
+                    (thr as f64 / one_plus_eps.powi(3)).ceil() as Dist
+                }
+            })
+            .collect();
+        let cus: Vec<usize> = centers
+            .iter()
+            .map(|&c| {
+                pre.virtual_index(c)
+                    .expect("large-scale centre is in A_i ⊆ A_{⌈k/2⌉} = V'")
+            })
+            .collect();
+        let phase1 = restricted_multi_source_csr(&aug_csr, &cus, &vthreshold, Some(pre.beta));
+        for (s, &center) in centers.iter().enumerate() {
+            let cu = cus[s];
+            // Per-centre Phase-1 state, read off the batched result: levelled
+            // β-sweep distances, the joined set, and virtual parents with
+            // hopset provenance for Phase 1.5.
+            let mut vdist: Vec<Dist> = phase1.dist_row(s);
             let mut vparent: Vec<Option<(usize, Option<usize>)>> = vec![None; m];
             let mut joined = vec![false; m];
-            vdist[cu] = 0;
-            joined[cu] = true;
-            // Frontier-based sweeps: only *joined* vertices relay, and only
-            // when their value changed in the previous sweep. The frontier
-            // carries the value each relaying vertex had at the start of the
-            // sweep, preserving the levelled semantics without per-sweep
-            // snapshot clones of `vdist` / `joined`. A vertex's joined flag
-            // can only flip in a sweep where its value changed (thresholds
-            // are static and values only decrease), so re-testing (14) on the
-            // changed set alone is exhaustive.
-            let mut frontier: Vec<(usize, Dist)> = vec![(cu, 0)];
-            let mut touched: Vec<usize> = Vec::new();
-            let mut in_touched = vec![false; m];
-            for _ in 0..pre.beta {
-                if frontier.is_empty() {
-                    break;
+            for y in phase1.members_of(s) {
+                joined[y] = true;
+                if y == cu {
+                    continue;
                 }
-                for &(x, dx) in &frontier {
-                    for nb in pre.augmented.neighbors(x) {
-                        let cand = dx.saturating_add(nb.weight).min(INFINITY);
-                        if cand < vdist[nb.node] {
-                            vdist[nb.node] = cand;
-                            vparent[nb.node] = Some((x, nb.hopset_index));
-                            if !in_touched[nb.node] {
-                                in_touched[nb.node] = true;
-                                touched.push(nb.node);
-                            }
-                        }
-                    }
+                if let Some((x, _)) = phase1.parent_of(s, y) {
+                    vparent[y] = Some((x, pre.augmented.provenance(x, y)));
                 }
-                frontier.clear();
-                for &v in &touched {
-                    in_touched[v] = false;
-                    // Join test (14): b_v(u) < d̂_{i+1}(v) / (1+ε)^3.
-                    if v != cu && !joined[v] {
-                        let thr = threshold[pre.original(v)];
-                        if thr == INFINITY || (vdist[v] as f64) < thr as f64 / one_plus_eps.powi(3)
-                        {
-                            joined[v] = true;
-                        }
-                    }
-                    if joined[v] {
-                        frontier.push((v, vdist[v]));
-                    }
-                }
-                touched.clear();
             }
 
             // ---- Phase 1.5: pull realising paths of used hopset edges. ----
@@ -348,7 +323,7 @@ pub fn large_scale_clusters(
             }
 
             // ---- Real parents for the virtual members (Remark 1). ----
-            let mut estimate: HashMap<NodeId, Dist> = HashMap::new();
+            let mut estimate: NodeMap<Dist> = NodeMap::default();
             let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
             estimate.insert(center, 0);
             let mut virtual_members = Vec::new();
@@ -447,7 +422,7 @@ fn assemble_cluster_tree(
     g: &WeightedGraph,
     center: NodeId,
     level: usize,
-    mut estimate: HashMap<NodeId, Dist>,
+    mut estimate: NodeMap<Dist>,
     parent: HashMap<NodeId, NodeId>,
 ) -> (Cluster, usize) {
     let mut tree = RootedTree::new(g.num_nodes(), center);
@@ -764,7 +739,7 @@ mod tests {
     #[test]
     fn assemble_tree_repairs_missing_parents() {
         let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
-        let estimate = HashMap::from([(0, 0), (1, 1), (3, 3)]);
+        let estimate = NodeMap::from_iter([(0, 0), (1, 1), (3, 3)]);
         // Vertex 3's parent (2) is not a member: the repair path must attach 3
         // through a member neighbour or drop it.
         let parent = HashMap::from([(1, 0), (3, 2)]);

@@ -8,13 +8,32 @@
 //! ```text
 //! C(u) = { v ∈ V : d_G(u, v) < d_G(v, A_{i+1}) }        (u ∈ A_i \ A_{i+1})
 //! ```
+//!
+//! Note the *strict* inequality: a vertex whose distance from the centre ties
+//! its threshold `d_G(v, A_{i+1})` is **not** a member (and, by the
+//! containment argument of Section 3.2, genuine thresholds make everything
+//! behind such a vertex unreachable for the centre too). Both the per-centre
+//! growth and the batched kernel implement the tie case this way; see the
+//! `tie_with_threshold_is_excluded` regression test.
+//!
+//! The whole family is grown by the batched restricted multi-source kernel
+//! ([`en_graph::restricted`]): all centres of a level share one threshold
+//! vector `d_G(·, A_{i+1})`, so one vertex-major batched pass grows every
+//! cluster of the level at once over a single shared [`CsrGraph`]. The
+//! per-centre restricted Dijkstra ([`grow_exact_cluster_csr`]) is retained as
+//! the oracle the property tests validate the batched kernel against.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use en_graph::dijkstra::multi_source_dijkstra_csr;
+use en_graph::restricted::{
+    restricted_multi_source_csr, restricted_multi_source_csr_grouped, RestrictedMultiSource,
+};
 use en_graph::tree::RootedTree;
-use en_graph::{dist_add, is_finite, CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
+use en_graph::{
+    dist_add, is_finite, CsrGraph, Dist, NodeId, NodeMap, Weight, WeightedGraph, INFINITY,
+};
 
 use crate::family::{Cluster, ClusterFamily};
 use crate::hierarchy::Hierarchy;
@@ -23,17 +42,25 @@ use crate::hierarchy::Hierarchy;
 /// vertex and every level `0 ≤ i < k`.
 ///
 /// `pivots[v][i]` is `None` when `A_i` is empty or unreachable from `v`.
+///
+/// Convenience wrapper over [`exact_pivots_csr`] for callers without a
+/// prebuilt CSR view; [`exact_cluster_family`] threads one shared
+/// [`CsrGraph`] through the pivot and cluster computations instead.
 pub fn exact_pivots(g: &WeightedGraph, hierarchy: &Hierarchy) -> Vec<Vec<Option<(NodeId, Dist)>>> {
-    let n = g.num_nodes();
+    exact_pivots_csr(&CsrGraph::from_graph(g), hierarchy)
+}
+
+/// [`exact_pivots`] over a prebuilt [`CsrGraph`] view of the graph.
+pub fn exact_pivots_csr(csr: &CsrGraph, hierarchy: &Hierarchy) -> Vec<Vec<Option<(NodeId, Dist)>>> {
+    let n = csr.num_nodes();
     let k = hierarchy.k();
-    let csr = CsrGraph::from_graph(g);
     let mut pivots = vec![vec![None; k]; n];
     for i in 0..k {
         let level = hierarchy.level(i);
         if level.is_empty() {
             continue;
         }
-        let (dist, nearest) = multi_source_dijkstra_csr(&csr, level);
+        let (dist, nearest) = multi_source_dijkstra_csr(csr, level);
         for v in 0..n {
             if let (true, Some(z)) = (is_finite(dist[v]), nearest[v]) {
                 pivots[v][i] = Some((z, dist[v]));
@@ -65,28 +92,38 @@ pub fn membership_thresholds(pivots: &[Vec<Option<(NodeId, Dist)>>], level: usiz
 /// Because every vertex on a shortest path from the centre to a cluster member
 /// is itself a member (the containment argument of Section 3.2), restricting
 /// the search this way still yields exact distances for every member.
+#[deprecated(
+    note = "builds a throwaway CsrGraph per call; build one CsrGraph and use \
+            grow_exact_cluster_csr (one centre) or grow_exact_clusters_batched \
+            (a whole level) instead"
+)]
 pub fn grow_exact_cluster(
     g: &WeightedGraph,
     center: NodeId,
     level: usize,
     threshold: &[Dist],
 ) -> Cluster {
-    grow_exact_cluster_csr(g, &CsrGraph::from_graph(g), center, level, threshold)
+    grow_exact_cluster_csr(&CsrGraph::from_graph(g), center, level, threshold)
 }
 
-/// [`grow_exact_cluster`] over a prebuilt [`CsrGraph`] view of the same graph,
-/// so callers growing many clusters (one per centre) pay the CSR construction
-/// once.
+/// Grows one exact cluster by restricted Dijkstra over a prebuilt
+/// [`CsrGraph`] view.
+///
+/// This is the retained per-centre oracle for the batched kernel
+/// ([`grow_exact_clusters_batched`]): the property suite asserts the two
+/// produce identical member sets, distances and valid trees. The relaxed arc
+/// weight is recorded alongside each parent during the search, so the tree is
+/// assembled without any adjacency re-lookup (and without the possibility of
+/// disagreeing with the relaxed arc).
 pub fn grow_exact_cluster_csr(
-    g: &WeightedGraph,
     csr: &CsrGraph,
     center: NodeId,
     level: usize,
     threshold: &[Dist],
 ) -> Cluster {
-    let n = g.num_nodes();
+    let n = csr.num_nodes();
     let mut dist = vec![INFINITY; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut parent: Vec<Option<(NodeId, Weight)>> = vec![None; n];
     let mut joined = vec![false; n];
     let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
     dist[center] = 0;
@@ -95,7 +132,9 @@ pub fn grow_exact_cluster_csr(
         if d > dist[v] || joined[v] {
             continue;
         }
-        // Membership test: strict inequality per definition (6).
+        // Membership test: strict inequality per definition (6); a tie
+        // d(center, v) == threshold[v] excludes v. The centre itself is
+        // exempt.
         if v != center && d >= threshold[v] {
             continue;
         }
@@ -105,20 +144,19 @@ pub fn grow_exact_cluster_csr(
             let nd = dist_add(d, w);
             if nd < dist[t] {
                 dist[t] = nd;
-                parent[t] = Some(v);
+                parent[t] = Some((v, w));
                 heap.push(Reverse((nd, t)));
             }
         }
     }
     let mut tree = RootedTree::new(n, center);
-    let mut root_estimate = HashMap::new();
+    let mut root_estimate = NodeMap::default();
     root_estimate.insert(center, 0);
     // Attach members in order of distance so parents are always attached first.
     let mut order: Vec<NodeId> = (0..n).filter(|&v| joined[v] && v != center).collect();
     order.sort_by_key(|&v| (dist[v], v));
     for v in order {
-        let p = parent[v].expect("non-centre member has a Dijkstra parent");
-        let w = g.edge_weight(v, p).expect("parent is a neighbour");
+        let (p, w) = parent[v].expect("non-centre member has a Dijkstra parent");
         tree.attach(v, p, w);
         root_estimate.insert(v, dist[v]);
     }
@@ -130,17 +168,97 @@ pub fn grow_exact_cluster_csr(
     }
 }
 
+/// Grows the exact clusters of *every* centre of one level in a single
+/// batched restricted multi-source pass — the tentpole kernel. All centres
+/// share the level's threshold vector `d_G(·, A_{i+1})`, so the per-centre
+/// heap searches collapse into chunked vertex-major relaxation sweeps
+/// (see [`en_graph::restricted`]). Returns the clusters in `centers` order.
+pub fn grow_exact_clusters_batched(
+    csr: &CsrGraph,
+    centers: &[NodeId],
+    level: usize,
+    threshold: &[Dist],
+) -> Vec<Cluster> {
+    let res = restricted_multi_source_csr(csr, centers, threshold, None);
+    (0..centers.len())
+        .map(|s| cluster_from_restricted(&res, s, level))
+        .collect()
+}
+
+/// [`grow_exact_clusters_batched`] for callers that already hold the pivot
+/// table: each centre's level-`i+1` pivot is its Voronoi cell around
+/// `A_{i+1}` — exactly the locality grouping the kernel wants — so the
+/// kernel's own grouping Dijkstra is skipped.
+pub fn grow_exact_clusters_batched_with_pivots(
+    csr: &CsrGraph,
+    centers: &[NodeId],
+    level: usize,
+    threshold: &[Dist],
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+) -> Vec<Cluster> {
+    let groups: Vec<(NodeId, Dist)> = centers
+        .iter()
+        .map(|&c| {
+            if level + 1 < pivots[c].len() {
+                pivots[c][level + 1].unwrap_or((usize::MAX, INFINITY))
+            } else {
+                (usize::MAX, INFINITY)
+            }
+        })
+        .collect();
+    let res = restricted_multi_source_csr_grouped(csr, centers, threshold, None, &groups);
+    (0..centers.len())
+        .map(|s| cluster_from_restricted(&res, s, level))
+        .collect()
+}
+
+/// Assembles the [`Cluster`] of source row `s` from a converged restricted
+/// multi-source result, straight off the kernel's compact member records:
+/// the tree is built in one pass from the recorded parents and relaxed arc
+/// weights (no per-member `edge_weight` lookups, no attach ordering), and the
+/// root estimates are the recorded exact distances.
+pub fn cluster_from_restricted(res: &RestrictedMultiSource, s: usize, level: usize) -> Cluster {
+    let center = res.sources()[s];
+    let cells = res.member_cells(s);
+    let tree = RootedTree::from_compact_members(
+        res.num_vertices(),
+        center,
+        cells.iter().map(|c| {
+            let (p, w) = c
+                .tree_arc()
+                .expect("non-centre member has a recorded parent");
+            (c.v as NodeId, p, w)
+        }),
+    );
+    let mut root_estimate = NodeMap::default();
+    root_estimate.reserve(cells.len() + 1);
+    root_estimate.insert(center, 0);
+    for c in cells {
+        root_estimate.insert(c.v as NodeId, c.dist);
+    }
+    Cluster {
+        center,
+        level,
+        tree,
+        root_estimate,
+    }
+}
+
 /// Builds the complete exact cluster family (all centres, all levels) plus the
-/// exact pivot table.
+/// exact pivot table, over one shared [`CsrGraph`] view: the pivot
+/// multi-source Dijkstras and every level's batched cluster growth all reuse
+/// the same flat adjacency.
 pub fn exact_cluster_family(g: &WeightedGraph, hierarchy: &Hierarchy) -> ClusterFamily {
-    let pivots = exact_pivots(g, hierarchy);
     let csr = CsrGraph::from_graph(g);
+    let pivots = exact_pivots_csr(&csr, hierarchy);
     let mut clusters = HashMap::new();
     for i in 0..hierarchy.k() {
         let threshold = membership_thresholds(&pivots, i);
-        for center in hierarchy.centers_at(i) {
-            let cluster = grow_exact_cluster_csr(g, &csr, center, i, &threshold);
-            clusters.insert(center, cluster);
+        let centers = hierarchy.centers_at(i);
+        for cluster in
+            grow_exact_clusters_batched_with_pivots(&csr, &centers, i, &threshold, &pivots)
+        {
+            clusters.insert(cluster.center, cluster);
         }
     }
     ClusterFamily {
@@ -257,5 +375,54 @@ mod tests {
         assert!(t.iter().all(|&x| x == INFINITY));
         let t0 = membership_thresholds(&family.pivots, 0);
         assert!(t0.iter().any(|&x| x < INFINITY));
+    }
+
+    #[test]
+    fn batched_family_matches_per_centre_oracle() {
+        let (g, hierarchy, family) = setup(70, 3, 8);
+        let csr = CsrGraph::from_graph(&g);
+        for i in 0..hierarchy.k() {
+            let threshold = membership_thresholds(&family.pivots, i);
+            for center in hierarchy.centers_at(i) {
+                let oracle = grow_exact_cluster_csr(&csr, center, i, &threshold);
+                let batched = &family.clusters[&center];
+                assert_eq!(batched.members(), oracle.members(), "centre {center}");
+                assert_eq!(
+                    batched.root_estimate, oracle.root_estimate,
+                    "centre {center}"
+                );
+                assert!(batched.tree.is_subgraph_of(&g));
+            }
+        }
+    }
+
+    /// Regression for the definition-(6) tie case: `d(center, v) ==
+    /// threshold[v]` excludes `v` — the inequality is strict — and with
+    /// genuine thresholds everything whose shortest path runs through the
+    /// tied vertex is excluded with it. Verdict of the audit: the per-centre
+    /// oracle's `v != center && d >= threshold[v]` test was already correct,
+    /// and the batched kernel's strict `dist < threshold` mask agrees.
+    #[test]
+    fn tie_with_threshold_is_excluded() {
+        // Path 0 -2- 1 -2- 2 with A_1 = {2}: thresholds d(·, A_1) are
+        // [4, 2, 0] and d(0, 1) = 2 ties threshold[1].
+        let g = WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 2)]).unwrap();
+        let hierarchy = Hierarchy::from_levels(3, vec![vec![0, 1, 2], vec![2]]);
+        let family = exact_cluster_family(&g, &hierarchy);
+        let c0 = &family.clusters[&0];
+        assert_eq!(c0.members(), vec![0], "tied vertex 1 must be excluded");
+        // The oracle agrees on the same threshold vector.
+        let csr = CsrGraph::from_graph(&g);
+        let threshold = membership_thresholds(&family.pivots, 0);
+        assert_eq!(threshold, vec![4, 2, 0]);
+        let oracle = grow_exact_cluster_csr(&csr, 0, 0, &threshold);
+        assert_eq!(oracle.members(), vec![0]);
+        // Breaking the tie by one admits vertex 1 in both implementations.
+        let relaxed = vec![4, 3, 0];
+        let oracle = grow_exact_cluster_csr(&csr, 0, 0, &relaxed);
+        let batched = &grow_exact_clusters_batched(&csr, &[0], 0, &relaxed)[0];
+        assert_eq!(oracle.members(), vec![0, 1]);
+        assert_eq!(batched.members(), vec![0, 1]);
+        assert_eq!(batched.root_estimate[&1], 2); // d(0, 1), exact
     }
 }

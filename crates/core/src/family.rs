@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use en_graph::tree::RootedTree;
-use en_graph::{Dist, NodeId, WeightedGraph};
+use en_graph::{Dist, NodeId, NodeMap, WeightedGraph};
 
 use crate::hierarchy::Hierarchy;
 
@@ -26,8 +26,10 @@ pub struct Cluster {
     pub tree: RootedTree,
     /// `root_estimate[v] = b_v(u)`: the construction's estimate of
     /// `d_G(u, v)`, satisfying `d_G(u,v) ≤ b_v(u) ≤ (1+ε)⁴ d_G(u,v)` for the
-    /// approximate construction and equality for the exact one.
-    pub root_estimate: HashMap<NodeId, Dist>,
+    /// approximate construction and equality for the exact one. Stored in a
+    /// [`NodeMap`] (fast vertex-id hashing): one of these maps is built per
+    /// centre, squarely on the construction hot path.
+    pub root_estimate: NodeMap<Dist>,
 }
 
 impl Cluster {
@@ -151,7 +153,7 @@ mod tests {
             center: 1,
             level: 1,
             tree: t1,
-            root_estimate: HashMap::from([(1, 0), (0, 1), (2, 1)]),
+            root_estimate: NodeMap::from_iter([(1, 0), (0, 1), (2, 1)]),
         };
         let mut t0 = RootedTree::new(3, 0);
         t0.attach(1, 0, 1);
@@ -159,7 +161,7 @@ mod tests {
             center: 0,
             level: 0,
             tree: t0,
-            root_estimate: HashMap::from([(0, 0), (1, 1)]),
+            root_estimate: NodeMap::from_iter([(0, 0), (1, 1)]),
         };
         let clusters = HashMap::from([(1, c1), (0, c0)]);
         let pivots = vec![

@@ -66,9 +66,51 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a CSR view directly from its three flat arrays — the escape
+    /// hatch for adjacency that does not come from a [`WeightedGraph`] (e.g.
+    /// the augmented virtual graph `G''` of the hopset crate, whose restricted
+    /// explorations run on this same kernel-facing shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `offsets` must start at 0, be
+    /// non-decreasing, end at `targets.len()`, and `targets` / `weights` must
+    /// be parallel with every target id in range.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>, weights: Vec<Weight>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert_eq!(
+            targets.len(),
+            weights.len(),
+            "targets and weights must be parallel"
+        );
+        let n = offsets.len() - 1;
+        assert!(targets.iter().all(|&t| t < n), "target id out of range");
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Number of vertices.
     pub fn num_nodes(&self) -> usize {
         self.offsets.len() - 1
+    }
+
+    /// Maximum edge weight (0 for an edgeless graph) — the quantity the
+    /// batched kernels use to pick their cell width.
+    pub fn max_weight(&self) -> Weight {
+        self.weights.iter().copied().max().unwrap_or(0)
     }
 
     /// Number of undirected edges.
@@ -185,5 +227,25 @@ mod tests {
     fn from_impl_agrees_with_from_graph() {
         let g = sample();
         assert_eq!(CsrGraph::from(&g), CsrGraph::from_graph(&g));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_reports_max_weight() {
+        let g = sample();
+        let built = CsrGraph::from_graph(&g);
+        let rebuilt = CsrGraph::from_parts(
+            built.offsets.clone(),
+            built.targets.clone(),
+            built.weights.clone(),
+        );
+        assert_eq!(rebuilt, built);
+        assert_eq!(rebuilt.max_weight(), 5);
+        assert_eq!(CsrGraph::from_graph(&WeightedGraph::new(2)).max_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_bad_target() {
+        let _ = CsrGraph::from_parts(vec![0, 1], vec![7], vec![1]);
     }
 }

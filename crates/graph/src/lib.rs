@@ -14,6 +14,10 @@
 //! * [`generators`] — reproducible random and structured graph generators
 //!   (Erdős–Rényi, random geometric, grids, rings, trees, Barabási–Albert,
 //!   caterpillars, …) used as workloads by the benchmark harness.
+//! * [`restricted`] — the batched, threshold-restricted multi-source kernel
+//!   behind Thorup–Zwick cluster growing, built on the shared [`cell`]
+//!   distance-cell machinery (which the Theorem-1 kernel in
+//!   `en_congest_algos` reuses).
 //! * [`dijkstra`] — exact single-source shortest paths (the ground truth all
 //!   stretch measurements are computed against).
 //! * [`bellman_ford`] — hop-bounded distances `d^{(t)}_G` (Section 2 of the
@@ -42,6 +46,7 @@
 
 pub mod bellman_ford;
 pub mod bfs;
+pub mod cell;
 pub mod csr;
 pub mod dijkstra;
 pub mod error;
@@ -49,6 +54,7 @@ pub mod generators;
 pub mod graph;
 pub mod path;
 pub mod properties;
+pub mod restricted;
 pub mod tree;
 pub mod types;
 
@@ -56,4 +62,7 @@ pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use graph::{Edge, Neighbor, WeightedGraph};
 pub use path::Path;
-pub use types::{dist_add, is_finite, Dist, NodeId, Weight, INFINITY};
+pub use restricted::{
+    restricted_multi_source_csr, restricted_multi_source_csr_grouped, RestrictedMultiSource,
+};
+pub use types::{dist_add, is_finite, Dist, NodeId, NodeIdHasher, NodeMap, Weight, INFINITY};

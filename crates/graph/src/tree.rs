@@ -18,14 +18,26 @@ use crate::types::{dist_add, Dist, NodeId, Weight};
 /// tree may be *virtual* (its edges need not exist in the host graph), which
 /// is required for the virtual trees `T'` of Section 6 and the cluster trees
 /// built over hopset edges.
+///
+/// Internally the parent pointers live in two parallel memset-friendly
+/// arrays (`u32` ids with a sentinel, plus weights) rather than a
+/// `Vec<Option<(NodeId, Weight)>>`: a cluster family materialises one tree
+/// per centre, so construction cost is dominated by initialising these
+/// arrays, and a 0xFF/zero fill is several times faster than writing a
+/// 24-byte `None` pattern per vertex.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootedTree {
     root: NodeId,
-    /// `parent[v] = Some((p, w))` means `p` is the parent of `v` and the edge
-    /// `(p, v)` has weight `w`. `None` for the root and for non-members.
-    parent: Vec<Option<(NodeId, Weight)>>,
+    /// `parent_id[v]` is the parent of `v`, or [`NO_PARENT`] for the root and
+    /// for non-members; `parent_weight[v]` is the weight of the edge
+    /// `(parent_id[v], v)` wherever a parent is set.
+    parent_id: Vec<u32>,
+    parent_weight: Vec<Weight>,
     member: Vec<bool>,
 }
+
+/// `parent_id` sentinel meaning "no parent".
+const NO_PARENT: u32 = u32::MAX;
 
 impl RootedTree {
     /// Creates a tree containing only `root`, over a host of `n` vertices.
@@ -35,11 +47,13 @@ impl RootedTree {
     /// Panics if `root >= n`.
     pub fn new(n: usize, root: NodeId) -> Self {
         assert!(root < n, "root {root} out of range");
+        assert!(n < NO_PARENT as usize, "host size must fit in u32");
         let mut member = vec![false; n];
         member[root] = true;
         RootedTree {
             root,
-            parent: vec![None; n],
+            parent_id: vec![NO_PARENT; n],
+            parent_weight: vec![0; n],
             member,
         }
     }
@@ -56,16 +70,22 @@ impl RootedTree {
     pub fn from_parents(root: NodeId, parents: Vec<Option<(NodeId, Weight)>>) -> Self {
         let n = parents.len();
         assert!(root < n, "root {root} out of range");
+        assert!(n < NO_PARENT as usize, "host size must fit in u32");
         let mut member = vec![false; n];
         member[root] = true;
+        let mut parent_id = vec![NO_PARENT; n];
+        let mut parent_weight = vec![0; n];
         for v in 0..n {
-            if parents[v].is_some() {
+            if let Some((p, w)) = parents[v] {
                 member[v] = true;
+                parent_id[v] = p as u32;
+                parent_weight[v] = w;
             }
         }
         let tree = RootedTree {
             root,
-            parent: parents,
+            parent_id,
+            parent_weight,
             member,
         };
         // Cycle check: walking up from any member must reach the root within n steps.
@@ -73,12 +93,52 @@ impl RootedTree {
             if tree.member[v] {
                 let mut cur = v;
                 let mut steps = 0;
-                while let Some((p, _)) = tree.parent[cur] {
+                while let Some((p, _)) = tree.parent(cur) {
                     cur = p;
                     steps += 1;
                     assert!(steps <= n, "cycle in parent pointers at vertex {v}");
                 }
                 assert_eq!(cur, root, "vertex {v} does not reach the root");
+            }
+        }
+        tree
+    }
+
+    /// Builds a tree directly from compact member records `(v, parent, w)` —
+    /// the shape the batched cluster kernel emits — with no attach-order
+    /// requirement and no per-call assertions beyond debug builds, where the
+    /// records are verified to form a tree rooted at `root`. Cluster-family
+    /// construction materialises one tree per centre, so this constructor is
+    /// on a measured hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range; debug builds additionally panic on
+    /// out-of-range members, cycles, or members not reaching the root.
+    pub fn from_compact_members(
+        n: usize,
+        root: NodeId,
+        members: impl IntoIterator<Item = (NodeId, NodeId, Weight)>,
+    ) -> Self {
+        let mut tree = RootedTree::new(n, root);
+        for (v, p, w) in members {
+            debug_assert!(v < n && p < n, "member ({v}, {p}) out of range");
+            tree.parent_id[v] = p as u32;
+            tree.parent_weight[v] = w;
+            tree.member[v] = true;
+        }
+        #[cfg(debug_assertions)]
+        for v in 0..n {
+            if tree.member[v] {
+                let mut cur = v;
+                let mut steps = 0;
+                while let Some((p, _)) = tree.parent(cur) {
+                    assert!(tree.member[p], "parent {p} of {cur} is not a member");
+                    cur = p;
+                    steps += 1;
+                    assert!(steps <= n, "cycle in compact member records at {v}");
+                }
+                assert_eq!(cur, root, "member {v} does not reach the root");
             }
         }
         tree
@@ -91,7 +151,7 @@ impl RootedTree {
 
     /// Number of vertices in the host graph (the length of the parent array).
     pub fn host_size(&self) -> usize {
-        self.parent.len()
+        self.parent_id.len()
     }
 
     /// Returns `true` if `v` belongs to the tree.
@@ -114,7 +174,10 @@ impl RootedTree {
     /// The parent of `v` together with the connecting edge weight, or `None`
     /// for the root and non-members.
     pub fn parent(&self, v: NodeId) -> Option<(NodeId, Weight)> {
-        self.parent.get(v).copied().flatten()
+        match self.parent_id.get(v) {
+            Some(&p) if p != NO_PARENT => Some((p as NodeId, self.parent_weight[v])),
+            _ => None,
+        }
     }
 
     /// Attaches `child` under `parent` with edge weight `w`.
@@ -124,10 +187,11 @@ impl RootedTree {
     /// Panics if `parent` is not a member, if `child` is already a member, or
     /// if either id is out of range.
     pub fn attach(&mut self, child: NodeId, parent: NodeId, w: Weight) {
-        assert!(child < self.parent.len(), "child {child} out of range");
+        assert!(child < self.parent_id.len(), "child {child} out of range");
         assert!(self.contains(parent), "parent {parent} not in tree");
         assert!(!self.contains(child), "child {child} already in tree");
-        self.parent[child] = Some((parent, w));
+        self.parent_id[child] = parent as u32;
+        self.parent_weight[child] = w;
         self.member[child] = true;
     }
 
@@ -141,10 +205,11 @@ impl RootedTree {
     ///
     /// Panics if ids are out of range, `parent` is not a member, or `v` is the root.
     pub fn set_parent(&mut self, v: NodeId, parent: NodeId, w: Weight) {
-        assert!(v < self.parent.len(), "vertex {v} out of range");
+        assert!(v < self.parent_id.len(), "vertex {v} out of range");
         assert!(self.contains(parent), "parent {parent} not in tree");
         assert_ne!(v, self.root, "cannot set a parent for the root");
-        self.parent[v] = Some((parent, w));
+        self.parent_id[v] = parent as u32;
+        self.parent_weight[v] = w;
         self.member[v] = true;
     }
 
@@ -155,10 +220,10 @@ impl RootedTree {
 
     /// Children lists for every vertex (empty for non-members and leaves).
     pub fn children(&self) -> Vec<Vec<NodeId>> {
-        let mut ch = vec![Vec::new(); self.parent.len()];
-        for v in 0..self.parent.len() {
-            if let Some((p, _)) = self.parent[v] {
-                ch[p].push(v);
+        let mut ch = vec![Vec::new(); self.parent_id.len()];
+        for (v, &p) in self.parent_id.iter().enumerate() {
+            if p != NO_PARENT {
+                ch[p as usize].push(v);
             }
         }
         ch
@@ -166,7 +231,7 @@ impl RootedTree {
 
     /// Hop depth of every member (root = 0); `None` for non-members.
     pub fn depths(&self) -> Vec<Option<usize>> {
-        let n = self.parent.len();
+        let n = self.parent_id.len();
         let mut depth = vec![None; n];
         for v in 0..n {
             if !self.member[v] {
@@ -181,7 +246,7 @@ impl RootedTree {
                     break;
                 }
                 chain.push(cur);
-                cur = self.parent[cur].expect("member must have parent").0;
+                cur = self.parent(cur).expect("member must have parent").0;
             }
             let mut d = depth[cur].expect("walk terminated at known depth");
             for &x in chain.iter().rev() {
@@ -200,7 +265,7 @@ impl RootedTree {
     /// Weighted distance from every member to the root along tree edges;
     /// `None` for non-members.
     pub fn root_distances(&self) -> Vec<Option<Dist>> {
-        let n = self.parent.len();
+        let n = self.parent_id.len();
         let mut dist = vec![None; n];
         for v in 0..n {
             if !self.member[v] {
@@ -214,11 +279,11 @@ impl RootedTree {
                     break;
                 }
                 chain.push(cur);
-                cur = self.parent[cur].expect("member must have parent").0;
+                cur = self.parent(cur).expect("member must have parent").0;
             }
             let mut d = dist[cur].expect("walk terminated at known distance");
             for &x in chain.iter().rev() {
-                let (_, w) = self.parent[x].expect("member must have parent");
+                let (_, w) = self.parent(x).expect("member must have parent");
                 d = dist_add(d, w);
                 dist[x] = Some(d);
             }
@@ -233,13 +298,13 @@ impl RootedTree {
             return None;
         }
         // Collect ancestors of u (including u) with their order.
-        let mut anc_order = vec![usize::MAX; self.parent.len()];
+        let mut anc_order = vec![usize::MAX; self.parent_id.len()];
         let mut up_u = Vec::new();
         let mut cur = u;
         loop {
             anc_order[cur] = up_u.len();
             up_u.push(cur);
-            match self.parent[cur] {
+            match self.parent(cur) {
                 Some((p, _)) => cur = p,
                 None => break,
             }
@@ -249,7 +314,7 @@ impl RootedTree {
         let mut cur = v;
         while anc_order[cur] == usize::MAX {
             up_v.push(cur);
-            cur = self.parent[cur]?.0;
+            cur = self.parent(cur)?.0;
         }
         let lca = cur;
         let mut nodes: Vec<NodeId> = up_u[..=anc_order[lca]].to_vec();
@@ -281,7 +346,7 @@ impl RootedTree {
     /// Virtual trees (over hopset edges or contracted subtrees) will fail this
     /// check by design; the real cluster trees used for routing must pass it.
     pub fn is_subgraph_of(&self, g: &WeightedGraph) -> bool {
-        (0..self.parent.len()).all(|v| match self.parent[v] {
+        (0..self.parent_id.len()).all(|v| match self.parent(v) {
             None => true,
             Some((p, w)) => {
                 v < g.num_nodes() && p < g.num_nodes() && g.edge_weight(v, p) == Some(w)

@@ -44,6 +44,47 @@ pub fn is_finite(d: Dist) -> bool {
     d < INFINITY
 }
 
+/// A fast, deterministic hasher for [`NodeId`] keys.
+///
+/// Vertex ids are small dense integers, so the default SipHash of
+/// `std::collections::HashMap` spends more time hashing than probing; this
+/// hasher is a single multiply by a 64-bit golden-ratio constant plus an
+/// xor-fold, which spreads consecutive ids across the table's high bits (the
+/// bits hashbrown keys on). Cluster `root_estimate` maps are built by the
+/// hundred per construction, making this a measured hot path.
+#[derive(Debug, Default, Clone)]
+pub struct NodeIdHasher(u64);
+
+impl std::hash::Hasher for NodeIdHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0.rotate_left(29) ^ i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0.rotate_left(29) ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 31)
+    }
+}
+
+/// A `HashMap` keyed by [`NodeId`] using [`NodeIdHasher`] — the map type of
+/// cluster `root_estimate` tables and other per-vertex associative state on
+/// construction hot paths.
+pub type NodeMap<V> =
+    std::collections::HashMap<NodeId, V, std::hash::BuildHasherDefault<NodeIdHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

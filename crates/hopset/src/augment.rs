@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use en_graph::{Dist, NodeId, WeightedGraph, INFINITY};
+use en_graph::{CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
 
 use crate::edge::Hopset;
 
@@ -119,6 +119,34 @@ impl AugmentedGraph {
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[AugNeighbor] {
         &self.arcs[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// A plain [`CsrGraph`] view of `G''` (weights under `w''`, provenance
+    /// dropped), in the same per-vertex arc order as
+    /// [`AugmentedGraph::neighbors`] — the shape the batched restricted
+    /// kernel (`en_graph::restricted`) consumes. Provenance of a recovered
+    /// parent arc can be looked up afterwards with
+    /// [`AugmentedGraph::provenance`], because `G''` never holds parallel
+    /// edges (the conflict rule collapses them).
+    pub fn to_csr(&self) -> CsrGraph {
+        let targets = self.arcs.iter().map(|nb| nb.node).collect();
+        let weights = self.arcs.iter().map(|nb| nb.weight).collect();
+        CsrGraph::from_parts(self.offsets.clone(), targets, weights)
+    }
+
+    /// The hopset index of the unique `G''` edge `(u, v)` (`None` when the
+    /// edge is an original edge of the base graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or `(u, v)` is not an edge of `G''`.
+    pub fn provenance(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let arcs = self.neighbors(u);
+        // Arcs are sorted by neighbour id, so a binary search finds the edge.
+        let pos = arcs
+            .binary_search_by_key(&v, |nb| nb.node)
+            .unwrap_or_else(|_| panic!("({u}, {v}) is not an edge of G''"));
+        arcs[pos].hopset_index
     }
 
     /// Hop-bounded single-source distances `d^{(β)}_{G''}(source, ·)`, with the
@@ -253,6 +281,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn csr_view_matches_adjacency_and_provenance() {
+        let g =
+            en_graph::WeightedGraph::from_edges(3, [(0, 1, 5), (1, 2, 5), (0, 2, 100)]).unwrap();
+        let hopset = Hopset::new(
+            vec![HopsetEdge {
+                u: 0,
+                v: 2,
+                weight: 10,
+                path: Path::new(vec![0, 1, 2]),
+            }],
+            2,
+            0.0,
+        );
+        let aug = AugmentedGraph::new(&g, &hopset);
+        let csr = aug.to_csr();
+        assert_eq!(csr.num_nodes(), 3);
+        for v in 0..3 {
+            let (targets, weights) = csr.arcs(v);
+            for (i, nb) in aug.neighbors(v).iter().enumerate() {
+                assert_eq!(targets[i], nb.node);
+                assert_eq!(weights[i], nb.weight);
+                assert_eq!(aug.provenance(v, nb.node), nb.hopset_index);
+            }
+        }
+        assert_eq!(aug.provenance(0, 2), Some(0));
+        assert_eq!(aug.provenance(0, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn provenance_rejects_non_edges() {
+        let g = path(&GeneratorConfig::new(4, 1));
+        let aug = AugmentedGraph::new(&g, &Hopset::empty(4));
+        let _ = aug.provenance(0, 3);
     }
 
     #[test]

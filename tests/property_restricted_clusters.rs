@@ -1,0 +1,146 @@
+//! Property-based equivalence suite for the batched restricted multi-source
+//! kernel (`en_graph::restricted`), mirroring the naive-vs-batched oracle
+//! pattern of the Theorem-1 kernel tests: across random Erdős–Rényi graphs,
+//! levels, and threshold vectors (both genuine Thorup–Zwick thresholds
+//! `d_G(·, A_{i+1})` and adversarially random ones), the batched kernel must
+//! agree with the retained per-centre restricted Dijkstra
+//! (`grow_exact_cluster_csr`) — same member sets, same `root_estimate`
+//! distances, and tree parents that form valid shortest-path trees inside
+//! the member set.
+
+use proptest::prelude::*;
+
+use en_graph::dijkstra::multi_source_dijkstra;
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_graph::{restricted_multi_source_csr, CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
+use en_routing::exact::{
+    exact_cluster_family, grow_exact_cluster_csr, grow_exact_clusters_batched,
+    membership_thresholds,
+};
+use en_routing::{Hierarchy, SchemeParams};
+
+fn arb_connected_graph() -> impl Strategy<Value = WeightedGraph> {
+    (8usize..60, 0u64..10_000, 1u64..100).prop_map(|(n, seed, max_w)| {
+        erdos_renyi_connected(&GeneratorConfig::new(n, seed).with_weights(1, max_w), 0.12)
+    })
+}
+
+/// Checks one batched cluster against the per-centre oracle, including tree
+/// validity (real edges, root distances reproducing the recorded estimates).
+fn assert_cluster_matches_oracle(
+    g: &WeightedGraph,
+    csr: &CsrGraph,
+    cluster: &en_routing::Cluster,
+    threshold: &[Dist],
+) {
+    let oracle = grow_exact_cluster_csr(csr, cluster.center, cluster.level, threshold);
+    assert_eq!(
+        cluster.members(),
+        oracle.members(),
+        "centre {}: member sets differ",
+        cluster.center
+    );
+    assert_eq!(
+        cluster.root_estimate, oracle.root_estimate,
+        "centre {}: root estimates differ",
+        cluster.center
+    );
+    assert!(cluster.tree.is_subgraph_of(g), "tree uses non-graph edges");
+    let tree_dist = cluster.tree.root_distances();
+    for v in cluster.members() {
+        assert_eq!(
+            tree_dist[v],
+            Some(cluster.root_estimate[&v]),
+            "centre {}: tree path to {v} does not realise the estimate",
+            cluster.center
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Genuine TZ thresholds: a random "next level" `A` induces
+    /// `threshold[v] = d_G(v, A)`; every vertex outside `A` is a centre.
+    #[test]
+    fn batched_matches_oracle_on_tz_thresholds(
+        g in arb_connected_graph(),
+        level_mod in 2usize..8,
+        level_shift in 0usize..8,
+    ) {
+        let n = g.num_nodes();
+        let level: Vec<NodeId> = (0..n).filter(|v| v % level_mod == level_shift % level_mod).collect();
+        let threshold = if level.is_empty() {
+            vec![INFINITY; n]
+        } else {
+            multi_source_dijkstra(&g, &level).0
+        };
+        let centers: Vec<NodeId> = (0..n).filter(|v| !level.contains(v)).collect();
+        let csr = CsrGraph::from_graph(&g);
+        let clusters = grow_exact_clusters_batched(&csr, &centers, 0, &threshold);
+        prop_assert_eq!(clusters.len(), centers.len());
+        for cluster in &clusters {
+            assert_cluster_matches_oracle(&g, &csr, cluster, &threshold);
+        }
+    }
+
+    /// Adversarially random threshold vectors (not realisable as distances to
+    /// any level): the kernel contract must still match the oracle cell for
+    /// cell — member sets and raw restricted distances.
+    #[test]
+    fn batched_matches_oracle_on_random_thresholds(
+        g in arb_connected_graph(),
+        thresholds_seed in proptest::collection::vec(0u64..200, 60..61),
+        sources_mod in 3usize..9,
+    ) {
+        let n = g.num_nodes();
+        let threshold: Vec<Dist> = (0..n)
+            .map(|v| {
+                // Mix of zeros, small finite values, and infinities.
+                match thresholds_seed[v % thresholds_seed.len()] {
+                    t if t < 10 => 0,
+                    t if t >= 180 => INFINITY,
+                    t => t,
+                }
+            })
+            .collect();
+        let sources: Vec<NodeId> = (0..n).filter(|v| v % sources_mod == 0).collect();
+        let csr = CsrGraph::from_graph(&g);
+        let res = restricted_multi_source_csr(&csr, &sources, &threshold, None);
+        for (s, &src) in sources.iter().enumerate() {
+            let oracle = grow_exact_cluster_csr(&csr, src, 0, &threshold);
+            let members: Vec<NodeId> = res.members_of(s).collect();
+            prop_assert_eq!(&members, &oracle.members(), "source {}", src);
+            for &v in &members {
+                prop_assert_eq!(res.dist_row(s)[v], oracle.root_estimate[&v], "source {} vertex {}", src, v);
+                if v != src {
+                    let (p, w) = res.parent_of(s, v).expect("member has parent");
+                    prop_assert!(res.is_member(s, p));
+                    prop_assert_eq!(g.edge_weight(v, p), Some(w));
+                    prop_assert_eq!(res.dist_row(s)[p] + w, res.dist_row(s)[v]);
+                }
+            }
+        }
+    }
+
+    /// The whole-family build (all levels of a sampled hierarchy) agrees with
+    /// growing every cluster individually through the oracle.
+    #[test]
+    fn exact_family_matches_per_centre_oracle(
+        g in arb_connected_graph(),
+        k in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let n = g.num_nodes();
+        let params = SchemeParams::new(k, n, seed);
+        let hierarchy = Hierarchy::sample(&params);
+        let family = exact_cluster_family(&g, &hierarchy);
+        let csr = CsrGraph::from_graph(&g);
+        for i in 0..hierarchy.k() {
+            let threshold = membership_thresholds(&family.pivots, i);
+            for center in hierarchy.centers_at(i) {
+                assert_cluster_matches_oracle(&g, &csr, &family.clusters[&center], &threshold);
+            }
+        }
+    }
+}
