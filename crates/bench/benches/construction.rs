@@ -17,6 +17,11 @@
 //!   level must stay ≥ 3× faster batched; whole-family growth is tracked
 //!   alongside (currently ~parity — level-0 clusters average ~30 members at
 //!   degree 8, where the per-centre heap search is already cheap).
+//! * `assemble`: `RoutingScheme::assemble` over a prebuilt exact cluster
+//!   family at `n ∈ {500, 1000, 10000}`, `k ∈ {2, 3}` — the Section-4
+//!   tables/labels assembly the compact-forest membership CSR rewrote; the
+//!   recorded bar (BENCH_construction.json) is ≥ 2× vs the pre-forest
+//!   assembly at n = 1000, k = 2.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -25,9 +30,10 @@ use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
 use en_graph::CsrGraph;
 use en_routing::construction::{build_routing_scheme, ConstructionConfig};
 use en_routing::exact::{
-    exact_pivots_csr, grow_exact_cluster_csr, grow_exact_clusters_batched_with_pivots,
-    membership_thresholds,
+    exact_cluster_family, exact_pivots_csr, grow_exact_cluster_csr,
+    grow_exact_clusters_batched_with_pivots, membership_thresholds,
 };
+use en_routing::scheme::RoutingScheme;
 use en_routing::{Hierarchy, SchemeParams};
 
 fn bench_construction(c: &mut Criterion) {
@@ -96,7 +102,7 @@ fn bench_clusters_kernel(c: &mut Criterion) {
                 .iter()
                 .map(|(i, centers, threshold)| {
                     grow_exact_clusters_batched_with_pivots(&csr, centers, *i, threshold, &pivots)
-                        .len()
+                        .num_clusters()
                 })
                 .sum::<usize>()
         })
@@ -117,10 +123,33 @@ fn bench_clusters_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_assemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble");
+    group.sample_size(10);
+    for n in [500usize, 1000, 10000] {
+        let g = erdos_renyi_connected(
+            &GeneratorConfig::new(n, 42).with_weights(1, 100),
+            8.0 / n as f64,
+        );
+        for k in [2usize, 3] {
+            let params = SchemeParams::new(k, n, 42);
+            let hierarchy = Hierarchy::sample(&params);
+            let family = exact_cluster_family(&g, &hierarchy);
+            group.bench_with_input(
+                BenchmarkId::new("assemble", format!("n{n}_k{k}")),
+                &family,
+                |b, family| b.iter(|| RoutingScheme::assemble(family, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_construction,
     bench_theorem1_kernel,
-    bench_clusters_kernel
+    bench_clusters_kernel,
+    bench_assemble
 );
 criterion_main!(benches);

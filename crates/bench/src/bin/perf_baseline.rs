@@ -16,6 +16,15 @@
 //! for phases, 9 for the kernel comparisons), so the committed JSON stays
 //! comparable across machines with noisy schedulers.
 //!
+//! The `assemble` workload tracks the Section-4 tables/labels assembly over
+//! a prebuilt exact family at `n ∈ {500, 1000, 10000}`, `k ∈ {2, 3}`,
+//! alongside a bytes gauge of the family's compact-forest footprint
+//! (`ClusterFamily::cluster_bytes`) — the pair of numbers the arena-backed
+//! cluster forest is accountable to (recorded bars: assemble ≥ 2× vs the
+//! pre-forest assembly at n = 1000/k = 2, footprint ≥ 5× below the old
+//! `O(n · #clusters)` representation's ~14 MB there). The `entries` sweep
+//! includes the n = 10000 end-to-end build the compact family unlocked.
+//!
 //! Usage: `cargo run --release -p en_bench --bin perf_baseline [--smoke]`
 //!
 //! `--smoke` restricts the sweep to the smallest size and skips the file
@@ -31,9 +40,10 @@ use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
 use en_graph::{CsrGraph, WeightedGraph};
 use en_routing::construction::{build_routing_scheme, ConstructionConfig};
 use en_routing::exact::{
-    exact_pivots_csr, grow_exact_cluster_csr, grow_exact_clusters_batched_with_pivots,
-    membership_thresholds,
+    exact_cluster_family, exact_pivots_csr, grow_exact_cluster_csr,
+    grow_exact_clusters_batched_with_pivots, membership_thresholds,
 };
+use en_routing::scheme::RoutingScheme;
 use en_routing::{Hierarchy, SchemeParams};
 
 const OUTPUT: &str = "BENCH_construction.json";
@@ -59,7 +69,11 @@ fn workload(n: usize) -> WeightedGraph {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let sizes: &[usize] = if smoke { &[200] } else { &[200, 500, 1000] };
+    let sizes: &[usize] = if smoke {
+        &[200]
+    } else {
+        &[200, 500, 1000, 10000]
+    };
     let runs = if smoke { 1 } else { 3 };
 
     // The acceptance-bar kernel comparison: batched vs retained naive on a
@@ -107,7 +121,7 @@ fn main() {
             .iter()
             .map(|(i, centers, threshold)| {
                 grow_exact_clusters_batched_with_pivots(&ccsr, centers, *i, threshold, &cpivots)
-                    .len()
+                    .num_clusters()
             })
             .sum::<usize>()
     });
@@ -132,7 +146,7 @@ fn main() {
             top_threshold,
             &cpivots,
         )
-        .len()
+        .num_clusters()
     });
     let (spanning_per_centre_ms, _) = best_of(kernel_runs, || {
         top_centers
@@ -153,8 +167,44 @@ fn main() {
         top_centers.len()
     );
 
+    // The assemble workload: Section-4 tables/labels assembly over a
+    // prebuilt exact family, plus the family's compact-forest byte footprint.
+    let assemble_sizes: &[usize] = if smoke { &[200] } else { &[500, 1000, 10000] };
+    let mut assemble_entries = String::new();
+    for &n in assemble_sizes {
+        let g = workload(n);
+        for k in [2usize, 3] {
+            let params = SchemeParams::new(k, n, 42);
+            let hierarchy = Hierarchy::sample(&params);
+            let family = exact_cluster_family(&g, &hierarchy);
+            let family_bytes = family.cluster_bytes();
+            let (assemble_ms, _) = best_of(runs, || RoutingScheme::assemble(&family, 42));
+            println!(
+                "assemble n={n} k={k}: {assemble_ms:.3} ms, {} clusters, \
+                 total members {}, family footprint {:.2} MB",
+                family.num_clusters(),
+                family.total_cluster_size(),
+                family_bytes as f64 / 1e6
+            );
+            if !assemble_entries.is_empty() {
+                assemble_entries.push_str(",\n");
+            }
+            let _ = write!(
+                assemble_entries,
+                "    {{\"n\": {n}, \"k\": {k}, \"assemble_ms\": {assemble_ms:.3}, \
+                 \"clusters\": {}, \"total_members\": {}, \"family_bytes\": {family_bytes}}}",
+                family.num_clusters(),
+                family.total_cluster_size()
+            );
+        }
+    }
+
     let mut entries = String::new();
     for &n in sizes {
+        // The n = 10000 end-to-end point is a single timed run (it exists to
+        // prove the size completes and track its ballpark, not to win a
+        // best-of race).
+        let runs = if n >= 10_000 { 1 } else { runs };
         for k in [2usize, 3] {
             let (gen_ms, g) = best_of(runs, || workload(n));
             let sources: Vec<usize> = (0..32).map(|i| i * 31 % n).collect();
@@ -207,7 +257,8 @@ fn main() {
          \"family_speedup\": {clusters_speedup:.2}, \
          \"spanning_batched_ms\": {spanning_batched_ms:.3}, \
          \"spanning_per_centre_ms\": {spanning_per_centre_ms:.3}, \
-         \"spanning_speedup\": {spanning_speedup:.2}}},\n  \"entries\": [\n{entries}\n  ]\n}}\n"
+         \"spanning_speedup\": {spanning_speedup:.2}}},\n  \
+         \"assemble\": [\n{assemble_entries}\n  ],\n  \"entries\": [\n{entries}\n  ]\n}}\n"
     );
     std::fs::write(OUTPUT, json).expect("write BENCH_construction.json");
     println!("wrote {OUTPUT}");

@@ -11,7 +11,7 @@
 //! round count *is* `iterations × congestion` — the quantity the paper bounds
 //! by `iterations × Õ(n^{1/k})` via Claim 2.
 //!
-//! The sequential construction (`grow_exact_cluster` in the `en_routing`
+//! The sequential construction (`grow_exact_cluster_csr` in the `en_routing`
 //! crate) produces the same clusters; this protocol exists to validate, on the
 //! simulator, both the membership/distance outcome and the congestion claim.
 

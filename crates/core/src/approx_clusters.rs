@@ -25,12 +25,11 @@ use std::collections::HashMap;
 use en_congest::broadcast::lemma1_rounds;
 use en_congest::RoundLedger;
 use en_congest_algos::theorem1::multi_source_hop_bounded;
+use en_graph::forest::{ClusterForest, ClusterForestBuilder, ForestMember};
 use en_graph::restricted::restricted_multi_source_csr;
-use en_graph::tree::RootedTree;
-use en_graph::{is_finite, Dist, NodeId, NodeMap, WeightedGraph, INFINITY};
+use en_graph::{is_finite, Dist, NodeId, NodeMap, Weight, WeightedGraph, INFINITY};
 
-use crate::exact::{grow_exact_clusters_batched_with_pivots, membership_thresholds};
-use crate::family::Cluster;
+use crate::exact::{grow_exact_clusters_batched_with_pivots_into, membership_thresholds};
 use crate::hierarchy::Hierarchy;
 use crate::params::SchemeParams;
 use crate::preprocess::Preprocessing;
@@ -52,8 +51,10 @@ pub struct ClusterDiagnostics {
 /// Output of the approximate-cluster construction for a set of levels.
 #[derive(Debug, Clone)]
 pub struct ApproxClusters {
-    /// The cluster per centre.
-    pub clusters: HashMap<NodeId, Cluster>,
+    /// The clusters, one per centre of the covered levels, in the compact
+    /// arena representation (construction absorbs the per-phase forests into
+    /// the family's shared arena).
+    pub forest: ClusterForest,
     /// Round charges.
     pub ledger: RoundLedger,
     /// Diagnostics.
@@ -71,7 +72,26 @@ pub fn small_scale_clusters(
     params: &SchemeParams,
     pivots: &[Vec<Option<(NodeId, Dist)>>],
 ) -> ApproxClusters {
-    let mut clusters = HashMap::new();
+    let mut builder = ClusterForestBuilder::new(g.num_nodes());
+    let (ledger, diagnostics) =
+        small_scale_clusters_into(g, hierarchy, params, pivots, &mut builder);
+    ApproxClusters {
+        forest: builder.finish(),
+        ledger,
+        diagnostics,
+    }
+}
+
+/// [`small_scale_clusters`] appending into a caller-owned builder, so the
+/// end-to-end construction pays for the membership CSR once at the family's
+/// final `finish()` instead of once per phase.
+pub fn small_scale_clusters_into(
+    g: &WeightedGraph,
+    hierarchy: &Hierarchy,
+    params: &SchemeParams,
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    builder: &mut ClusterForestBuilder,
+) -> (RoundLedger, ClusterDiagnostics) {
     let mut ledger = RoundLedger::new();
     let mut diagnostics = ClusterDiagnostics::default();
     let half = params.half_k();
@@ -86,14 +106,14 @@ pub fn small_scale_clusters(
             continue;
         }
         let threshold = membership_thresholds(pivots, i);
+        let pushed = grow_exact_clusters_batched_with_pivots_into(
+            &csr, &centers, i, &threshold, pivots, builder,
+        );
         let mut level_overlap = vec![0usize; g.num_nodes()];
-        for cluster in
-            grow_exact_clusters_batched_with_pivots(&csr, &centers, i, &threshold, pivots)
-        {
-            for v in cluster.members() {
-                level_overlap[v] += 1;
+        for id in pushed {
+            for &v in builder.members_of(id) {
+                level_overlap[v as usize] += 1;
             }
-            clusters.insert(cluster.center, cluster);
         }
         diagnostics.clusters_per_level.insert(i, centers.len());
         let congestion = level_overlap.into_iter().max().unwrap_or(1).max(1);
@@ -107,11 +127,7 @@ pub fn small_scale_clusters(
             ),
         );
     }
-    ApproxClusters {
-        clusters,
-        ledger,
-        diagnostics,
-    }
+    (ledger, diagnostics)
 }
 
 /// Builds the odd-`k` middle-level clusters via Theorem 1 (§3.2, "The middle level").
@@ -122,23 +138,33 @@ pub fn middle_level_clusters(
     pivots: &[Vec<Option<(NodeId, Dist)>>],
     hop_diameter: usize,
 ) -> ApproxClusters {
-    let mut clusters = HashMap::new();
+    let mut builder = ClusterForestBuilder::new(g.num_nodes());
+    let (ledger, diagnostics) =
+        middle_level_clusters_into(g, hierarchy, params, pivots, hop_diameter, &mut builder);
+    ApproxClusters {
+        forest: builder.finish(),
+        ledger,
+        diagnostics,
+    }
+}
+
+/// [`middle_level_clusters`] appending into a caller-owned builder.
+pub fn middle_level_clusters_into(
+    g: &WeightedGraph,
+    hierarchy: &Hierarchy,
+    params: &SchemeParams,
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    hop_diameter: usize,
+    builder: &mut ClusterForestBuilder,
+) -> (RoundLedger, ClusterDiagnostics) {
     let mut ledger = RoundLedger::new();
     let mut diagnostics = ClusterDiagnostics::default();
     let Some(i) = params.middle_level() else {
-        return ApproxClusters {
-            clusters,
-            ledger,
-            diagnostics,
-        };
+        return (ledger, diagnostics);
     };
     let centers = hierarchy.centers_at(i);
     if centers.is_empty() {
-        return ApproxClusters {
-            clusters,
-            ledger,
-            diagnostics,
-        };
+        return (ledger, diagnostics);
     }
     let b = params.exploration_depth(i + 1);
     let eps = params.epsilon();
@@ -163,16 +189,11 @@ pub fn middle_level_clusters(
                 }
             }
         }
-        let (cluster, fixups) = assemble_cluster_tree(g, center, i, estimate, parent);
-        diagnostics.parent_fixups += fixups;
-        clusters.insert(center, cluster);
+        diagnostics.parent_fixups +=
+            assemble_cluster_tree_into(builder, g, center, i, estimate, parent);
     }
     diagnostics.clusters_per_level.insert(i, centers.len());
-    ApproxClusters {
-        clusters,
-        ledger,
-        diagnostics,
-    }
+    (ledger, diagnostics)
 }
 
 /// Builds the large-scale clusters (levels `i ≥ ⌈k/2⌉`) with the three-phase
@@ -185,7 +206,34 @@ pub fn large_scale_clusters(
     pre: &Preprocessing,
     hop_diameter: usize,
 ) -> ApproxClusters {
-    let mut clusters = HashMap::new();
+    let mut builder = ClusterForestBuilder::new(g.num_nodes());
+    let (ledger, diagnostics) = large_scale_clusters_into(
+        g,
+        hierarchy,
+        params,
+        pivots,
+        pre,
+        hop_diameter,
+        &mut builder,
+    );
+    ApproxClusters {
+        forest: builder.finish(),
+        ledger,
+        diagnostics,
+    }
+}
+
+/// [`large_scale_clusters`] appending into a caller-owned builder.
+#[allow(clippy::too_many_arguments)]
+pub fn large_scale_clusters_into(
+    g: &WeightedGraph,
+    hierarchy: &Hierarchy,
+    params: &SchemeParams,
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    pre: &Preprocessing,
+    hop_diameter: usize,
+    builder: &mut ClusterForestBuilder,
+) -> (RoundLedger, ClusterDiagnostics) {
     let mut ledger = RoundLedger::new();
     let mut diagnostics = ClusterDiagnostics::default();
     let eps = params.epsilon();
@@ -382,9 +430,8 @@ pub fn large_scale_clusters(
                 }
             }
 
-            let (cluster, fixups) = assemble_cluster_tree(g, center, i, estimate, parent);
-            diagnostics.parent_fixups += fixups;
-            clusters.insert(center, cluster);
+            diagnostics.parent_fixups +=
+                assemble_cluster_tree_into(builder, g, center, i, estimate, parent);
         }
         diagnostics.clusters_per_level.insert(i, centers.len());
     }
@@ -408,24 +455,25 @@ pub fn large_scale_clusters(
         format!("2 broadcasts of {per_iteration_messages} estimates (Lemma 1)"),
     );
 
-    ApproxClusters {
-        clusters,
-        ledger,
-        diagnostics,
-    }
+    (ledger, diagnostics)
 }
 
-/// Turns a membership/estimate/parent assignment into a rooted tree, repairing
-/// the (low-probability) cases where a member's recorded parent is missing or
-/// would create an inconsistency. Returns the cluster and the number of repairs.
-fn assemble_cluster_tree(
+/// Turns a membership/estimate/parent assignment into a cluster of the forest
+/// arena, repairing the (low-probability) cases where a member's recorded
+/// parent is missing or would create an inconsistency. Works entirely on the
+/// member set — no host-sized tree is materialised. Returns the number of
+/// repairs.
+fn assemble_cluster_tree_into(
+    builder: &mut ClusterForestBuilder,
     g: &WeightedGraph,
     center: NodeId,
     level: usize,
     mut estimate: NodeMap<Dist>,
     parent: HashMap<NodeId, NodeId>,
-) -> (Cluster, usize) {
-    let mut tree = RootedTree::new(g.num_nodes(), center);
+) -> usize {
+    // `attached[v] = (parent, weight)` is the final tree arc of `v`; the
+    // centre is attached implicitly.
+    let mut attached: NodeMap<(NodeId, Weight)> = NodeMap::default();
     let mut fixups = 0;
     // Attach members whose parent is already attached, in rounds; this mirrors
     // the fact that b-values strictly decrease towards the root.
@@ -436,11 +484,11 @@ fn assemble_cluster_tree(
         let mut still_pending = Vec::new();
         for &v in &pending {
             match parent.get(&v) {
-                Some(&p) if tree.contains(p) => {
+                Some(&p) if p == center || attached.contains_key(&p) => {
                     let w = g
                         .edge_weight(v, p)
                         .expect("recorded parent must be a graph neighbour");
-                    tree.attach(v, p, w);
+                    attached.insert(v, (p, w));
                     progressed = true;
                 }
                 _ => still_pending.push(v),
@@ -460,7 +508,7 @@ fn assemble_cluster_tree(
                 let best = g
                     .neighbors(v)
                     .iter()
-                    .filter(|nb| tree.contains(nb.node))
+                    .filter(|nb| nb.node == center || attached.contains_key(&nb.node))
                     .min_by_key(|nb| {
                         estimate
                             .get(&nb.node)
@@ -470,7 +518,7 @@ fn assemble_cluster_tree(
                     });
                 if let Some(nb) = best {
                     let via = estimate.get(&nb.node).copied().unwrap_or(INFINITY);
-                    tree.attach(v, nb.node, nb.weight);
+                    attached.insert(v, (nb.node, nb.weight));
                     let repaired_estimate = via.saturating_add(nb.weight).min(INFINITY);
                     let e = estimate.get_mut(&v).expect("v is a member");
                     if *e < repaired_estimate {
@@ -492,16 +540,22 @@ fn assemble_cluster_tree(
             }
         }
     }
-    estimate.retain(|&v, _| tree.contains(v));
-    (
-        Cluster {
-            center,
-            level,
-            tree,
-            root_estimate: estimate,
-        },
-        fixups,
-    )
+    let mut members: Vec<NodeId> = attached.keys().copied().collect();
+    members.sort_unstable();
+    builder.push_cluster(
+        center,
+        level,
+        members.iter().map(|&v| {
+            let (p, w) = attached[&v];
+            ForestMember {
+                v,
+                parent: p,
+                weight: w,
+                root_dist: estimate[&v],
+            }
+        }),
+    );
+    fixups
 }
 
 #[cfg(test)]
@@ -537,8 +591,9 @@ mod tests {
 
     fn check_contained_in_exact(s: &Setup, built: &ApproxClusters) {
         let exact = exact_cluster_family(&s.g, &s.hierarchy);
-        for (center, cluster) in &built.clusters {
-            let exact_cluster = &exact.clusters[center];
+        for cluster in built.forest.clusters() {
+            let center = cluster.center();
+            let exact_cluster = exact.cluster(center).expect("centre has an exact cluster");
             for v in cluster.members() {
                 assert!(
                     exact_cluster.contains(v),
@@ -549,14 +604,14 @@ mod tests {
     }
 
     fn check_root_estimates(s: &Setup, built: &ApproxClusters, slack: f64) {
-        for cluster in built.clusters.values() {
-            let sp = dijkstra(&s.g, cluster.center);
-            for (&v, &est) in &cluster.root_estimate {
+        for cluster in built.forest.clusters() {
+            let sp = dijkstra(&s.g, cluster.center());
+            for (v, &est) in cluster.members().zip(cluster.root_dists()) {
                 assert!(est >= sp.dist[v], "estimate undercuts the true distance");
                 assert!(
                     (est as f64) <= slack * sp.dist[v] as f64 + 1e-6,
                     "centre {} vertex {v}: {est} vs {}",
-                    cluster.center,
+                    cluster.center(),
                     sp.dist[v]
                 );
             }
@@ -572,7 +627,7 @@ mod tests {
         assert!(built.ledger.total_rounds() > 0);
         assert_eq!(built.diagnostics.parent_fixups, 0);
         // Small scales cover levels 0 and 1 for k = 4.
-        assert!(built.clusters.values().all(|c| c.level < 2));
+        assert!(built.forest.clusters().all(|c| c.level() < 2));
     }
 
     #[test]
@@ -580,11 +635,11 @@ mod tests {
         let s = setup(60, 3, 2);
         let built = middle_level_clusters(&s.g, &s.hierarchy, &s.params, &s.pivots, 6);
         // Middle level of k = 3 is level 1.
-        assert!(built.clusters.values().all(|c| c.level == 1));
+        assert!(built.forest.clusters().all(|c| c.level() == 1));
         check_contained_in_exact(&s, &built);
         check_root_estimates(&s, &built, 1.0 + s.params.epsilon());
-        for c in built.clusters.values() {
-            assert!(c.tree.is_subgraph_of(&s.g));
+        for c in built.forest.clusters() {
+            assert!(c.tree().is_subgraph_of(&s.g));
         }
     }
 
@@ -592,7 +647,7 @@ mod tests {
     fn middle_level_empty_for_even_k() {
         let s = setup(40, 4, 3);
         let built = middle_level_clusters(&s.g, &s.hierarchy, &s.params, &s.pivots, 6);
-        assert!(built.clusters.is_empty());
+        assert!(built.forest.is_empty());
     }
 
     #[test]
@@ -603,9 +658,9 @@ mod tests {
         };
         let built = large_scale_clusters(&s.g, &s.hierarchy, &s.params, &s.pivots, pre, 6);
         let eps = s.params.epsilon();
-        for c in built.clusters.values() {
-            assert!(c.tree.is_subgraph_of(&s.g), "centre {}", c.center);
-            assert!(c.level >= s.params.half_k());
+        for c in built.forest.clusters() {
+            assert!(c.tree().is_subgraph_of(&s.g), "centre {}", c.center());
+            assert!(c.level() >= s.params.half_k());
         }
         check_root_estimates(&s, &built, (1.0 + eps).powi(4));
         check_contained_in_exact(&s, &built);
@@ -622,8 +677,8 @@ mod tests {
         // For k = 2 the only large level is 1 = k-1, whose threshold is ∞, so
         // every cluster contains every vertex (this is what guarantees that
         // Find-tree always terminates).
-        for c in built.clusters.values() {
-            assert_eq!(c.size(), s.g.num_nodes(), "centre {}", c.center);
+        for c in built.forest.clusters() {
+            assert_eq!(c.len(), s.g.num_nodes(), "centre {}", c.center());
         }
     }
 
@@ -636,9 +691,10 @@ mod tests {
         };
         let built = large_scale_clusters(&s.g, &s.hierarchy, &s.params, &s.pivots, pre, 6);
         let eps = s.params.epsilon();
-        for (&center, cluster) in &built.clusters {
+        for cluster in built.forest.clusters() {
+            let center = cluster.center();
             let sp = dijkstra(&s.g, center);
-            let i = cluster.level;
+            let i = cluster.level();
             for v in s.g.nodes() {
                 let thr = if i + 1 < s.params.k {
                     s.pivots[v][i + 1].map_or(INFINITY, |(_, d)| d)
@@ -716,23 +772,19 @@ mod tests {
         let built = large_scale_clusters(&g, &hierarchy, &params, &pivot_table.pivots, &pre, 5);
         // Level 1 is the top level (k = 2), so every centre's cluster spans V.
         for &center in &[0usize, 2, 5] {
-            let cluster = &built.clusters[&center];
-            assert_eq!(
-                cluster.size(),
-                6,
-                "centre {center} must span the whole path"
-            );
-            assert!(cluster.tree.is_subgraph_of(&g));
+            let cluster = built.forest.cluster_by_center(center).unwrap();
+            assert_eq!(cluster.len(), 6, "centre {center} must span the whole path");
+            assert!(cluster.tree().is_subgraph_of(&g));
             let sp = dijkstra(&g, center);
-            for (&v, &est) in &cluster.root_estimate {
+            for (v, &est) in cluster.members().zip(cluster.root_dists()) {
                 assert!(est >= sp.dist[v]);
                 assert!(est as f64 <= (1.0 + params.epsilon()).powi(4) * sp.dist[v] as f64 + 1e-6);
             }
         }
         // The far endpoint 5 must have been reached from centre 0 through the
         // hopset edge and still be attached through real graph edges.
-        let c0 = &built.clusters[&0];
-        assert_eq!(c0.root_estimate[&5], 5);
+        let c0 = built.forest.cluster_by_center(0).unwrap();
+        assert_eq!(c0.root_dist(5), Some(5));
         assert_eq!(built.diagnostics.parent_fixups, 0);
     }
 
@@ -743,9 +795,12 @@ mod tests {
         // Vertex 3's parent (2) is not a member: the repair path must attach 3
         // through a member neighbour or drop it.
         let parent = HashMap::from([(1, 0), (3, 2)]);
-        let (cluster, fixups) = assemble_cluster_tree(&g, 0, 0, estimate, parent);
+        let mut builder = ClusterForestBuilder::new(4);
+        let fixups = assemble_cluster_tree_into(&mut builder, &g, 0, 0, estimate, parent);
+        let forest = builder.finish();
         assert!(fixups > 0);
-        assert!(cluster.tree.is_subgraph_of(&g));
+        let cluster = forest.cluster(0);
+        assert!(cluster.tree().is_subgraph_of(&g));
         assert!(cluster.contains(1));
     }
 }

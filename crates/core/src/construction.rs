@@ -22,7 +22,8 @@ use en_graph::WeightedGraph;
 use en_tree_routing::remark3_rounds;
 
 use crate::approx_clusters::{
-    large_scale_clusters, middle_level_clusters, small_scale_clusters, ClusterDiagnostics,
+    large_scale_clusters_into, middle_level_clusters_into, small_scale_clusters_into,
+    ClusterDiagnostics,
 };
 use crate::distance_estimation::DistanceEstimation;
 use crate::error::RoutingError;
@@ -132,37 +133,41 @@ pub fn build_routing_scheme(
     let pivot_table = compute_pivots(g, &hierarchy, &params, pre.as_ref(), hop_diameter);
     ledger.absorb(pivot_table.ledger.clone());
 
-    // 4. Clusters.
+    // 4. Clusters: every phase appends into one shared forest builder, so
+    // the inverted membership CSR is built exactly once, at the family's
+    // final finish().
     let mut diagnostics = ClusterDiagnostics::default();
     diagnostics.round_limit_hits += pivot_table.round_limit_hits;
-    let mut clusters = std::collections::HashMap::new();
-    let small = small_scale_clusters(g, &hierarchy, &params, &pivot_table.pivots);
-    ledger.absorb(small.ledger);
-    merge_diagnostics(&mut diagnostics, small.diagnostics);
-    clusters.extend(small.clusters);
-    let middle = middle_level_clusters(g, &hierarchy, &params, &pivot_table.pivots, hop_diameter);
-    ledger.absorb(middle.ledger);
-    merge_diagnostics(&mut diagnostics, middle.diagnostics);
-    clusters.extend(middle.clusters);
+    let mut builder = en_graph::forest::ClusterForestBuilder::new(g.num_nodes());
+    let (small_ledger, small_diag) =
+        small_scale_clusters_into(g, &hierarchy, &params, &pivot_table.pivots, &mut builder);
+    ledger.absorb(small_ledger);
+    merge_diagnostics(&mut diagnostics, small_diag);
+    let (middle_ledger, middle_diag) = middle_level_clusters_into(
+        g,
+        &hierarchy,
+        &params,
+        &pivot_table.pivots,
+        hop_diameter,
+        &mut builder,
+    );
+    ledger.absorb(middle_ledger);
+    merge_diagnostics(&mut diagnostics, middle_diag);
     if let Some(pre) = &pre {
-        let large = large_scale_clusters(
+        let (large_ledger, large_diag) = large_scale_clusters_into(
             g,
             &hierarchy,
             &params,
             &pivot_table.pivots,
             pre,
             hop_diameter,
+            &mut builder,
         );
-        ledger.absorb(large.ledger);
-        merge_diagnostics(&mut diagnostics, large.diagnostics);
-        clusters.extend(large.clusters);
+        ledger.absorb(large_ledger);
+        merge_diagnostics(&mut diagnostics, large_diag);
     }
 
-    let family = ClusterFamily {
-        hierarchy,
-        clusters,
-        pivots: pivot_table.pivots,
-    };
+    let family = ClusterFamily::new(hierarchy, builder.finish(), pivot_table.pivots);
 
     // 5. Tree-routing schemes for every cluster tree, in parallel (Remark 3).
     let overlap = family.max_overlap().max(1);

@@ -54,21 +54,25 @@ pub struct DistanceEstimate {
 }
 
 impl DistanceEstimation {
-    /// Builds all sketches from a cluster family.
+    /// Builds all sketches from a cluster family, reading each vertex's
+    /// `(centre, b_v(u))` pairs straight off the forest's membership CSR —
+    /// one pre-sized map per vertex, no per-cluster scatter pass.
     pub fn build(family: &ClusterFamily) -> Self {
         let n = family.n();
         let k = family.k();
-        let mut cluster_entries: Vec<HashMap<NodeId, Dist>> = vec![HashMap::new(); n];
-        for (&center, cluster) in &family.clusters {
-            for (&v, &est) in &cluster.root_estimate {
-                cluster_entries[v].insert(center, est);
-            }
-        }
+        let forest = &family.forest;
         let sketches = (0..n)
-            .map(|v| Sketch {
-                vertex: v,
-                cluster_entries: std::mem::take(&mut cluster_entries[v]),
-                pivot_entries: family.pivots[v].clone(),
+            .map(|v| {
+                let mut cluster_entries = HashMap::with_capacity(forest.overlap_of(v));
+                for (id, pos) in forest.membership(v) {
+                    let cluster = forest.cluster(id);
+                    cluster_entries.insert(cluster.center(), cluster.root_dists()[pos]);
+                }
+                Sketch {
+                    vertex: v,
+                    cluster_entries,
+                    pivot_entries: family.pivots[v].clone(),
+                }
             })
             .collect();
         DistanceEstimation { k, sketches }

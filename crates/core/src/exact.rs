@@ -19,14 +19,19 @@
 //! The whole family is grown by the batched restricted multi-source kernel
 //! ([`en_graph::restricted`]): all centres of a level share one threshold
 //! vector `d_G(·, A_{i+1})`, so one vertex-major batched pass grows every
-//! cluster of the level at once over a single shared [`CsrGraph`]. The
-//! per-centre restricted Dijkstra ([`grow_exact_cluster_csr`]) is retained as
-//! the oracle the property tests validate the batched kernel against.
+//! cluster of the level at once over a single shared [`CsrGraph`] — and the
+//! kernel's compact member records are appended *directly* to the family's
+//! [`ClusterForest`] arena, with no intermediate per-cluster
+//! host-sized tree. The per-centre restricted Dijkstra
+//! ([`grow_exact_cluster_csr`]) is retained as the oracle the property tests
+//! validate the batched kernel against; it still materialises the dense
+//! [`Cluster`] representation the comparisons need.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use en_graph::dijkstra::multi_source_dijkstra_csr;
+use en_graph::forest::{ClusterForest, ClusterForestBuilder, ClusterId, ForestMember};
 use en_graph::restricted::{
     restricted_multi_source_csr, restricted_multi_source_csr_grouped, RestrictedMultiSource,
 };
@@ -85,29 +90,13 @@ pub fn membership_thresholds(pivots: &[Vec<Option<(NodeId, Dist)>>], level: usiz
         .collect()
 }
 
-/// Grows the exact cluster of `center` (at level `i`) as a shortest-path tree:
-/// a restricted Dijkstra from `center` that only admits (and only relaxes
-/// through) vertices satisfying `d(center, v) < threshold[v]`.
+/// Grows one exact cluster by restricted Dijkstra over a prebuilt
+/// [`CsrGraph`] view: a search from `center` that only admits (and only
+/// relaxes through) vertices satisfying `d(center, v) < threshold[v]`.
 ///
 /// Because every vertex on a shortest path from the centre to a cluster member
 /// is itself a member (the containment argument of Section 3.2), restricting
 /// the search this way still yields exact distances for every member.
-#[deprecated(
-    note = "builds a throwaway CsrGraph per call; build one CsrGraph and use \
-            grow_exact_cluster_csr (one centre) or grow_exact_clusters_batched \
-            (a whole level) instead"
-)]
-pub fn grow_exact_cluster(
-    g: &WeightedGraph,
-    center: NodeId,
-    level: usize,
-    threshold: &[Dist],
-) -> Cluster {
-    grow_exact_cluster_csr(&CsrGraph::from_graph(g), center, level, threshold)
-}
-
-/// Grows one exact cluster by restricted Dijkstra over a prebuilt
-/// [`CsrGraph`] view.
 ///
 /// This is the retained per-centre oracle for the batched kernel
 /// ([`grow_exact_clusters_batched`]): the property suite asserts the two
@@ -172,17 +161,31 @@ pub fn grow_exact_cluster_csr(
 /// batched restricted multi-source pass — the tentpole kernel. All centres
 /// share the level's threshold vector `d_G(·, A_{i+1})`, so the per-centre
 /// heap searches collapse into chunked vertex-major relaxation sweeps
-/// (see [`en_graph::restricted`]). Returns the clusters in `centers` order.
+/// (see [`en_graph::restricted`]). Returns a forest holding the clusters in
+/// `centers` order.
 pub fn grow_exact_clusters_batched(
     csr: &CsrGraph,
     centers: &[NodeId],
     level: usize,
     threshold: &[Dist],
-) -> Vec<Cluster> {
+) -> ClusterForest {
+    let mut builder = ClusterForestBuilder::new(csr.num_nodes());
+    grow_exact_clusters_batched_into(csr, centers, level, threshold, &mut builder);
+    builder.finish()
+}
+
+/// [`grow_exact_clusters_batched`] appending into a caller-owned builder
+/// (whole-family construction pushes every level into one shared arena).
+/// Returns the range of [`ClusterId`]s pushed.
+pub fn grow_exact_clusters_batched_into(
+    csr: &CsrGraph,
+    centers: &[NodeId],
+    level: usize,
+    threshold: &[Dist],
+    builder: &mut ClusterForestBuilder,
+) -> std::ops::Range<ClusterId> {
     let res = restricted_multi_source_csr(csr, centers, threshold, None);
-    (0..centers.len())
-        .map(|s| cluster_from_restricted(&res, s, level))
-        .collect()
+    push_restricted_clusters(builder, &res, level)
 }
 
 /// [`grow_exact_clusters_batched`] for callers that already hold the pivot
@@ -195,7 +198,29 @@ pub fn grow_exact_clusters_batched_with_pivots(
     level: usize,
     threshold: &[Dist],
     pivots: &[Vec<Option<(NodeId, Dist)>>],
-) -> Vec<Cluster> {
+) -> ClusterForest {
+    let mut builder = ClusterForestBuilder::new(csr.num_nodes());
+    grow_exact_clusters_batched_with_pivots_into(
+        csr,
+        centers,
+        level,
+        threshold,
+        pivots,
+        &mut builder,
+    );
+    builder.finish()
+}
+
+/// [`grow_exact_clusters_batched_with_pivots`] appending into a caller-owned
+/// builder. Returns the range of [`ClusterId`]s pushed.
+pub fn grow_exact_clusters_batched_with_pivots_into(
+    csr: &CsrGraph,
+    centers: &[NodeId],
+    level: usize,
+    threshold: &[Dist],
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    builder: &mut ClusterForestBuilder,
+) -> std::ops::Range<ClusterId> {
     let groups: Vec<(NodeId, Dist)> = centers
         .iter()
         .map(|&c| {
@@ -207,65 +232,63 @@ pub fn grow_exact_clusters_batched_with_pivots(
         })
         .collect();
     let res = restricted_multi_source_csr_grouped(csr, centers, threshold, None, &groups);
-    (0..centers.len())
-        .map(|s| cluster_from_restricted(&res, s, level))
-        .collect()
+    push_restricted_clusters(builder, &res, level)
 }
 
-/// Assembles the [`Cluster`] of source row `s` from a converged restricted
-/// multi-source result, straight off the kernel's compact member records:
-/// the tree is built in one pass from the recorded parents and relaxed arc
-/// weights (no per-member `edge_weight` lookups, no attach ordering), and the
-/// root estimates are the recorded exact distances.
-pub fn cluster_from_restricted(res: &RestrictedMultiSource, s: usize, level: usize) -> Cluster {
-    let center = res.sources()[s];
-    let cells = res.member_cells(s);
-    let tree = RootedTree::from_compact_members(
-        res.num_vertices(),
-        center,
-        cells.iter().map(|c| {
-            let (p, w) = c
-                .tree_arc()
-                .expect("non-centre member has a recorded parent");
-            (c.v as NodeId, p, w)
-        }),
-    );
-    let mut root_estimate = NodeMap::default();
-    root_estimate.reserve(cells.len() + 1);
-    root_estimate.insert(center, 0);
-    for c in cells {
-        root_estimate.insert(c.v as NodeId, c.dist);
+/// Appends every source's cluster of a converged restricted multi-source
+/// result to `builder`, straight off the kernel's compact member records:
+/// ascending member ids, recorded parents, relaxed arc weights, and exact
+/// distances map one-to-one onto the forest arena's columns — no
+/// intermediate host-sized tree, no per-centre hash map. Returns the range
+/// of [`ClusterId`]s pushed (one per source, in source order).
+pub fn push_restricted_clusters(
+    builder: &mut ClusterForestBuilder,
+    res: &RestrictedMultiSource,
+    level: usize,
+) -> std::ops::Range<ClusterId> {
+    let start = builder.num_clusters();
+    for (s, &center) in res.sources().iter().enumerate() {
+        builder.push_cluster(
+            center,
+            level,
+            res.member_cells(s).iter().map(|c| {
+                let (parent, weight) = c
+                    .tree_arc()
+                    .expect("non-centre member has a recorded parent");
+                ForestMember {
+                    v: c.v as NodeId,
+                    parent,
+                    weight,
+                    root_dist: c.dist,
+                }
+            }),
+        );
     }
-    Cluster {
-        center,
-        level,
-        tree,
-        root_estimate,
-    }
+    start..builder.num_clusters()
 }
 
 /// Builds the complete exact cluster family (all centres, all levels) plus the
 /// exact pivot table, over one shared [`CsrGraph`] view: the pivot
 /// multi-source Dijkstras and every level's batched cluster growth all reuse
-/// the same flat adjacency.
+/// the same flat adjacency, and every level appends into one shared forest
+/// arena.
 pub fn exact_cluster_family(g: &WeightedGraph, hierarchy: &Hierarchy) -> ClusterFamily {
     let csr = CsrGraph::from_graph(g);
     let pivots = exact_pivots_csr(&csr, hierarchy);
-    let mut clusters = HashMap::new();
+    let mut builder = ClusterForestBuilder::new(g.num_nodes());
     for i in 0..hierarchy.k() {
         let threshold = membership_thresholds(&pivots, i);
         let centers = hierarchy.centers_at(i);
-        for cluster in
-            grow_exact_clusters_batched_with_pivots(&csr, &centers, i, &threshold, &pivots)
-        {
-            clusters.insert(cluster.center, cluster);
-        }
+        grow_exact_clusters_batched_with_pivots_into(
+            &csr,
+            &centers,
+            i,
+            &threshold,
+            &pivots,
+            &mut builder,
+        );
     }
-    ClusterFamily {
-        hierarchy: hierarchy.clone(),
-        clusters,
-        pivots,
-    }
+    ClusterFamily::new(hierarchy.clone(), builder.finish(), pivots)
 }
 
 #[cfg(test)]
@@ -306,21 +329,21 @@ mod tests {
     fn cluster_membership_matches_definition_6() {
         let (g, hierarchy, family) = setup(50, 3, 2);
         let pivots = &family.pivots;
-        for cluster in family.clusters.values() {
-            let sp = dijkstra(&g, cluster.center);
-            let i = cluster.level;
+        for cluster in family.clusters() {
+            let sp = dijkstra(&g, cluster.center());
+            let i = cluster.level();
             for v in g.nodes() {
                 let threshold = if i + 1 < hierarchy.k() {
                     pivots[v][i + 1].map_or(INFINITY, |(_, d)| d)
                 } else {
                     INFINITY
                 };
-                let should_be_member = sp.dist[v] < threshold || v == cluster.center;
+                let should_be_member = sp.dist[v] < threshold || v == cluster.center();
                 assert_eq!(
                     cluster.contains(v),
                     should_be_member,
                     "center {} level {} vertex {}",
-                    cluster.center,
+                    cluster.center(),
                     i,
                     v
                 );
@@ -343,7 +366,7 @@ mod tests {
         let last = hierarchy.k() - 1;
         if !hierarchy.level(last).is_empty() {
             let c = hierarchy.centers_at(last)[0];
-            assert_eq!(family.clusters[&c].size(), g.num_nodes());
+            assert_eq!(family.cluster(c).unwrap().len(), g.num_nodes());
         }
     }
 
@@ -362,9 +385,9 @@ mod tests {
     #[test]
     fn k_equals_one_gives_spanning_clusters_for_every_vertex() {
         let (g, _, family) = setup(25, 1, 6);
-        assert_eq!(family.clusters.len(), 25);
-        for c in family.clusters.values() {
-            assert_eq!(c.size(), g.num_nodes());
+        assert_eq!(family.num_clusters(), 25);
+        for c in family.clusters() {
+            assert_eq!(c.len(), g.num_nodes());
         }
     }
 
@@ -385,13 +408,20 @@ mod tests {
             let threshold = membership_thresholds(&family.pivots, i);
             for center in hierarchy.centers_at(i) {
                 let oracle = grow_exact_cluster_csr(&csr, center, i, &threshold);
-                let batched = &family.clusters[&center];
-                assert_eq!(batched.members(), oracle.members(), "centre {center}");
+                let batched = family.cluster(center).expect("centre has a cluster");
                 assert_eq!(
-                    batched.root_estimate, oracle.root_estimate,
+                    batched.members().collect::<Vec<_>>(),
+                    oracle.members(),
                     "centre {center}"
                 );
-                assert!(batched.tree.is_subgraph_of(&g));
+                for v in batched.members() {
+                    assert_eq!(
+                        batched.root_dist(v),
+                        oracle.root_estimate.get(&v).copied(),
+                        "centre {center} vertex {v}"
+                    );
+                }
+                assert!(batched.tree().is_subgraph_of(&g));
             }
         }
     }
@@ -409,8 +439,12 @@ mod tests {
         let g = WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 2)]).unwrap();
         let hierarchy = Hierarchy::from_levels(3, vec![vec![0, 1, 2], vec![2]]);
         let family = exact_cluster_family(&g, &hierarchy);
-        let c0 = &family.clusters[&0];
-        assert_eq!(c0.members(), vec![0], "tied vertex 1 must be excluded");
+        let c0 = family.cluster(0).unwrap();
+        assert_eq!(
+            c0.members().collect::<Vec<_>>(),
+            vec![0],
+            "tied vertex 1 must be excluded"
+        );
         // The oracle agrees on the same threshold vector.
         let csr = CsrGraph::from_graph(&g);
         let threshold = membership_thresholds(&family.pivots, 0);
@@ -420,9 +454,10 @@ mod tests {
         // Breaking the tie by one admits vertex 1 in both implementations.
         let relaxed = vec![4, 3, 0];
         let oracle = grow_exact_cluster_csr(&csr, 0, 0, &relaxed);
-        let batched = &grow_exact_clusters_batched(&csr, &[0], 0, &relaxed)[0];
+        let forest = grow_exact_clusters_batched(&csr, &[0], 0, &relaxed);
+        let batched = forest.cluster(0);
         assert_eq!(oracle.members(), vec![0, 1]);
-        assert_eq!(batched.members(), vec![0, 1]);
-        assert_eq!(batched.root_estimate[&1], 2); // d(0, 1), exact
+        assert_eq!(batched.members().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(batched.root_dist(1), Some(2)); // d(0, 1), exact
     }
 }

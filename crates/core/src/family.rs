@@ -7,15 +7,31 @@
 //! cluster centre, a per-member estimate of the distance to the centre, and a
 //! pivot table. Section 4 turns any such family into a routing scheme, so the
 //! assembly code is shared.
+//!
+//! The clusters live in an arena-backed [`ClusterForest`] — shared flat
+//! arrays, `O(Σ|C|)` memory total (Claim 2 bounds this by
+//! `O(n^{1+1/k} log n)`) instead of the `O(n · #clusters)` the old one
+//! host-sized-tree-per-centre representation cost — plus a dense
+//! centre → cluster index. The forest's inverted membership CSR answers
+//! overlap queries in `O(1)` and drives the Section-4 assembly sweep. The
+//! per-member root-distance estimates `b_v(u)` are folded into the forest's
+//! `member_root_dist` column, so no per-centre hash map exists any more; the
+//! owned [`Cluster`] remains as the materialised per-centre representation
+//! the per-centre oracle emits and the property suites compare against.
 
-use std::collections::HashMap;
-
+use en_graph::forest::{ClusterForest, ClusterId, ClusterView};
 use en_graph::tree::RootedTree;
 use en_graph::{Dist, NodeId, NodeMap, WeightedGraph};
 
 use crate::hierarchy::Hierarchy;
 
-/// One cluster: a tree rooted at its centre, spanning the cluster members.
+/// One materialised cluster: a tree rooted at its centre spanning the cluster
+/// members, plus the per-member root-distance estimates.
+///
+/// This is the dense per-centre representation — the per-centre oracle
+/// ([`crate::exact::grow_exact_cluster_csr`]) produces it, and equivalence
+/// suites compare forest slices against it via [`ClusterView::tree`]. The
+/// family itself stores its clusters compactly in a [`ClusterForest`].
 #[derive(Debug, Clone)]
 pub struct Cluster {
     /// The cluster centre `u` (the root of the tree).
@@ -26,9 +42,7 @@ pub struct Cluster {
     pub tree: RootedTree,
     /// `root_estimate[v] = b_v(u)`: the construction's estimate of
     /// `d_G(u, v)`, satisfying `d_G(u,v) ≤ b_v(u) ≤ (1+ε)⁴ d_G(u,v)` for the
-    /// approximate construction and equality for the exact one. Stored in a
-    /// [`NodeMap`] (fast vertex-id hashing): one of these maps is built per
-    /// centre, squarely on the construction hot path.
+    /// approximate construction and equality for the exact one.
     pub root_estimate: NodeMap<Dist>,
 }
 
@@ -54,15 +68,42 @@ impl Cluster {
 pub struct ClusterFamily {
     /// The sampled hierarchy the family was built from.
     pub hierarchy: Hierarchy,
-    /// The clusters, keyed by centre.
-    pub clusters: HashMap<NodeId, Cluster>,
+    /// The clusters, stored compactly in shared arrays.
+    pub forest: ClusterForest,
     /// `pivots[v][i] = Some((ẑ_i(v), d̂_i(v)))`: the (approximate) `i`-pivot of
     /// `v` and the (approximate) distance to it; `None` when `A_i` is empty or
     /// unreachable. `pivots[v][0]` is always `(v, 0)`.
     pub pivots: Vec<Vec<Option<(NodeId, Dist)>>>,
+    /// Centre → cluster-id index (every centre roots exactly one cluster).
+    center_index: NodeMap<ClusterId>,
 }
 
 impl ClusterFamily {
+    /// Assembles a family from its parts, building the centre index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two clusters share a centre (each centre `u ∈ A_i \ A_{i+1}`
+    /// grows exactly one cluster).
+    pub fn new(
+        hierarchy: Hierarchy,
+        forest: ClusterForest,
+        pivots: Vec<Vec<Option<(NodeId, Dist)>>>,
+    ) -> Self {
+        let mut center_index = NodeMap::default();
+        center_index.reserve(forest.num_clusters());
+        for c in forest.clusters() {
+            let prev = center_index.insert(c.center(), c.id());
+            assert!(prev.is_none(), "duplicate cluster centre {}", c.center());
+        }
+        ClusterFamily {
+            hierarchy,
+            forest,
+            pivots,
+            center_index,
+        }
+    }
+
     /// The parameter `k`.
     pub fn k(&self) -> usize {
         self.hierarchy.k()
@@ -73,29 +114,41 @@ impl ClusterFamily {
         self.hierarchy.n()
     }
 
-    /// The number of clusters containing `v`.
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.forest.num_clusters()
+    }
+
+    /// The cluster centred at `center`, if any.
+    pub fn cluster(&self, center: NodeId) -> Option<ClusterView<'_>> {
+        self.center_index
+            .get(&center)
+            .map(|&id| self.forest.cluster(id))
+    }
+
+    /// Iterates over all clusters in dense id order.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterView<'_>> {
+        self.forest.clusters()
+    }
+
+    /// The number of clusters containing `v`, answered in `O(1)` from the
+    /// forest's membership CSR.
     pub fn overlap_of(&self, v: NodeId) -> usize {
-        self.clusters.values().filter(|c| c.contains(v)).count()
+        self.forest.overlap_of(v)
     }
 
     /// The maximum, over all vertices, of the number of clusters containing it
     /// (Claim 2 bounds this by `4 n^{1/k} log n` w.h.p. because every
     /// approximate cluster is a subset of the corresponding exact cluster).
     pub fn max_overlap(&self) -> usize {
-        let mut count = vec![0usize; self.n()];
-        for cluster in self.clusters.values() {
-            for v in cluster.members() {
-                count[v] += 1;
-            }
-        }
-        count.into_iter().max().unwrap_or(0)
+        self.forest.max_overlap()
     }
 
     /// The maximum overlap restricted to clusters at a given level (this is
     /// the per-level congestion the small-scale Bellman–Ford analysis charges).
     pub fn max_overlap_at_level(&self, level: usize) -> usize {
         let mut count = vec![0usize; self.n()];
-        for cluster in self.clusters.values().filter(|c| c.level == level) {
+        for cluster in self.clusters().filter(|c| c.level() == level) {
             for v in cluster.members() {
                 count[v] += 1;
             }
@@ -105,18 +158,28 @@ impl ClusterFamily {
 
     /// Sum of all cluster sizes (the total storage the cluster trees induce).
     pub fn total_cluster_size(&self) -> usize {
-        self.clusters.values().map(Cluster::size).sum()
+        self.forest.total_members()
+    }
+
+    /// Bytes occupied by the family's cluster storage (the perf harness's
+    /// footprint gauge).
+    pub fn cluster_bytes(&self) -> usize {
+        self.forest.memory_bytes()
     }
 
     /// Checks that every cluster tree is a subgraph of `g` and is rooted at
-    /// its centre — the structural invariants routing depends on.
+    /// its centre — the structural invariants routing depends on: the centre
+    /// is a member and is the unique parentless vertex (every other member
+    /// hangs off a parent arc), and every arc is a real edge of `g` with the
+    /// recorded weight.
     pub fn trees_are_valid_in(&self, g: &WeightedGraph) -> bool {
-        self.clusters.values().all(|c| {
-            c.tree.root() == c.center
-                && c.tree.is_subgraph_of(g)
-                && c.members()
-                    .iter()
-                    .all(|&v| c.root_estimate.contains_key(&v))
+        self.clusters().all(|c| {
+            c.contains(c.center())
+                && c.parent(c.center()).is_none()
+                && c.parent_arcs().count() == c.len() - 1
+                && c.parent_arcs().all(|(v, p, w)| {
+                    v < g.num_nodes() && p < g.num_nodes() && g.edge_weight(v, p) == Some(w)
+                })
         })
     }
 
@@ -126,9 +189,9 @@ impl ClusterFamily {
     /// for the exact family). Quadratic-ish; used by tests and benches.
     pub fn root_estimates_within(&self, g: &WeightedGraph, slack: f64) -> bool {
         use en_graph::dijkstra::dijkstra;
-        self.clusters.values().all(|c| {
-            let sp = dijkstra(g, c.center);
-            c.root_estimate.iter().all(|(&v, &est)| {
+        self.clusters().all(|c| {
+            let sp = dijkstra(g, c.center());
+            c.members().zip(c.root_dists()).all(|(v, &est)| {
                 let exact = sp.dist[v];
                 est >= exact && (est as f64) <= slack * exact as f64 + 1e-9
             })
@@ -140,43 +203,31 @@ impl ClusterFamily {
 mod tests {
     use super::*;
     use crate::params::SchemeParams;
+    use en_graph::forest::{ClusterForestBuilder, ForestMember};
     use en_graph::WeightedGraph;
+
+    fn member(v: NodeId, parent: NodeId, weight: u64, root_dist: u64) -> ForestMember {
+        ForestMember {
+            v,
+            parent,
+            weight,
+            root_dist,
+        }
+    }
 
     fn tiny_family() -> (WeightedGraph, ClusterFamily) {
         // Path 0 - 1 - 2 with unit weights; two clusters.
         let g = WeightedGraph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
         let hierarchy = Hierarchy::from_levels(3, vec![vec![0, 1, 2], vec![1]]);
-        let mut t1 = RootedTree::new(3, 1);
-        t1.attach(0, 1, 1);
-        t1.attach(2, 1, 1);
-        let c1 = Cluster {
-            center: 1,
-            level: 1,
-            tree: t1,
-            root_estimate: NodeMap::from_iter([(1, 0), (0, 1), (2, 1)]),
-        };
-        let mut t0 = RootedTree::new(3, 0);
-        t0.attach(1, 0, 1);
-        let c0 = Cluster {
-            center: 0,
-            level: 0,
-            tree: t0,
-            root_estimate: NodeMap::from_iter([(0, 0), (1, 1)]),
-        };
-        let clusters = HashMap::from([(1, c1), (0, c0)]);
+        let mut b = ClusterForestBuilder::new(3);
+        b.push_cluster(1, 1, [member(0, 1, 1, 1), member(2, 1, 1, 1)]);
+        b.push_cluster(0, 0, [member(1, 0, 1, 1)]);
         let pivots = vec![
             vec![Some((0, 0)), Some((1, 1))],
             vec![Some((1, 0)), Some((1, 0))],
             vec![Some((2, 0)), Some((1, 1))],
         ];
-        (
-            g,
-            ClusterFamily {
-                hierarchy,
-                clusters,
-                pivots,
-            },
-        )
+        (g, ClusterFamily::new(hierarchy, b.finish(), pivots))
     }
 
     #[test]
@@ -187,6 +238,8 @@ mod tests {
         assert_eq!(fam.max_overlap(), 2);
         assert_eq!(fam.max_overlap_at_level(0), 1);
         assert_eq!(fam.total_cluster_size(), 5);
+        assert_eq!(fam.num_clusters(), 2);
+        assert!(fam.cluster_bytes() > 0);
     }
 
     #[test]
@@ -200,8 +253,13 @@ mod tests {
 
     #[test]
     fn validity_checks_catch_bad_estimates() {
-        let (g, mut fam) = tiny_family();
-        fam.clusters.get_mut(&1).unwrap().root_estimate.insert(2, 5);
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        let hierarchy = Hierarchy::from_levels(3, vec![vec![0, 1, 2], vec![1]]);
+        let mut b = ClusterForestBuilder::new(3);
+        // Centre 1's estimate for vertex 2 overshoots the true distance 1.
+        b.push_cluster(1, 1, [member(0, 1, 1, 1), member(2, 1, 1, 5)]);
+        let pivots = vec![vec![None; 2]; 3];
+        let fam = ClusterFamily::new(hierarchy, b.finish(), pivots);
         assert!(!fam.root_estimates_within(&g, 1.0));
         // But a generous slack accepts it.
         assert!(fam.root_estimates_within(&g, 5.0));
@@ -210,13 +268,23 @@ mod tests {
     #[test]
     fn cluster_accessors() {
         let (_, fam) = tiny_family();
-        let c = &fam.clusters[&1];
-        assert_eq!(c.size(), 3);
+        let c = fam.cluster(1).expect("centre 1 has a cluster");
+        assert_eq!(c.len(), 3);
         assert!(c.contains(0));
         assert!(!c.contains(3));
-        let mut m = c.members();
-        m.sort_unstable();
-        assert_eq!(m, vec![0, 1, 2]);
+        assert_eq!(c.members().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(c.level(), 1);
+        assert!(fam.cluster(2).is_none());
+    }
+
+    #[test]
+    fn materialised_cluster_matches_the_view() {
+        let (g, fam) = tiny_family();
+        let view = fam.cluster(1).unwrap();
+        let tree = view.tree();
+        assert!(tree.is_subgraph_of(&g));
+        assert_eq!(tree.members(), view.members().collect::<Vec<_>>());
+        assert_eq!(tree.parent(0), Some((1, 1)));
     }
 
     #[test]

@@ -17,10 +17,8 @@
 //! `u ∈ A_0 \ A_1` stores the tree labels of all members of its own cluster,
 //! so packets *from* `u` to a member of `C̃(u)` are routed directly in `C̃(u)`.
 
-use std::collections::HashMap;
-
 use en_graph::dijkstra::dijkstra;
-use en_graph::{Dist, NodeId, Path, WeightedGraph};
+use en_graph::{Dist, NodeId, NodeMap, Path, WeightedGraph};
 use en_tree_routing::{TreeLabel, TreeRoutingConfig, TreeRoutingScheme};
 
 use crate::error::RoutingError;
@@ -78,7 +76,7 @@ pub struct NodeTable {
     pub trees: Vec<NodeId>,
     /// The \[TZ01\] `4k−5` refinement: if this vertex is a level-0 centre, the
     /// tree labels of every member of its own cluster.
-    pub own_cluster_labels: HashMap<NodeId, TreeLabel>,
+    pub own_cluster_labels: NodeMap<TreeLabel>,
 }
 
 /// The assembled routing scheme.
@@ -87,13 +85,13 @@ pub struct RoutingScheme {
     k: usize,
     n: usize,
     /// Per-centre tree routing schemes.
-    tree_schemes: HashMap<NodeId, TreeRoutingScheme>,
+    tree_schemes: NodeMap<TreeRoutingScheme>,
     /// Per-vertex tables.
     tables: Vec<NodeTable>,
     /// Per-vertex labels.
     labels: Vec<NodeLabel>,
     /// The level of each centre (used for reporting).
-    center_level: HashMap<NodeId, usize>,
+    center_level: NodeMap<usize>,
 }
 
 /// The outcome of routing one packet.
@@ -117,17 +115,116 @@ impl RoutingScheme {
     /// Assembles the routing scheme from a cluster family.
     ///
     /// `tree_seed` seeds the portal sampling of the per-tree schemes.
+    ///
+    /// The per-tree schemes are built zero-copy from the family's forest
+    /// slices (each costs `O(|C|)` working memory, not `O(n)`), and the
+    /// per-vertex tables — including the \[TZ01\] `4k−5` refinement's member
+    /// labels at level-0 centres — are filled in a single sweep of the
+    /// forest's inverted membership CSR instead of one `members()` loop per
+    /// cluster.
     pub fn assemble(family: &ClusterFamily, tree_seed: u64) -> Self {
         let n = family.n();
         let k = family.k();
-        let mut tree_schemes = HashMap::with_capacity(family.clusters.len());
-        let mut center_level = HashMap::with_capacity(family.clusters.len());
-        for (&center, cluster) in &family.clusters {
+        let forest = &family.forest;
+        let num_clusters = forest.num_clusters();
+        let mut tree_schemes = NodeMap::default();
+        tree_schemes.reserve(num_clusters);
+        let mut center_level = NodeMap::default();
+        center_level.reserve(num_clusters);
+        // Per-cluster data addressable by dense id during the sweep below.
+        let mut centers = Vec::with_capacity(num_clusters);
+        let mut is_level0 = Vec::with_capacity(num_clusters);
+        let mut schemes_by_id = Vec::with_capacity(num_clusters);
+        for cluster in forest.clusters() {
+            let center = cluster.center();
             let config =
                 TreeRoutingConfig::new(tree_seed ^ (center as u64).wrapping_mul(0x9E37_79B9));
-            let scheme = TreeRoutingScheme::build(&cluster.tree, &config);
-            tree_schemes.insert(center, scheme);
-            center_level.insert(center, cluster.level);
+            schemes_by_id.push(TreeRoutingScheme::build(&cluster, &config));
+            centers.push(center);
+            is_level0.push(cluster.level() == 0);
+            center_level.insert(center, cluster.level());
+        }
+        // Tables in one membership-CSR sweep: which trees contain each vertex,
+        // and — for level-0 centres — the member's tree label, inserted into
+        // the centre's own-cluster table as it is encountered (pre-sized to
+        // the cluster size, no per-centre rebuild pass).
+        let mut tables: Vec<NodeTable> = (0..n).map(|_| NodeTable::default()).collect();
+        for cluster in forest.clusters() {
+            if cluster.level() == 0 {
+                let own = &mut tables[cluster.center()].own_cluster_labels;
+                own.reserve(cluster.len());
+            }
+        }
+        for v in 0..n {
+            let mut trees = Vec::with_capacity(forest.overlap_of(v));
+            for (id, pos) in forest.membership(v) {
+                trees.push(centers[id]);
+                if is_level0[id] {
+                    // The scheme's member order is the cluster slice's member
+                    // order, so the CSR position addresses v's label directly.
+                    let label = schemes_by_id[id]
+                        .label_by_index(pos)
+                        .expect("membership position is within the tree scheme");
+                    debug_assert_eq!(label.vertex, v);
+                    tables[centers[id]]
+                        .own_cluster_labels
+                        .insert(v, label.clone());
+                }
+            }
+            trees.sort_unstable();
+            tables[v].trees = trees;
+        }
+        // Labels: pivot entries per level.
+        for (center, scheme) in centers.iter().zip(schemes_by_id) {
+            tree_schemes.insert(*center, scheme);
+        }
+        let mut labels: Vec<NodeLabel> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut entries = Vec::new();
+            for i in 0..k {
+                if let Some((pivot, dist)) = family.pivots[v][i] {
+                    let tree_label = tree_schemes.get(&pivot).and_then(|s| s.label(v)).cloned();
+                    entries.push(LabelEntry {
+                        level: i,
+                        pivot,
+                        dist,
+                        tree_label,
+                    });
+                }
+            }
+            labels.push(NodeLabel { vertex: v, entries });
+        }
+        RoutingScheme {
+            k,
+            n,
+            tree_schemes,
+            tables,
+            labels,
+            center_level,
+        }
+    }
+
+    /// The pre-forest reference assembly, retained as the oracle the property
+    /// suite compares [`Self::assemble`] against (the same pattern as the
+    /// per-centre cluster-growth oracle): every cluster is first materialised
+    /// as a dense host-sized [`RootedTree`](en_graph::tree::RootedTree) via
+    /// [`en_graph::forest::ClusterView::tree`], per-tree schemes are built
+    /// from those trees, and tables are filled by one `members()` loop per
+    /// cluster. Same inputs must yield bit-identical routing behaviour.
+    pub fn assemble_reference(family: &ClusterFamily, tree_seed: u64) -> Self {
+        let n = family.n();
+        let k = family.k();
+        let mut tree_schemes = NodeMap::default();
+        tree_schemes.reserve(family.num_clusters());
+        let mut center_level = NodeMap::default();
+        center_level.reserve(family.num_clusters());
+        for cluster in family.clusters() {
+            let center = cluster.center();
+            let config =
+                TreeRoutingConfig::new(tree_seed ^ (center as u64).wrapping_mul(0x9E37_79B9));
+            let tree = cluster.tree();
+            tree_schemes.insert(center, TreeRoutingScheme::build(&tree, &config));
+            center_level.insert(center, cluster.level());
         }
         // Tables: which trees contain each vertex.
         let mut tables: Vec<NodeTable> = (0..n).map(|_| NodeTable::default()).collect();
@@ -157,12 +254,13 @@ impl RoutingScheme {
             labels.push(NodeLabel { vertex: v, entries });
         }
         // The 4k−5 refinement: level-0 centres store their members' labels.
-        for (&center, cluster) in &family.clusters {
-            if cluster.level != 0 {
+        for cluster in family.clusters() {
+            if cluster.level() != 0 {
                 continue;
             }
+            let center = cluster.center();
             let scheme = &tree_schemes[&center];
-            let mut own = HashMap::new();
+            let mut own = NodeMap::default();
             for v in scheme.members() {
                 if let Some(label) = scheme.label(v) {
                     own.insert(v, label.clone());

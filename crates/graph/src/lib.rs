@@ -14,6 +14,11 @@
 //! * [`generators`] — reproducible random and structured graph generators
 //!   (Erdős–Rényi, random geometric, grids, rings, trees, Barabási–Albert,
 //!   caterpillars, …) used as workloads by the benchmark harness.
+//! * [`forest`] — the arena-backed compact [`ClusterForest`]: every cluster
+//!   of a family in shared CSR-style arrays (`O(Σ|C|)` memory instead of
+//!   `O(n · #clusters)`), an inverted vertex → clusters membership CSR, and
+//!   the [`TreeView`] trait that lets tree-routing consume forest slices
+//!   zero-copy and [`tree::RootedTree`]s interchangeably.
 //! * [`restricted`] — the batched, threshold-restricted multi-source kernel
 //!   behind Thorup–Zwick cluster growing, built on the shared [`cell`]
 //!   distance-cell machinery (which the Theorem-1 kernel in
@@ -50,6 +55,7 @@ pub mod cell;
 pub mod csr;
 pub mod dijkstra;
 pub mod error;
+pub mod forest;
 pub mod generators;
 pub mod graph;
 pub mod path;
@@ -60,6 +66,10 @@ pub mod types;
 
 pub use csr::CsrGraph;
 pub use error::GraphError;
+pub use forest::{
+    ClusterForest, ClusterForestBuilder, ClusterId, ClusterView, ForestMember, LocalTopology,
+    TreeView,
+};
 pub use graph::{Edge, Neighbor, WeightedGraph};
 pub use path::Path;
 pub use restricted::{

@@ -1,12 +1,11 @@
 //! Construction of the two-level tree-routing scheme and the forwarding logic.
 
 use std::cmp::Reverse;
-use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use en_graph::tree::RootedTree;
+use en_graph::forest::{LocalTopology, TreeView, NO_LOCAL_PARENT};
 use en_graph::{NodeId, Path};
 
 use crate::cost::theorem7_rounds;
@@ -92,13 +91,20 @@ impl std::error::Error for TreeRoutingError {}
 /// Tables and labels are stored per member vertex (not per host vertex), so a
 /// scheme over a small cluster tree of a huge host graph stays proportional to
 /// the cluster size — the routing scheme of Section 4 builds one of these per
-/// cluster centre.
+/// cluster centre. Members are kept as a sorted id array with the tables and
+/// labels aligned to it: lookups are a binary search and construction is a
+/// straight append in member order, with no hashing anywhere — a cluster
+/// family builds one scheme per centre and then queries a table or label per
+/// member, so both sides of this trade are on the Section-4 assembly hot
+/// path.
 #[derive(Debug, Clone)]
 pub struct TreeRoutingScheme {
     root: NodeId,
     host_size: usize,
-    tables: HashMap<NodeId, TreeTable>,
-    labels: HashMap<NodeId, TreeLabel>,
+    /// Member vertex ids, ascending; `tables` and `labels` are aligned.
+    member_ids: Vec<u32>,
+    tables: Vec<TreeTable>,
+    labels: Vec<TreeLabel>,
     portals: Vec<NodeId>,
     tree_size: usize,
 }
@@ -110,20 +116,40 @@ enum LocalStep {
 }
 
 impl TreeRoutingScheme {
-    /// Builds the scheme for `tree`.
+    /// Builds the scheme for any [`TreeView`] — a dense
+    /// [`RootedTree`](en_graph::tree::RootedTree) or a zero-copy cluster
+    /// slice of an [`en_graph::forest::ClusterForest`].
+    ///
+    /// All working state lives in *local member-index space*, so building the
+    /// scheme for a tree of `m` members costs `O(m)` memory regardless of the
+    /// host-graph size — a cluster family assembles one scheme per centre, so
+    /// this is squarely on the Section-4 assembly hot path.
     ///
     /// # Panics
     ///
-    /// Panics only if `tree` violates its own invariants (which
-    /// [`RootedTree`] construction prevents).
-    pub fn build(tree: &RootedTree, config: &TreeRoutingConfig) -> Self {
-        let n_host = tree.host_size();
-        let root = tree.root();
-        let members = tree.members();
-        let tree_size = members.len();
-        let children_all = tree.children();
+    /// Panics only if the view violates the [`TreeView`] topology contract
+    /// (which [`RootedTree`](en_graph::tree::RootedTree) and
+    /// [`ClusterForest`](en_graph::forest::ClusterForest) construction
+    /// prevent).
+    pub fn build<T: TreeView>(tree: &T, config: &TreeRoutingConfig) -> Self {
+        Self::build_topology(&tree.topology(), config)
+    }
+
+    fn build_topology(topo: &LocalTopology<'_>, config: &TreeRoutingConfig) -> Self {
+        let n_host = topo.host_size;
+        let members = topo.members.as_ref();
+        let parent_idx = topo.parent_idx.as_ref();
+        let m = members.len();
+        let root_local = topo.root_pos;
+        let root = members[root_local] as NodeId;
+        let tree_size = m;
+        // Local index -> host vertex id (members are ascending, so local
+        // order and vertex order agree — tie-breaks below rely on this).
+        let vid = |i: usize| members[i] as NodeId;
 
         // --- Portal sampling -------------------------------------------------
+        // The RNG stream is one draw per non-root member in ascending vertex
+        // order, identical to the dense-representation code this replaced.
         let mut rng = StdRng::seed_from_u64(config.seed);
         let gamma = config
             .gamma
@@ -133,60 +159,73 @@ impl TreeRoutingScheme {
         } else {
             (gamma as f64 / tree_size as f64).clamp(0.0, 1.0)
         };
-        let mut is_portal = vec![false; n_host];
-        for &v in &members {
-            if v != root && p > 0.0 && rng.gen_bool(p) {
-                is_portal[v] = true;
+        let mut is_portal = vec![false; m];
+        for (i, portal) in is_portal.iter_mut().enumerate() {
+            if i != root_local && p > 0.0 && rng.gen_bool(p) {
+                *portal = true;
             }
         }
-        is_portal[root] = true;
+        is_portal[root_local] = true;
 
-        // --- Preorder of T ----------------------------------------------------
-        let preorder = preorder_of(tree, &children_all);
+        // --- Children lists and preorder of T ----------------------------------
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for i in 0..m {
+            let p = parent_idx[i];
+            if p != NO_LOCAL_PARENT {
+                children[p as usize].push(i as u32);
+            }
+        }
+        let mut preorder = Vec::with_capacity(m);
+        let mut stack = vec![root_local];
+        while let Some(v) = stack.pop() {
+            preorder.push(v);
+            for &c in children[v].iter().rev() {
+                stack.push(c as usize);
+            }
+        }
 
         // --- Subtree assignment ----------------------------------------------
-        let mut subtree_root = vec![usize::MAX; n_host];
+        let mut subtree_root = vec![usize::MAX; m];
         for &v in &preorder {
             subtree_root[v] = if is_portal[v] {
                 v
             } else {
-                let (parent, _) = tree.parent(v).expect("non-root member has a parent");
-                subtree_root[parent]
+                subtree_root[parent_idx[v] as usize]
             };
         }
 
         // --- Local children / sizes / heavy children --------------------------
-        let mut local_children: Vec<Vec<NodeId>> = vec![Vec::new(); n_host];
-        for &v in &members {
-            if let Some((parent, _)) = tree.parent(v) {
-                if subtree_root[v] == subtree_root[parent] {
-                    local_children[parent].push(v);
-                }
+        let mut local_children: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for i in 0..m {
+            let p = parent_idx[i];
+            if p != NO_LOCAL_PARENT && subtree_root[i] == subtree_root[p as usize] {
+                local_children[p as usize].push(i as u32);
             }
         }
-        let mut local_size = vec![0usize; n_host];
+        let mut local_size = vec![0usize; m];
         for &v in preorder.iter().rev() {
             local_size[v] = 1 + local_children[v]
                 .iter()
-                .map(|&c| local_size[c])
+                .map(|&c| local_size[c as usize])
                 .sum::<usize>();
         }
-        let mut heavy_child: Vec<Option<NodeId>> = vec![None; n_host];
-        for &v in &members {
-            heavy_child[v] = local_children[v]
-                .iter()
-                .copied()
-                .max_by_key(|&c| (local_size[c], Reverse(c)));
-        }
+        let heavy_child: Vec<Option<u32>> = (0..m)
+            .map(|v| {
+                local_children[v]
+                    .iter()
+                    .copied()
+                    .max_by_key(|&c| (local_size[c as usize], Reverse(c)))
+            })
+            .collect();
 
         // --- Local DFS numbering per subtree -----------------------------------
-        let subtree_roots: Vec<NodeId> = preorder
+        let subtree_roots: Vec<usize> = preorder
             .iter()
             .copied()
             .filter(|&v| subtree_root[v] == v)
             .collect();
-        let mut a_local = vec![0u64; n_host];
-        let mut b_local = vec![0u64; n_host];
+        let mut a_local = vec![0u64; m];
+        let mut b_local = vec![0u64; m];
         for &w in &subtree_roots {
             let mut counter = 0u64;
             let mut stack = vec![w];
@@ -195,40 +234,39 @@ impl TreeRoutingScheme {
                 b_local[x] = counter + local_size[x] as u64;
                 counter += 1;
                 for &c in local_children[x].iter().rev() {
-                    stack.push(c);
+                    stack.push(c as usize);
                 }
             }
         }
 
         // --- Virtual tree T' ----------------------------------------------------
-        let mut tprime_children: Vec<Vec<NodeId>> = vec![Vec::new(); n_host];
+        let mut tprime_children: Vec<Vec<usize>> = vec![Vec::new(); m];
         for &w in &subtree_roots {
-            if w != root {
-                let (parent, _) = tree.parent(w).expect("portal has a parent");
-                tprime_children[subtree_root[parent]].push(w);
+            if w != root_local {
+                tprime_children[subtree_root[parent_idx[w] as usize]].push(w);
             }
         }
         // Subtree roots listed in T-preorder already have T'-parents before
         // children, so a reverse sweep computes T' subtree sizes.
-        let mut tprime_size = vec![0usize; n_host];
+        let mut tprime_size = vec![0usize; m];
         for &w in subtree_roots.iter().rev() {
             tprime_size[w] = 1 + tprime_children[w]
                 .iter()
                 .map(|&c| tprime_size[c])
                 .sum::<usize>();
         }
-        let mut tprime_heavy: Vec<Option<NodeId>> = vec![None; n_host];
+        let mut tprime_heavy: Vec<Option<usize>> = vec![None; m];
         for &w in &subtree_roots {
             tprime_heavy[w] = tprime_children[w]
                 .iter()
                 .copied()
                 .max_by_key(|&c| (tprime_size[c], Reverse(c)));
         }
-        let mut a_global = vec![0u64; n_host];
-        let mut b_global = vec![0u64; n_host];
+        let mut a_global = vec![0u64; m];
+        let mut b_global = vec![0u64; m];
         {
             let mut counter = 0u64;
-            let mut stack = vec![root];
+            let mut stack = vec![root_local];
             while let Some(w) = stack.pop() {
                 a_global[w] = counter;
                 b_global[w] = counter + tprime_size[w] as u64;
@@ -240,18 +278,21 @@ impl TreeRoutingScheme {
         }
 
         // --- Local labels (per vertex, within its subtree) ----------------------
-        let mut local_label: Vec<LocalLabel> = vec![LocalLabel::default(); n_host];
+        // Exceptions are stored as host vertex ids (the labels travel in
+        // packet headers), so the conversion happens as they are recorded.
+        let mut local_label: Vec<LocalLabel> = vec![LocalLabel::default(); m];
         for &w in &subtree_roots {
-            let mut stack: Vec<(NodeId, Vec<(NodeId, NodeId)>)> = vec![(w, Vec::new())];
+            let mut stack: Vec<(usize, Vec<(NodeId, NodeId)>)> = vec![(w, Vec::new())];
             while let Some((x, exceptions)) = stack.pop() {
                 local_label[x] = LocalLabel {
                     a: a_local[x],
                     exceptions: exceptions.clone(),
                 };
                 for &c in &local_children[x] {
+                    let c = c as usize;
                     let mut child_exc = exceptions.clone();
-                    if heavy_child[x] != Some(c) {
-                        child_exc.push((x, c));
+                    if heavy_child[x] != Some(c as u32) {
+                        child_exc.push((vid(x), vid(c)));
                     }
                     stack.push((c, child_exc));
                 }
@@ -259,19 +300,19 @@ impl TreeRoutingScheme {
         }
 
         // --- Global exceptions (per subtree root, along the T' path) ------------
-        let mut global_exceptions: Vec<Vec<GlobalException>> = vec![Vec::new(); n_host];
+        let mut global_exceptions: Vec<Vec<GlobalException>> = vec![Vec::new(); m];
         {
-            let mut stack: Vec<(NodeId, Vec<GlobalException>)> = vec![(root, Vec::new())];
+            let mut stack: Vec<(usize, Vec<GlobalException>)> = vec![(root_local, Vec::new())];
             while let Some((w, exceptions)) = stack.pop() {
                 global_exceptions[w] = exceptions.clone();
                 for &c in &tprime_children[w] {
                     let mut child_exc = exceptions.clone();
                     if tprime_heavy[w] != Some(c) {
-                        let (portal, _) = tree.parent(c).expect("portal has a parent");
+                        let portal = parent_idx[c] as usize;
                         child_exc.push(GlobalException {
-                            parent_subtree: w,
-                            child_subtree: c,
-                            portal,
+                            parent_subtree: vid(w),
+                            child_subtree: vid(c),
+                            portal: vid(portal),
                             portal_label: local_label[portal].clone(),
                         });
                     }
@@ -281,54 +322,61 @@ impl TreeRoutingScheme {
         }
 
         // --- Assemble tables and labels -----------------------------------------
-        let mut tables: HashMap<NodeId, TreeTable> = HashMap::with_capacity(members.len());
-        let mut labels: HashMap<NodeId, TreeLabel> = HashMap::with_capacity(members.len());
-        for &v in &members {
-            let w = subtree_root[v];
+        // Members are ascending, so pushing in local order keeps the arrays
+        // binary-searchable by vertex id.
+        let mut tables: Vec<TreeTable> = Vec::with_capacity(m);
+        let mut labels: Vec<TreeLabel> = Vec::with_capacity(m);
+        for i in 0..m {
+            let v = vid(i);
+            let w = subtree_root[i];
             let global_heavy = tprime_heavy[w].map(|h| {
-                let (portal, _) = tree.parent(h).expect("heavy portal child has a parent");
+                let portal = parent_idx[h] as usize;
                 GlobalHeavyEntry {
-                    child_subtree: h,
-                    portal,
+                    child_subtree: vid(h),
+                    portal: vid(portal),
                     portal_label: local_label[portal].clone(),
                 }
             });
-            tables.insert(
-                v,
-                TreeTable {
-                    vertex: v,
-                    tree_root: root,
-                    subtree_root: w,
-                    parent: tree.parent(v).map(|(p, _)| p),
-                    heavy_child: heavy_child[v],
-                    a_local: a_local[v],
-                    b_local: b_local[v],
-                    a_global: a_global[w],
-                    b_global: b_global[w],
-                    global_heavy,
-                },
-            );
-            labels.insert(
-                v,
-                TreeLabel {
-                    vertex: v,
-                    subtree_root: w,
-                    local: local_label[v].clone(),
-                    a_global: a_global[w],
-                    global_exceptions: global_exceptions[w].clone(),
-                },
-            );
+            tables.push(TreeTable {
+                vertex: v,
+                tree_root: root,
+                subtree_root: vid(w),
+                parent: (parent_idx[i] != NO_LOCAL_PARENT).then(|| vid(parent_idx[i] as usize)),
+                heavy_child: heavy_child[i].map(|c| vid(c as usize)),
+                a_local: a_local[i],
+                b_local: b_local[i],
+                a_global: a_global[w],
+                b_global: b_global[w],
+                global_heavy,
+            });
+            labels.push(TreeLabel {
+                vertex: v,
+                subtree_root: vid(w),
+                local: local_label[i].clone(),
+                a_global: a_global[w],
+                global_exceptions: global_exceptions[w].clone(),
+            });
         }
 
-        let portals = subtree_roots;
+        let portals = subtree_roots.into_iter().map(vid).collect();
         TreeRoutingScheme {
             root,
             host_size: n_host,
+            member_ids: members.to_vec(),
             tables,
             labels,
             portals,
             tree_size,
         }
+    }
+
+    /// Position of `v` in the sorted member array, if it is a member.
+    #[inline]
+    fn index_of(&self, v: NodeId) -> Option<usize> {
+        if v > u32::MAX as usize {
+            return None;
+        }
+        self.member_ids.binary_search(&(v as u32)).ok()
     }
 
     /// The root of the routed tree.
@@ -348,17 +396,24 @@ impl TreeRoutingScheme {
 
     /// The routing table of `v`, if `v` is in the tree.
     pub fn table(&self, v: NodeId) -> Option<&TreeTable> {
-        self.tables.get(&v)
+        self.index_of(v).map(|i| &self.tables[i])
     }
 
     /// The label of `v`, if `v` is in the tree.
     pub fn label(&self, v: NodeId) -> Option<&TreeLabel> {
-        self.labels.get(&v)
+        self.index_of(v).map(|i| &self.labels[i])
     }
 
-    /// The member vertices of the routed tree (unordered).
+    /// The label of the `i`-th member in ascending member order — the same
+    /// order an [`en_graph::forest::ClusterForest`] slice lists its members,
+    /// so callers holding a membership-CSR position skip the binary search.
+    pub fn label_by_index(&self, i: usize) -> Option<&TreeLabel> {
+        self.labels.get(i)
+    }
+
+    /// The member vertices of the routed tree, in increasing id order.
     pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.tables.keys().copied()
+        self.member_ids.iter().map(|&v| v as NodeId)
     }
 
     /// Table size of `v` in words (0 if not a member).
@@ -373,20 +428,12 @@ impl TreeRoutingScheme {
 
     /// The largest table over all members, in words.
     pub fn max_table_words(&self) -> usize {
-        self.tables
-            .values()
-            .map(TreeTable::words)
-            .max()
-            .unwrap_or(0)
+        self.tables.iter().map(TreeTable::words).max().unwrap_or(0)
     }
 
     /// The largest label over all members, in words.
     pub fn max_label_words(&self) -> usize {
-        self.labels
-            .values()
-            .map(TreeLabel::words)
-            .max()
-            .unwrap_or(0)
+        self.labels.iter().map(TreeLabel::words).max().unwrap_or(0)
     }
 
     /// Round charge of building this scheme on a host with hop-diameter `d`
@@ -493,19 +540,6 @@ impl TreeRoutingScheme {
         }
         Err(TreeRoutingError::RoutingLoop { from, to })
     }
-}
-
-/// Preorder traversal of a rooted tree (parents before children).
-fn preorder_of(tree: &RootedTree, children: &[Vec<NodeId>]) -> Vec<NodeId> {
-    let mut order = Vec::with_capacity(tree.len());
-    let mut stack = vec![tree.root()];
-    while let Some(v) = stack.pop() {
-        order.push(v);
-        for &c in children[v].iter().rev() {
-            stack.push(c);
-        }
-    }
-    order
 }
 
 #[cfg(test)]

@@ -111,17 +111,18 @@ fn parallel_cluster_exploration_reproduces_the_constructions_level_0_clusters() 
     // The message-passing exploration and the construction's level-0 clusters
     // agree on membership and on the distances to the centre.
     for &c in &centers {
-        let from_construction = &built.family.clusters[&c];
+        let from_construction = built.family.cluster(c).expect("centre has a cluster");
         let from_protocol = &explored.clusters[&c];
         assert_eq!(
-            from_construction.size(),
+            from_construction.len(),
             from_protocol.members.len(),
             "centre {c}"
         );
         for v in from_construction.members() {
             let (dist, _) = from_protocol.members[&v];
             assert_eq!(
-                dist, from_construction.root_estimate[&v],
+                dist,
+                from_construction.root_dist(v).unwrap(),
                 "centre {c} vertex {v}"
             );
         }

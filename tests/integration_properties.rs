@@ -95,15 +95,15 @@ proptest! {
         let hierarchy = Hierarchy::sample(&params);
         let family = exact_cluster_family(&g, &hierarchy);
         let truth = all_pairs_dijkstra(&g);
-        for cluster in family.clusters.values() {
-            let i = cluster.level;
+        for cluster in family.clusters() {
+            let i = cluster.level();
             for v in g.nodes() {
                 let threshold = if i + 1 < k {
                     family.pivots[v][i + 1].map_or(u64::MAX / 4, |(_, d)| d)
                 } else {
                     u64::MAX / 4
                 };
-                let should = truth[cluster.center][v] < threshold || v == cluster.center;
+                let should = truth[cluster.center()][v] < threshold || v == cluster.center();
                 prop_assert_eq!(cluster.contains(v), should);
             }
         }

@@ -25,34 +25,39 @@ fn arb_connected_graph() -> impl Strategy<Value = WeightedGraph> {
     })
 }
 
-/// Checks one batched cluster against the per-centre oracle, including tree
+/// Checks one batched forest cluster against the per-centre oracle (which
+/// still materialises the dense per-centre representation), including tree
 /// validity (real edges, root distances reproducing the recorded estimates).
 fn assert_cluster_matches_oracle(
     g: &WeightedGraph,
     csr: &CsrGraph,
-    cluster: &en_routing::Cluster,
+    cluster: en_graph::ClusterView<'_>,
     threshold: &[Dist],
 ) {
-    let oracle = grow_exact_cluster_csr(csr, cluster.center, cluster.level, threshold);
+    let oracle = grow_exact_cluster_csr(csr, cluster.center(), cluster.level(), threshold);
     assert_eq!(
-        cluster.members(),
+        cluster.members().collect::<Vec<_>>(),
         oracle.members(),
         "centre {}: member sets differ",
-        cluster.center
+        cluster.center()
     );
-    assert_eq!(
-        cluster.root_estimate, oracle.root_estimate,
-        "centre {}: root estimates differ",
-        cluster.center
-    );
-    assert!(cluster.tree.is_subgraph_of(g), "tree uses non-graph edges");
-    let tree_dist = cluster.tree.root_distances();
+    for (v, &est) in cluster.members().zip(cluster.root_dists()) {
+        assert_eq!(
+            Some(&est),
+            oracle.root_estimate.get(&v),
+            "centre {}: root estimates differ at {v}",
+            cluster.center()
+        );
+    }
+    let tree = cluster.tree();
+    assert!(tree.is_subgraph_of(g), "tree uses non-graph edges");
+    let tree_dist = tree.root_distances();
     for v in cluster.members() {
         assert_eq!(
             tree_dist[v],
-            Some(cluster.root_estimate[&v]),
+            cluster.root_dist(v),
             "centre {}: tree path to {v} does not realise the estimate",
-            cluster.center
+            cluster.center()
         );
     }
 }
@@ -77,9 +82,9 @@ proptest! {
         };
         let centers: Vec<NodeId> = (0..n).filter(|v| !level.contains(v)).collect();
         let csr = CsrGraph::from_graph(&g);
-        let clusters = grow_exact_clusters_batched(&csr, &centers, 0, &threshold);
-        prop_assert_eq!(clusters.len(), centers.len());
-        for cluster in &clusters {
+        let forest = grow_exact_clusters_batched(&csr, &centers, 0, &threshold);
+        prop_assert_eq!(forest.num_clusters(), centers.len());
+        for cluster in forest.clusters() {
             assert_cluster_matches_oracle(&g, &csr, cluster, &threshold);
         }
     }
@@ -139,7 +144,7 @@ proptest! {
         for i in 0..hierarchy.k() {
             let threshold = membership_thresholds(&family.pivots, i);
             for center in hierarchy.centers_at(i) {
-                assert_cluster_matches_oracle(&g, &csr, &family.clusters[&center], &threshold);
+                assert_cluster_matches_oracle(&g, &csr, family.cluster(center).unwrap(), &threshold);
             }
         }
     }
