@@ -25,14 +25,24 @@
 //! `O(n · #clusters)` representation's ~14 MB there). The `entries` sweep
 //! includes the n = 10000 end-to-end build the compact family unlocked.
 //!
+//! The `queries` workload tracks the `en_wire` serving path: per `(n, k)`
+//! at `n ∈ {1000, 10000}` it snapshots the built scheme, times the
+//! zero-copy `FlatScheme::from_bytes` load, and measures batched routing
+//! throughput off the flat columns (uniform pairs; single-threaded and
+//! sharded over scoped threads), written to `BENCH_queries.json` together
+//! with the snapshot size and the host's CPU count (the multi-thread
+//! number only shows real scaling on a multi-core host).
+//!
 //! Usage: `cargo run --release -p en_bench --bin perf_baseline [--smoke]`
 //!
 //! `--smoke` restricts the sweep to the smallest size and skips the file
-//! write — the CI smoke check that keeps this bin (and the phase plumbing it
-//! exercises) green.
+//! writes — the CI smoke check that keeps this bin (and the phase plumbing
+//! it exercises, including the queries/serving path) green.
 
 use std::fmt::Write as _;
 use std::time::Instant;
+
+use en_wire::{generate_pairs, FlatScheme, PairWorkload, QueryEngine};
 
 use en_bench::warn_if_round_limit_hit;
 use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
@@ -47,6 +57,10 @@ use en_routing::scheme::RoutingScheme;
 use en_routing::{Hierarchy, SchemeParams};
 
 const OUTPUT: &str = "BENCH_construction.json";
+const QUERIES_OUTPUT: &str = "BENCH_queries.json";
+/// Worker threads for the sharded batch measurement (recorded in the JSON;
+/// only meaningful as a speedup on a host with that many cores).
+const QUERY_THREADS: usize = 8;
 
 fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::MAX;
@@ -199,6 +213,66 @@ fn main() {
         }
     }
 
+    // The queries workload: the en_wire serving path — snapshot size,
+    // zero-copy load time, and batched routing throughput off the flat
+    // columns, single-threaded vs sharded.
+    let query_sizes: &[usize] = if smoke { &[200] } else { &[1000, 10000] };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let query_pairs = if smoke { 2_000 } else { 20_000 };
+    let mut query_entries = String::new();
+    for &n in query_sizes {
+        let g = workload(n);
+        for k in [2usize, 3] {
+            let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap();
+            let (serialize_ms, bytes) = best_of(runs, || en_wire::serialize(&built.scheme));
+            let (load_ms, _) = best_of(kernel_runs, || {
+                FlatScheme::from_bytes(&bytes).expect("snapshot validates")
+            });
+            let flat = FlatScheme::from_bytes(&bytes).expect("snapshot validates");
+            let engine = QueryEngine::new(flat, &g).expect("graph matches snapshot");
+            let pairs = generate_pairs(&g, &PairWorkload::Uniform, query_pairs, 7);
+            let (single_ms, delivered) =
+                best_of(runs, || engine.route_batch(&pairs, None, 1).stats.delivered);
+            assert_eq!(delivered, pairs.len(), "all pairs must deliver");
+            let (multi_ms, _) = best_of(runs, || {
+                engine
+                    .route_batch(&pairs, None, QUERY_THREADS)
+                    .stats
+                    .delivered
+            });
+            let single_rps = pairs.len() as f64 / (single_ms / 1e3);
+            let multi_rps = pairs.len() as f64 / (multi_ms / 1e3);
+            println!(
+                "queries n={n} k={k}: snapshot {} bytes ({:.1}/vertex), serialize \
+                 {serialize_ms:.3} ms, load {:.1} us, {} pairs: single {single_ms:.3} ms \
+                 ({single_rps:.0} routes/s), {QUERY_THREADS} threads {multi_ms:.3} ms \
+                 ({multi_rps:.0} routes/s, {:.2}x)",
+                bytes.len(),
+                bytes.len() as f64 / n as f64,
+                load_ms * 1e3,
+                pairs.len(),
+                multi_rps / single_rps
+            );
+            if !query_entries.is_empty() {
+                query_entries.push_str(",\n");
+            }
+            let _ = write!(
+                query_entries,
+                "    {{\"n\": {n}, \"k\": {k}, \"snapshot_bytes\": {}, \
+                 \"serialize_ms\": {serialize_ms:.3}, \"load_us\": {:.1}, \
+                 \"pairs\": {}, \"single_thread_ms\": {single_ms:.3}, \
+                 \"single_routes_per_sec\": {single_rps:.0}, \
+                 \"multi_thread_ms\": {multi_ms:.3}, \
+                 \"multi_routes_per_sec\": {multi_rps:.0}, \
+                 \"multi_vs_single\": {:.2}}}",
+                bytes.len(),
+                load_ms * 1e3,
+                pairs.len(),
+                multi_rps / single_rps
+            );
+        }
+    }
+
     let mut entries = String::new();
     for &n in sizes {
         // The n = 10000 end-to-end point is a single timed run (it exists to
@@ -242,9 +316,17 @@ fn main() {
     }
 
     if smoke {
-        println!("smoke mode: skipping {OUTPUT} write");
+        println!("smoke mode: skipping {OUTPUT} and {QUERIES_OUTPUT} writes");
         return;
     }
+    let queries_json = format!(
+        "{{\n  \"schema\": \"en-bench/queries-v1\",\n  \"workload\": \
+         \"uniform pairs over erdos-renyi avg-degree 8, weights 1..=100, seed 42\",\n  \
+         \"host_cpus\": {host_cpus},\n  \"multi_threads\": {QUERY_THREADS},\n  \
+         \"entries\": [\n{query_entries}\n  ]\n}}\n"
+    );
+    std::fs::write(QUERIES_OUTPUT, queries_json).expect("write BENCH_queries.json");
+    println!("wrote {QUERIES_OUTPUT}");
     let json = format!(
         "{{\n  \"schema\": \"en-bench/construction-v1\",\n  \"workload\": \
          \"erdos-renyi avg-degree 8, weights 1..=100, seed 42\",\n  \

@@ -17,6 +17,8 @@
 //! `u ∈ A_0 \ A_1` stores the tree labels of all members of its own cluster,
 //! so packets *from* `u` to a member of `C̃(u)` are routed directly in `C̃(u)`.
 
+use std::sync::Arc;
+
 use en_graph::dijkstra::dijkstra;
 use en_graph::{Dist, NodeId, NodeMap, Path, WeightedGraph};
 use en_tree_routing::{TreeLabel, TreeRoutingConfig, TreeRoutingScheme};
@@ -26,6 +28,11 @@ use crate::family::ClusterFamily;
 
 /// One entry of a vertex label: the pivot at some level and, if the vertex
 /// belongs to that pivot's cluster tree, its tree label there.
+///
+/// The tree label is the *same allocation* the per-tree scheme built (and,
+/// for level-0 members, the same one the centre's own-cluster table holds):
+/// labels are `Arc`-pooled, so assembling a scheme never deep-copies an
+/// exception vector.
 #[derive(Debug, Clone)]
 pub struct LabelEntry {
     /// The level `i`.
@@ -35,13 +42,13 @@ pub struct LabelEntry {
     /// The (approximate) distance `d̂_i(v)`.
     pub dist: Dist,
     /// The tree label of `v` in `C̃(ẑ_i(v))`, if `v` belongs to it.
-    pub tree_label: Option<TreeLabel>,
+    pub tree_label: Option<Arc<TreeLabel>>,
 }
 
 impl LabelEntry {
     /// Size in `O(log n)` words.
     pub fn words(&self) -> usize {
-        3 + self.tree_label.as_ref().map_or(0, TreeLabel::words)
+        3 + self.tree_label.as_ref().map_or(0, |l| l.words())
     }
 }
 
@@ -75,8 +82,9 @@ pub struct NodeTable {
     /// [`TreeRoutingScheme`]; only membership is recorded here.)
     pub trees: Vec<NodeId>,
     /// The \[TZ01\] `4k−5` refinement: if this vertex is a level-0 centre, the
-    /// tree labels of every member of its own cluster.
-    pub own_cluster_labels: NodeMap<TreeLabel>,
+    /// tree labels of every member of its own cluster (shared, via `Arc`,
+    /// with the members' [`LabelEntry::tree_label`]s and the tree scheme).
+    pub own_cluster_labels: NodeMap<Arc<TreeLabel>>,
 }
 
 /// The assembled routing scheme.
@@ -161,14 +169,15 @@ impl RoutingScheme {
                 trees.push(centers[id]);
                 if is_level0[id] {
                     // The scheme's member order is the cluster slice's member
-                    // order, so the CSR position addresses v's label directly.
+                    // order, so the CSR position addresses v's label directly;
+                    // the insert shares the scheme's allocation (Arc bump).
                     let label = schemes_by_id[id]
-                        .label_by_index(pos)
+                        .label_arc_by_index(pos)
                         .expect("membership position is within the tree scheme");
                     debug_assert_eq!(label.vertex, v);
                     tables[centers[id]]
                         .own_cluster_labels
-                        .insert(v, label.clone());
+                        .insert(v, Arc::clone(label));
                 }
             }
             trees.sort_unstable();
@@ -183,7 +192,10 @@ impl RoutingScheme {
             let mut entries = Vec::new();
             for i in 0..k {
                 if let Some((pivot, dist)) = family.pivots[v][i] {
-                    let tree_label = tree_schemes.get(&pivot).and_then(|s| s.label(v)).cloned();
+                    let tree_label = tree_schemes
+                        .get(&pivot)
+                        .and_then(|s| s.label_arc(v))
+                        .cloned();
                     entries.push(LabelEntry {
                         level: i,
                         pivot,
@@ -242,7 +254,10 @@ impl RoutingScheme {
             let mut entries = Vec::new();
             for i in 0..k {
                 if let Some((pivot, dist)) = family.pivots[v][i] {
-                    let tree_label = tree_schemes.get(&pivot).and_then(|s| s.label(v)).cloned();
+                    let tree_label = tree_schemes
+                        .get(&pivot)
+                        .and_then(|s| s.label_arc(v))
+                        .cloned();
                     entries.push(LabelEntry {
                         level: i,
                         pivot,
@@ -262,8 +277,8 @@ impl RoutingScheme {
             let scheme = &tree_schemes[&center];
             let mut own = NodeMap::default();
             for v in scheme.members() {
-                if let Some(label) = scheme.label(v) {
-                    own.insert(v, label.clone());
+                if let Some(label) = scheme.label_arc(v) {
+                    own.insert(v, Arc::clone(label));
                 }
             }
             tables[center].own_cluster_labels = own;
@@ -309,6 +324,24 @@ impl RoutingScheme {
     /// The number of cluster trees containing `v`.
     pub fn trees_containing(&self, v: NodeId) -> usize {
         self.tables[v].trees.len()
+    }
+
+    /// All cluster centres with a tree scheme, in ascending id order (the
+    /// deterministic cluster order of the wire snapshot).
+    pub fn centers(&self) -> Vec<NodeId> {
+        let mut centers: Vec<NodeId> = self.tree_schemes.keys().copied().collect();
+        centers.sort_unstable();
+        centers
+    }
+
+    /// The per-tree routing scheme rooted at `center`, if any.
+    pub fn tree_scheme(&self, center: NodeId) -> Option<&TreeRoutingScheme> {
+        self.tree_schemes.get(&center)
+    }
+
+    /// The hierarchy level of `center`, if it roots a cluster tree.
+    pub fn center_level(&self, center: NodeId) -> Option<usize> {
+        self.center_level.get(&center).copied()
     }
 
     /// Size of `v`'s routing table in `O(log n)` words: the sum of its tree
@@ -362,13 +395,20 @@ impl RoutingScheme {
     /// the centre of the tree the packet from `from` to `to` will use, and the
     /// destination's tree label there — using only `from`'s table and `to`'s
     /// label, exactly as a real node would.
-    pub fn find_tree(&self, from: NodeId, to: NodeId) -> Result<(NodeId, TreeLabel), RoutingError> {
+    ///
+    /// The returned label is a shared handle into the scheme's pooled label
+    /// storage (an `Arc` bump, not a deep copy of the exception vectors).
+    pub fn find_tree(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(NodeId, Arc<TreeLabel>), RoutingError> {
         self.check_node(from)?;
         self.check_node(to)?;
         // The 4k−5 refinement: if `from` is a level-0 centre whose cluster
         // contains `to`, route directly in `from`'s own tree.
         if let Some(label) = self.tables[from].own_cluster_labels.get(&to) {
-            return Ok((from, label.clone()));
+            return Ok((from, Arc::clone(label)));
         }
         let to_label = &self.labels[to];
         for i in 0..self.k {
@@ -380,7 +420,7 @@ impl RoutingScheme {
             };
             // `from` must also belong to the tree (checked from its own table).
             if self.tables[from].trees.binary_search(&entry.pivot).is_ok() {
-                return Ok((entry.pivot, tree_label.clone()));
+                return Ok((entry.pivot, Arc::clone(tree_label)));
             }
         }
         Err(RoutingError::NoCommonTree { from, to })

@@ -84,6 +84,11 @@ impl TreeLabel {
             .find(|e| e.parent_subtree == w)
     }
 
+    /// The borrowed view of this label — what forwarding actually consumes.
+    pub fn as_view(&self) -> TreeLabelRef<'_> {
+        TreeLabelRef(self)
+    }
+
     /// Size of the label in `O(log n)`-bit words.
     pub fn words(&self) -> usize {
         // vertex + subtree_root + a_global + local + exceptions
@@ -93,6 +98,90 @@ impl TreeLabel {
                 .iter()
                 .map(GlobalException::words)
                 .sum::<usize>()
+    }
+}
+
+/// Read access to one local TZ label, abstracted over the storage.
+///
+/// Forwarding ([`next_hop_view`](crate::scheme::next_hop_view)) consumes
+/// labels exclusively through this trait and [`LabelView`], so the owned
+/// heap representation ([`LocalLabel`] / [`TreeLabel`]) and any flat
+/// serialized representation (e.g. a zero-copy snapshot column) are
+/// guaranteed to route identically: there is only one forwarding
+/// implementation.
+///
+/// Implementors are cheap `Copy` handles (a reference or a slice-plus-offset
+/// view), so taking them by value allocates nothing.
+pub trait LocalLabelView: Copy {
+    /// DFS entry time of the labelled vertex within its subtree.
+    fn a(&self) -> u64;
+    /// The child recorded for `x`, if the root-to-vertex path deviates from
+    /// `x`'s heavy child.
+    fn exception_at(&self, x: NodeId) -> Option<NodeId>;
+}
+
+impl LocalLabelView for &LocalLabel {
+    #[inline]
+    fn a(&self) -> u64 {
+        self.a
+    }
+
+    #[inline]
+    fn exception_at(&self, x: NodeId) -> Option<NodeId> {
+        LocalLabel::exception_at(self, x)
+    }
+}
+
+/// Read access to one tree-routing label, abstracted over the storage.
+///
+/// See [`LocalLabelView`] for the rationale.
+pub trait LabelView: Copy {
+    /// The local-label view type this label hands out.
+    type Local: LocalLabelView;
+
+    /// The subtree root `w` such that the labelled vertex lies in `T_w`.
+    fn subtree_root(&self) -> NodeId;
+    /// DFS entry time of `T_w` in the virtual tree `T'`.
+    fn a_global(&self) -> u64;
+    /// Local TZ label of the vertex inside `T_w`.
+    fn local(&self) -> Self::Local;
+    /// The global exception whose parent subtree is `w`, if any, as
+    /// `(child_subtree, portal label)`.
+    fn global_exception_at(&self, w: NodeId) -> Option<(NodeId, Self::Local)>;
+}
+
+/// The borrowed view of an owned [`TreeLabel`].
+///
+/// This is the type forwarding consumes; `RoutingScheme`-level code holds
+/// labels behind `Arc` (the assemble-path pooling) or borrows them from a
+/// tree scheme, and both hand out this view without cloning any exception
+/// vector.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeLabelRef<'a>(pub &'a TreeLabel);
+
+impl<'a> LabelView for TreeLabelRef<'a> {
+    type Local = &'a LocalLabel;
+
+    #[inline]
+    fn subtree_root(&self) -> NodeId {
+        self.0.subtree_root
+    }
+
+    #[inline]
+    fn a_global(&self) -> u64 {
+        self.0.a_global
+    }
+
+    #[inline]
+    fn local(&self) -> &'a LocalLabel {
+        &self.0.local
+    }
+
+    #[inline]
+    fn global_exception_at(&self, w: NodeId) -> Option<(NodeId, &'a LocalLabel)> {
+        self.0
+            .global_exception_at(w)
+            .map(|e| (e.child_subtree, &e.portal_label))
     }
 }
 

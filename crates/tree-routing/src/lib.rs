@@ -42,6 +42,6 @@ pub mod scheme;
 pub mod table;
 
 pub use cost::{remark3_rounds, theorem7_rounds};
-pub use label::{LocalLabel, TreeLabel};
-pub use scheme::{TreeRoutingConfig, TreeRoutingScheme};
-pub use table::{GlobalHeavyEntry, TreeTable};
+pub use label::{LabelView, LocalLabel, LocalLabelView, TreeLabel, TreeLabelRef};
+pub use scheme::{next_hop_view, TreeRoutingConfig, TreeRoutingScheme};
+pub use table::{GlobalHeavyEntry, TableView, TreeTable};

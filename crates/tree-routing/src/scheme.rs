@@ -1,6 +1,13 @@
 //! Construction of the two-level tree-routing scheme and the forwarding logic.
+//!
+//! Forwarding is written once, generically over the
+//! [`TableView`]/[`LabelView`] traits ([`next_hop_view`]): the owned
+//! [`TreeTable`]/[`TreeLabel`] structs and any flat serialized representation
+//! (e.g. the `en_wire` snapshot columns) share the exact same step logic, so
+//! they cannot drift apart.
 
 use std::cmp::Reverse;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -9,8 +16,8 @@ use en_graph::forest::{LocalTopology, TreeView, NO_LOCAL_PARENT};
 use en_graph::{NodeId, Path};
 
 use crate::cost::theorem7_rounds;
-use crate::label::{GlobalException, LocalLabel, TreeLabel};
-use crate::table::{GlobalHeavyEntry, TreeTable};
+use crate::label::{GlobalException, LabelView, LocalLabel, LocalLabelView, TreeLabel};
+use crate::table::{GlobalHeavyEntry, TableView, TreeTable};
 
 /// Configuration of the tree-routing construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,7 +111,11 @@ pub struct TreeRoutingScheme {
     /// Member vertex ids, ascending; `tables` and `labels` are aligned.
     member_ids: Vec<u32>,
     tables: Vec<TreeTable>,
-    labels: Vec<TreeLabel>,
+    /// Labels are `Arc`-pooled: the Section-4 assembly stores the same label
+    /// in a level-0 centre's own-cluster table *and* in the member's node
+    /// label, so handing out `Arc` clones instead of deep copies removes the
+    /// per-member exception-vector clone traffic from the assemble hot path.
+    labels: Vec<Arc<TreeLabel>>,
     portals: Vec<NodeId>,
     tree_size: usize,
 }
@@ -113,6 +124,75 @@ pub struct TreeRoutingScheme {
 enum LocalStep {
     Arrived,
     Hop(NodeId),
+}
+
+/// One local TZ routing step towards `target`, generic over the storage.
+fn local_step_view<T: TableView, L: LocalLabelView>(
+    table: T,
+    target: L,
+) -> Result<LocalStep, TreeRoutingError> {
+    if table.a_local() == target.a() {
+        return Ok(LocalStep::Arrived);
+    }
+    if !table.local_interval_contains(target.a()) {
+        let parent = table.parent().ok_or(TreeRoutingError::CorruptTable {
+            vertex: table.vertex(),
+        })?;
+        return Ok(LocalStep::Hop(parent));
+    }
+    if let Some(child) = target.exception_at(table.vertex()) {
+        return Ok(LocalStep::Hop(child));
+    }
+    let heavy = table.heavy_child().ok_or(TreeRoutingError::CorruptTable {
+        vertex: table.vertex(),
+    })?;
+    Ok(LocalStep::Hop(heavy))
+}
+
+/// Computes the next hop from the vertex owning `table` towards the vertex
+/// described by `label`, using only that table and the label — the single
+/// forwarding implementation every representation routes through.
+///
+/// Returns `Ok(None)` when the owning vertex *is* the destination.
+///
+/// # Errors
+///
+/// Returns [`TreeRoutingError::CorruptTable`] if a table invariant is
+/// violated (e.g. a missing parent where one is required).
+pub fn next_hop_view<T: TableView, L: LabelView>(
+    table: T,
+    label: L,
+) -> Result<Option<NodeId>, TreeRoutingError> {
+    // Same subtree: pure local TZ routing on the destination's local label.
+    if table.subtree_root() == label.subtree_root() {
+        return match local_step_view(table, label.local())? {
+            LocalStep::Arrived => Ok(None),
+            LocalStep::Hop(next) => Ok(Some(next)),
+        };
+    }
+    // Destination's subtree is *not* a T'-descendant of ours: climb.
+    if !table.global_interval_contains(label.a_global()) {
+        let parent = table.parent().ok_or(TreeRoutingError::CorruptTable {
+            vertex: table.vertex(),
+        })?;
+        return Ok(Some(parent));
+    }
+    // Destination's subtree is a strict T'-descendant of ours: route to the
+    // portal of the correct T' child, then cross into that child subtree.
+    let (step, child_subtree) = match label.global_exception_at(table.subtree_root()) {
+        Some((child, portal_label)) => (local_step_view(table, portal_label)?, child),
+        None => {
+            let (child, portal_label) =
+                table.global_heavy().ok_or(TreeRoutingError::CorruptTable {
+                    vertex: table.vertex(),
+                })?;
+            (local_step_view(table, portal_label)?, child)
+        }
+    };
+    match step {
+        LocalStep::Arrived => Ok(Some(child_subtree)),
+        LocalStep::Hop(next) => Ok(Some(next)),
+    }
 }
 
 impl TreeRoutingScheme {
@@ -325,7 +405,7 @@ impl TreeRoutingScheme {
         // Members are ascending, so pushing in local order keeps the arrays
         // binary-searchable by vertex id.
         let mut tables: Vec<TreeTable> = Vec::with_capacity(m);
-        let mut labels: Vec<TreeLabel> = Vec::with_capacity(m);
+        let mut labels: Vec<Arc<TreeLabel>> = Vec::with_capacity(m);
         for i in 0..m {
             let v = vid(i);
             let w = subtree_root[i];
@@ -349,13 +429,13 @@ impl TreeRoutingScheme {
                 b_global: b_global[w],
                 global_heavy,
             });
-            labels.push(TreeLabel {
+            labels.push(Arc::new(TreeLabel {
                 vertex: v,
                 subtree_root: vid(w),
                 local: local_label[i].clone(),
                 a_global: a_global[w],
                 global_exceptions: global_exceptions[w].clone(),
-            });
+            }));
         }
 
         let portals = subtree_roots.into_iter().map(vid).collect();
@@ -399,8 +479,20 @@ impl TreeRoutingScheme {
         self.index_of(v).map(|i| &self.tables[i])
     }
 
+    /// The table of the `i`-th member in ascending member order (the wire
+    /// serializer walks tables in member order without re-searching).
+    pub fn table_by_index(&self, i: usize) -> Option<&TreeTable> {
+        self.tables.get(i)
+    }
+
     /// The label of `v`, if `v` is in the tree.
     pub fn label(&self, v: NodeId) -> Option<&TreeLabel> {
+        self.index_of(v).map(|i| &*self.labels[i])
+    }
+
+    /// The label of `v` behind its shared `Arc`, if `v` is in the tree —
+    /// the assemble path stores this handle instead of a deep clone.
+    pub fn label_arc(&self, v: NodeId) -> Option<&Arc<TreeLabel>> {
         self.index_of(v).map(|i| &self.labels[i])
     }
 
@@ -408,6 +500,11 @@ impl TreeRoutingScheme {
     /// order an [`en_graph::forest::ClusterForest`] slice lists its members,
     /// so callers holding a membership-CSR position skip the binary search.
     pub fn label_by_index(&self, i: usize) -> Option<&TreeLabel> {
+        self.labels.get(i).map(|l| &**l)
+    }
+
+    /// [`Self::label_by_index`], returning the shared `Arc` handle.
+    pub fn label_arc_by_index(&self, i: usize) -> Option<&Arc<TreeLabel>> {
         self.labels.get(i)
     }
 
@@ -433,7 +530,7 @@ impl TreeRoutingScheme {
 
     /// The largest label over all members, in words.
     pub fn max_label_words(&self) -> usize {
-        self.labels.iter().map(TreeLabel::words).max().unwrap_or(0)
+        self.labels.iter().map(|l| l.words()).max().unwrap_or(0)
     }
 
     /// Round charge of building this scheme on a host with hop-diameter `d`
@@ -442,28 +539,9 @@ impl TreeRoutingScheme {
         theorem7_rounds(self.tree_size, d)
     }
 
-    fn local_step(table: &TreeTable, target: &LocalLabel) -> Result<LocalStep, TreeRoutingError> {
-        if table.a_local == target.a {
-            return Ok(LocalStep::Arrived);
-        }
-        if !table.local_interval_contains(target.a) {
-            let parent = table.parent.ok_or(TreeRoutingError::CorruptTable {
-                vertex: table.vertex,
-            })?;
-            return Ok(LocalStep::Hop(parent));
-        }
-        if let Some(child) = target.exception_at(table.vertex) {
-            return Ok(LocalStep::Hop(child));
-        }
-        let heavy = table.heavy_child.ok_or(TreeRoutingError::CorruptTable {
-            vertex: table.vertex,
-        })?;
-        Ok(LocalStep::Hop(heavy))
-    }
-
     /// Computes the next hop from `current` towards the vertex described by
     /// `label`, using only `current`'s table and the label (the information a
-    /// real node would have).
+    /// real node would have). Delegates to [`next_hop_view`].
     ///
     /// Returns `Ok(None)` when `current` *is* the destination.
     ///
@@ -479,38 +557,7 @@ impl TreeRoutingScheme {
         let table = self
             .table(current)
             .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
-        // Same subtree: pure local TZ routing on the destination's local label.
-        if table.subtree_root == label.subtree_root {
-            return match Self::local_step(table, &label.local)? {
-                LocalStep::Arrived => Ok(None),
-                LocalStep::Hop(next) => Ok(Some(next)),
-            };
-        }
-        // Destination's subtree is *not* a T'-descendant of ours: climb.
-        if !table.global_interval_contains(label.a_global) {
-            let parent = table.parent.ok_or(TreeRoutingError::CorruptTable {
-                vertex: table.vertex,
-            })?;
-            return Ok(Some(parent));
-        }
-        // Destination's subtree is a strict T'-descendant of ours: route to the
-        // portal of the correct T' child, then cross into that child subtree.
-        let (portal_label, child_subtree) = match label.global_exception_at(table.subtree_root) {
-            Some(exc) => (&exc.portal_label, exc.child_subtree),
-            None => {
-                let gh = table
-                    .global_heavy
-                    .as_ref()
-                    .ok_or(TreeRoutingError::CorruptTable {
-                        vertex: table.vertex,
-                    })?;
-                (&gh.portal_label, gh.child_subtree)
-            }
-        };
-        match Self::local_step(table, portal_label)? {
-            LocalStep::Arrived => Ok(Some(child_subtree)),
-            LocalStep::Hop(next) => Ok(Some(next)),
-        }
+        next_hop_view(table, label.as_view())
     }
 
     /// Routes a packet from `from` to `to`, returning the traversed path.
@@ -521,7 +568,7 @@ impl TreeRoutingScheme {
     /// fails to terminate within `host_size` hops (which would indicate a bug).
     pub fn route(&self, from: NodeId, to: NodeId) -> Result<Path, TreeRoutingError> {
         let label = self
-            .label(to)
+            .label_arc(to)
             .ok_or(TreeRoutingError::NotInTree { vertex: to })?
             .clone();
         if self.table(from).is_none() {

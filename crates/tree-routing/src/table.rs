@@ -2,7 +2,7 @@
 
 use en_graph::NodeId;
 
-use crate::label::LocalLabel;
+use crate::label::{LocalLabel, LocalLabelView};
 
 /// Information a vertex in subtree `T_w` keeps about the heavy child of `w` in
 /// the virtual tree `T'` (the one `T'`-child whose identity is *not* carried
@@ -75,6 +75,81 @@ impl TreeTable {
             .global_heavy
             .as_ref()
             .map_or(0, GlobalHeavyEntry::words)
+    }
+}
+
+/// Read access to one tree-routing table, abstracted over the storage.
+///
+/// Forwarding ([`next_hop_view`](crate::scheme::next_hop_view)) consumes
+/// tables exclusively through this trait, so the owned [`TreeTable`] and any
+/// flat serialized representation route identically — there is only one
+/// forwarding implementation. Implementors are cheap `Copy` handles.
+pub trait TableView: Copy {
+    /// The local-label view type of the embedded portal labels.
+    type Local: LocalLabelView;
+
+    /// The vertex this table belongs to.
+    fn vertex(&self) -> NodeId;
+    /// The root `w` of the subtree `T_w` containing this vertex.
+    fn subtree_root(&self) -> NodeId;
+    /// The parent of this vertex in the real tree (None only at the root).
+    fn parent(&self) -> Option<NodeId>;
+    /// The heavy child of this vertex within its subtree, if any.
+    fn heavy_child(&self) -> Option<NodeId>;
+    /// DFS entry time of this vertex within its subtree.
+    fn a_local(&self) -> u64;
+    /// Whether the local DFS interval of this vertex contains `a`.
+    fn local_interval_contains(&self, a: u64) -> bool;
+    /// Whether the global DFS interval of this vertex's subtree contains
+    /// `a_global`.
+    fn global_interval_contains(&self, a_global: u64) -> bool;
+    /// The heavy `T'`-child of `w`, if any, as `(child_subtree, portal label)`.
+    fn global_heavy(&self) -> Option<(NodeId, Self::Local)>;
+}
+
+impl<'a> TableView for &'a TreeTable {
+    type Local = &'a LocalLabel;
+
+    #[inline]
+    fn vertex(&self) -> NodeId {
+        self.vertex
+    }
+
+    #[inline]
+    fn subtree_root(&self) -> NodeId {
+        self.subtree_root
+    }
+
+    #[inline]
+    fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    #[inline]
+    fn heavy_child(&self) -> Option<NodeId> {
+        self.heavy_child
+    }
+
+    #[inline]
+    fn a_local(&self) -> u64 {
+        self.a_local
+    }
+
+    #[inline]
+    fn local_interval_contains(&self, a: u64) -> bool {
+        TreeTable::local_interval_contains(self, a)
+    }
+
+    #[inline]
+    fn global_interval_contains(&self, a_global: u64) -> bool {
+        TreeTable::global_interval_contains(self, a_global)
+    }
+
+    #[inline]
+    fn global_heavy(&self) -> Option<(NodeId, &'a LocalLabel)> {
+        self.global_heavy
+            .as_ref()
+            .map(|gh| (gh.child_subtree, &gh.portal_label))
     }
 }
 

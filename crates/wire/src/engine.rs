@@ -1,0 +1,315 @@
+//! The batched, multi-threaded query engine over a flat snapshot.
+//!
+//! [`QueryEngine`] answers `find_tree` / `route` queries directly off the
+//! snapshot columns — forwarding runs through the *same*
+//! [`next_hop_view`](en_tree_routing::next_hop_view) implementation the
+//! in-memory [`RoutingScheme`] uses, over the flat
+//! [`TableView`](en_tree_routing::TableView) /
+//! [`LabelView`](en_tree_routing::LabelView) implementations, so outcomes
+//! are bit-identical by construction. Batches shard across plain
+//! `std::thread::scope` workers (the engine is `Sync`: a snapshot borrow
+//! plus a graph borrow), each with its own pre-sized output scratch.
+
+use en_graph::dijkstra::dijkstra;
+use en_graph::{Dist, NodeId, Path, WeightedGraph};
+use en_routing::error::RoutingError;
+use en_routing::scheme::RouteOutcome;
+use en_tree_routing::{next_hop_view, scheme::TreeRoutingError};
+
+use crate::error::WireError;
+use crate::flat::{FlatScheme, FlatTreeLabel};
+
+/// A query engine serving one snapshot over one host graph.
+///
+/// The graph is needed only to weigh traversed paths (and, for
+/// [`Self::route`], to compute the exact-distance denominator the stretch
+/// report uses); forwarding itself reads nothing but the snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    flat: FlatScheme<'a>,
+    graph: &'a WeightedGraph,
+}
+
+/// Aggregate statistics of one routed batch.
+///
+/// The stretch fields are meaningful only when the batch was given exact
+/// distances; without them every outcome carries the `exact = 0` placeholder
+/// (whose stretch reads 1.0 by convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Pairs in the batch.
+    pub pairs: usize,
+    /// Pairs routed successfully.
+    pub delivered: usize,
+    /// Pairs that failed (should be none outside adversarial inputs).
+    pub failed: usize,
+    /// Summed hop count of the delivered paths.
+    pub total_hops: u64,
+    /// Summed weighted length of the delivered paths.
+    pub total_length: u64,
+    /// Largest stretch over delivered pairs (0.0 when none delivered).
+    pub max_stretch: f64,
+    /// Mean stretch over delivered pairs (0.0 when none delivered).
+    pub mean_stretch: f64,
+}
+
+/// The outcome of routing one batch: per-pair results in input order plus
+/// the aggregate statistics — identical regardless of how many threads the
+/// batch was sharded over.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One result per input pair, in input order.
+    pub outcomes: Vec<Result<RouteOutcome, RoutingError>>,
+    /// Aggregates over `outcomes`, computed in input order.
+    pub stats: BatchStats,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine for `flat` over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::GraphMismatch`] when the snapshot was built for a
+    /// different vertex count.
+    pub fn new(flat: FlatScheme<'a>, graph: &'a WeightedGraph) -> Result<Self, WireError> {
+        if graph.num_nodes() != flat.n() {
+            return Err(WireError::GraphMismatch {
+                graph_n: graph.num_nodes(),
+                snapshot_n: flat.n(),
+            });
+        }
+        Ok(QueryEngine { flat, graph })
+    }
+
+    /// The snapshot this engine serves.
+    pub fn flat(&self) -> &FlatScheme<'a> {
+        &self.flat
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), RoutingError> {
+        if v < self.flat.n() {
+            Ok(())
+        } else {
+            Err(RoutingError::NodeOutOfRange {
+                node: v,
+                n: self.flat.n(),
+            })
+        }
+    }
+
+    /// Algorithm 1 (`Find-tree`) plus the `4k−5` refinement, off the flat
+    /// columns: the centre of the tree a packet from `from` to `to` will
+    /// use, and the destination's (borrowed) tree label there.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`RoutingScheme::find_tree`](en_routing::scheme::RoutingScheme::find_tree):
+    /// out-of-range vertices and the (low-probability) no-common-tree case.
+    pub fn find_tree(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(NodeId, FlatTreeLabel<'a>), RoutingError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        // The 4k−5 refinement: `from` is a level-0 centre storing `to`'s
+        // label in its own-cluster table.
+        if let Some(label) = self.flat.own_label(from, to) {
+            return Ok((from, label));
+        }
+        // Entries are stored in ascending level order, matching the
+        // in-memory level scan.
+        for entry in self.flat.label_entries_of(to) {
+            let Some(tree_label) = entry.tree_label else {
+                continue; // `to` itself is not in this pivot's tree.
+            };
+            if self
+                .flat
+                .trees_of(from)
+                .binary_search(entry.pivot as u64)
+                .is_ok()
+            {
+                return Ok((entry.pivot, tree_label));
+            }
+        }
+        Err(RoutingError::NoCommonTree { from, to })
+    }
+
+    /// Forwards hop by hop, returning the tree used, its level, and the path.
+    fn forward(&self, from: NodeId, to: NodeId) -> Result<(NodeId, usize, Path), RoutingError> {
+        let (root, header_label) = self.find_tree(from, to)?;
+        let cluster = self
+            .flat
+            .cluster_of_center(root)
+            .ok_or_else(|| RoutingError::TreeRouting(format!("no cluster for centre {root}")))?;
+        let mut path = Path::trivial(from);
+        let mut current = from;
+        for _ in 0..=self.flat.n() {
+            let table = cluster
+                .table_of(current)
+                .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
+            match next_hop_view(table, header_label)? {
+                None => return Ok((root, cluster.level, path)),
+                Some(next) => {
+                    path.push(next);
+                    current = next;
+                }
+            }
+        }
+        Err(RoutingError::TreeRouting(format!(
+            "forwarding from {from} to {to} through tree {root} did not terminate"
+        )))
+    }
+
+    fn outcome(&self, root: NodeId, level: usize, path: Path, exact: Dist) -> RouteOutcome {
+        let length = path.length_in(self.graph).unwrap_or(0);
+        let stretch = if exact == 0 {
+            1.0
+        } else {
+            length as f64 / exact as f64
+        };
+        RouteOutcome {
+            tree_root: root,
+            level,
+            path,
+            length,
+            exact,
+            stretch,
+        }
+    }
+
+    /// Routes one packet, measuring stretch against the exact distance
+    /// (computed with Dijkstra, like the in-memory scheme's `route`).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`RoutingScheme::route`](en_routing::scheme::RoutingScheme::route).
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<RouteOutcome, RoutingError> {
+        let (root, level, path) = self.forward(from, to)?;
+        let exact = dijkstra(self.graph, from).dist[to];
+        Ok(self.outcome(root, level, path, exact))
+    }
+
+    /// Routes one packet against a caller-supplied exact distance (the
+    /// serving hot path: no Dijkstra anywhere).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors
+    /// [`RoutingScheme::route_with_exact`](en_routing::scheme::RoutingScheme::route_with_exact).
+    pub fn route_with_exact(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        exact: Dist,
+    ) -> Result<RouteOutcome, RoutingError> {
+        let (root, level, path) = self.forward(from, to)?;
+        Ok(self.outcome(root, level, path, exact))
+    }
+
+    fn route_chunk(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        exacts: Option<&[Dist]>,
+    ) -> Vec<Result<RouteOutcome, RoutingError>> {
+        // Per-worker scratch: one pre-sized output vector, filled in order.
+        let mut out = Vec::with_capacity(pairs.len());
+        for (i, &(from, to)) in pairs.iter().enumerate() {
+            let exact = exacts.map_or(0, |e| e[i]);
+            out.push(self.route_with_exact(from, to, exact));
+        }
+        out
+    }
+
+    /// Routes a batch of pairs, sharded over `threads` scoped worker
+    /// threads, and returns per-pair outcomes in input order plus aggregate
+    /// statistics.
+    ///
+    /// `exacts`, when given, must align with `pairs` and supplies the
+    /// stretch denominators (the batch then never runs Dijkstra); without
+    /// it, outcomes carry `exact = 0` placeholders and the stats' stretch
+    /// fields are not meaningful.
+    ///
+    /// Sharding is deterministic and outcomes are reassembled in input
+    /// order, so the result — including the aggregate statistics — is
+    /// identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exacts` is shorter than `pairs`, or if a worker thread
+    /// panics.
+    pub fn route_batch(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        exacts: Option<&[Dist]>,
+        threads: usize,
+    ) -> BatchOutcome {
+        if let Some(e) = exacts {
+            assert!(e.len() >= pairs.len(), "exacts must align with pairs");
+        }
+        let threads = threads.clamp(1, pairs.len().max(1));
+        // `chunks(chunk)` yields at most `threads` shards and never slices
+        // past the end, whatever the len/threads remainder.
+        let chunk = pairs.len().div_ceil(threads).max(1);
+        let outcomes = if threads == 1 {
+            self.route_chunk(pairs, exacts)
+        } else {
+            let shards: Vec<Vec<Result<RouteOutcome, RoutingError>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = pairs
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(t, pair_slice)| {
+                            let exact_slice =
+                                exacts.map(|e| &e[t * chunk..t * chunk + pair_slice.len()]);
+                            scope.spawn(move || self.route_chunk(pair_slice, exact_slice))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("query worker panicked"))
+                        .collect()
+                });
+            let mut outcomes = Vec::with_capacity(pairs.len());
+            for shard in shards {
+                outcomes.extend(shard);
+            }
+            outcomes
+        };
+        let stats = batch_stats(&outcomes);
+        BatchOutcome { outcomes, stats }
+    }
+}
+
+/// Folds per-pair outcomes into [`BatchStats`], in input order (so the
+/// floating-point sums are independent of the thread count used).
+fn batch_stats(outcomes: &[Result<RouteOutcome, RoutingError>]) -> BatchStats {
+    let mut stats = BatchStats {
+        pairs: outcomes.len(),
+        delivered: 0,
+        failed: 0,
+        total_hops: 0,
+        total_length: 0,
+        max_stretch: 0.0,
+        mean_stretch: 0.0,
+    };
+    let mut stretch_sum = 0.0f64;
+    for out in outcomes {
+        match out {
+            Ok(o) => {
+                stats.delivered += 1;
+                stats.total_hops += o.path.hops() as u64;
+                stats.total_length += o.length;
+                stretch_sum += o.stretch;
+                if o.stretch > stats.max_stretch {
+                    stats.max_stretch = o.stretch;
+                }
+            }
+            Err(_) => stats.failed += 1,
+        }
+    }
+    if stats.delivered > 0 {
+        stats.mean_stretch = stretch_sum / stats.delivered as f64;
+    }
+    stats
+}

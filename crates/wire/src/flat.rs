@@ -1,0 +1,803 @@
+//! The zero-copy snapshot reader: validate once, then borrow.
+//!
+//! [`FlatScheme::from_bytes`] walks the whole buffer a single time — header,
+//! section bounds, CSR monotonicity, every table and label record — and
+//! rejects anything inconsistent. After that, every accessor is plain
+//! arithmetic over the borrowed bytes: the views handed out
+//! ([`FlatTreeTable`], [`FlatTreeLabel`], [`FlatLocalLabel`],
+//! [`FlatU64s`]) are `Copy` slice-plus-offset handles that never allocate.
+
+use en_graph::NodeId;
+use en_tree_routing::{LabelView, LocalLabelView, TableView};
+
+use crate::error::WireError;
+use crate::format::{
+    Section, Words, CLUSTER_RECORD_WORDS, HEADER_WORDS, H_K, H_MAX_LABEL_WORDS, H_MAX_TABLE_WORDS,
+    H_N, H_NUM_CLUSTERS, H_SECTIONS, H_TOTAL_LABEL_WORDS, H_TOTAL_MEMBERS, H_TOTAL_TABLE_WORDS,
+    H_TOTAL_WORDS, LABEL_ENTRY_WORDS, MAGIC, NULL, NUM_SECTIONS, OWN_ENTRY_WORDS,
+    TABLE_FIXED_WORDS, VERSION,
+};
+
+/// A complete routing scheme served directly from a snapshot buffer.
+///
+/// Construction ([`Self::from_bytes`]) validates the buffer once; every
+/// subsequent access borrows from it without allocating.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatScheme<'a> {
+    words: Words<'a>,
+    n: usize,
+    k: usize,
+    num_clusters: usize,
+    /// Absolute word offset of each section, plus the buffer end.
+    secs: [usize; NUM_SECTIONS + 1],
+}
+
+/// A borrowed run of words viewed as a `u64` column slice.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatU64s<'a> {
+    words: Words<'a>,
+    start: usize,
+    len: usize,
+}
+
+impl FlatU64s<'_> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.words.get(self.start + i)
+    }
+
+    /// Binary search for `x` over an ascending column.
+    pub fn binary_search(&self, x: u64) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.get(mid).cmp(&x) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Iterates the elements.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+/// One cluster of the snapshot: descriptor plus the member/table columns.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatCluster<'a> {
+    scheme: FlatScheme<'a>,
+    /// Dense cluster id (position in the clusters section).
+    pub id: usize,
+    /// The cluster centre (also the root of its tree scheme).
+    pub center: NodeId,
+    /// The hierarchy level of the centre.
+    pub level: usize,
+    members_start: usize,
+    members_len: usize,
+}
+
+impl<'a> FlatCluster<'a> {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members_len
+    }
+
+    /// Whether the cluster has no members (never true in a valid snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.members_len == 0
+    }
+
+    /// The ascending member vertex ids.
+    pub fn members(&self) -> FlatU64s<'a> {
+        FlatU64s {
+            words: self.scheme.words,
+            start: self.scheme.secs[Section::MemberIds as usize] + self.members_start,
+            len: self.members_len,
+        }
+    }
+
+    /// The routing table of member `v`, if `v` is in this cluster.
+    pub fn table_of(&self, v: NodeId) -> Option<FlatTreeTable<'a>> {
+        let pos = self.members().binary_search(v as u64).ok()?;
+        let rel = self
+            .scheme
+            .words
+            .get(self.scheme.secs[Section::MemberTableOffs as usize] + self.members_start + pos);
+        Some(FlatTreeTable {
+            words: self.scheme.words,
+            off: self.scheme.secs[Section::TablePool as usize] + rel as usize,
+            vertex: v,
+        })
+    }
+}
+
+/// A borrowed local TZ label (a DFS time plus `(x, x')` exception pairs).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatLocalLabel<'a> {
+    words: Words<'a>,
+    a: u64,
+    exc_start: usize,
+    exc_count: usize,
+}
+
+impl LocalLabelView for FlatLocalLabel<'_> {
+    #[inline]
+    fn a(&self) -> u64 {
+        self.a
+    }
+
+    #[inline]
+    fn exception_at(&self, x: NodeId) -> Option<NodeId> {
+        for i in 0..self.exc_count {
+            if self.words.get(self.exc_start + 2 * i) == x as u64 {
+                return Some(self.words.get(self.exc_start + 2 * i + 1) as NodeId);
+            }
+        }
+        None
+    }
+}
+
+/// A borrowed tree-routing table record.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatTreeTable<'a> {
+    words: Words<'a>,
+    /// Absolute word offset of the record.
+    off: usize,
+    vertex: NodeId,
+}
+
+fn opt(w: u64) -> Option<NodeId> {
+    (w != NULL).then_some(w as NodeId)
+}
+
+impl<'a> TableView for FlatTreeTable<'a> {
+    type Local = FlatLocalLabel<'a>;
+
+    #[inline]
+    fn vertex(&self) -> NodeId {
+        self.vertex
+    }
+
+    #[inline]
+    fn subtree_root(&self) -> NodeId {
+        self.words.get(self.off) as NodeId
+    }
+
+    #[inline]
+    fn parent(&self) -> Option<NodeId> {
+        opt(self.words.get(self.off + 1))
+    }
+
+    #[inline]
+    fn heavy_child(&self) -> Option<NodeId> {
+        opt(self.words.get(self.off + 2))
+    }
+
+    #[inline]
+    fn a_local(&self) -> u64 {
+        self.words.get(self.off + 3)
+    }
+
+    #[inline]
+    fn local_interval_contains(&self, a: u64) -> bool {
+        self.words.get(self.off + 3) <= a && a < self.words.get(self.off + 4)
+    }
+
+    #[inline]
+    fn global_interval_contains(&self, a_global: u64) -> bool {
+        self.words.get(self.off + 5) <= a_global && a_global < self.words.get(self.off + 6)
+    }
+
+    #[inline]
+    fn global_heavy(&self) -> Option<(NodeId, FlatLocalLabel<'a>)> {
+        let child = opt(self.words.get(self.off + 7))?;
+        Some((
+            child,
+            FlatLocalLabel {
+                words: self.words,
+                a: self.words.get(self.off + 9),
+                exc_start: self.off + 11,
+                exc_count: self.words.get(self.off + 10) as usize,
+            },
+        ))
+    }
+}
+
+/// A borrowed tree-label record — the packet-header view forwarding consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatTreeLabel<'a> {
+    words: Words<'a>,
+    /// Absolute word offset of the record.
+    off: usize,
+}
+
+impl<'a> FlatTreeLabel<'a> {
+    /// The labelled vertex.
+    pub fn vertex(&self) -> NodeId {
+        self.words.get(self.off) as NodeId
+    }
+
+    fn local_exc_count(&self) -> usize {
+        self.words.get(self.off + 4) as usize
+    }
+
+    /// Word offset of the global-exception count.
+    fn gexc_base(&self) -> usize {
+        self.off + 5 + 2 * self.local_exc_count()
+    }
+}
+
+impl<'a> LabelView for FlatTreeLabel<'a> {
+    type Local = FlatLocalLabel<'a>;
+
+    #[inline]
+    fn subtree_root(&self) -> NodeId {
+        self.words.get(self.off + 1) as NodeId
+    }
+
+    #[inline]
+    fn a_global(&self) -> u64 {
+        self.words.get(self.off + 2)
+    }
+
+    #[inline]
+    fn local(&self) -> FlatLocalLabel<'a> {
+        FlatLocalLabel {
+            words: self.words,
+            a: self.words.get(self.off + 3),
+            exc_start: self.off + 5,
+            exc_count: self.local_exc_count(),
+        }
+    }
+
+    fn global_exception_at(&self, w: NodeId) -> Option<(NodeId, FlatLocalLabel<'a>)> {
+        let base = self.gexc_base();
+        let count = self.words.get(base) as usize;
+        let mut at = base + 1;
+        for _ in 0..count {
+            let parent_subtree = self.words.get(at) as NodeId;
+            let exc_count = self.words.get(at + 4) as usize;
+            if parent_subtree == w {
+                return Some((
+                    self.words.get(at + 1) as NodeId,
+                    FlatLocalLabel {
+                        words: self.words,
+                        a: self.words.get(at + 3),
+                        exc_start: at + 5,
+                        exc_count,
+                    },
+                ));
+            }
+            at += 5 + 2 * exc_count;
+        }
+        None
+    }
+}
+
+/// One node-label entry decoded from the snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatLabelEntry<'a> {
+    /// The level `i`.
+    pub level: usize,
+    /// The (approximate) `i`-pivot.
+    pub pivot: NodeId,
+    /// The (approximate) distance to the pivot.
+    pub dist: u64,
+    /// The vertex's tree label in the pivot's tree, when it belongs to it.
+    pub tree_label: Option<FlatTreeLabel<'a>>,
+}
+
+impl<'a> FlatScheme<'a> {
+    /// Validates `bytes` as a snapshot and wraps it for zero-copy access.
+    ///
+    /// The validation is exhaustive — header magic/version/size, section
+    /// bounds, CSR monotonicity, every record reachable from a column — so
+    /// the accessors never have to re-check and simply borrow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first inconsistency found;
+    /// truncated buffers, foreign magic, and corrupted offsets are all
+    /// rejected rather than risking a panic at query time.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self, WireError> {
+        if bytes.len() % 8 != 0 {
+            return Err(WireError::Misaligned { len: bytes.len() });
+        }
+        if bytes.len() < HEADER_WORDS * 8 {
+            return Err(WireError::Truncated {
+                expected: HEADER_WORDS * 8,
+                actual: bytes.len(),
+            });
+        }
+        let words = Words::new(bytes);
+        if words.get(0) != MAGIC {
+            return Err(WireError::BadMagic {
+                found: words.get(0),
+            });
+        }
+        if words.get(1) != VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: words.get(1),
+            });
+        }
+        let total_words = words.get(H_TOTAL_WORDS) as usize;
+        if total_words != words.len() {
+            return Err(WireError::Truncated {
+                expected: total_words * 8,
+                actual: bytes.len(),
+            });
+        }
+        let n = words.get(H_N) as usize;
+        let k = words.get(H_K) as usize;
+        let num_clusters = words.get(H_NUM_CLUSTERS) as usize;
+        let total_members = words.get(H_TOTAL_MEMBERS) as usize;
+        if k == 0 {
+            return Err(WireError::Corrupt { what: "k is zero" });
+        }
+
+        // Section table: contiguous, in order, inside the buffer.
+        let mut secs = [0usize; NUM_SECTIONS + 1];
+        for (i, sec) in secs.iter_mut().take(NUM_SECTIONS).enumerate() {
+            *sec = words.get(H_SECTIONS + i) as usize;
+        }
+        secs[NUM_SECTIONS] = total_words;
+        if secs[0] != HEADER_WORDS {
+            return Err(WireError::Corrupt {
+                what: "first section does not follow the header",
+            });
+        }
+        for i in 0..NUM_SECTIONS {
+            if secs[i] > secs[i + 1] || secs[i + 1] > total_words {
+                return Err(WireError::Corrupt {
+                    what: "section offsets out of order or out of bounds",
+                });
+            }
+        }
+        let sec_len = |s: Section| secs[s as usize + 1] - secs[s as usize];
+
+        // Fixed-size sections.
+        let fixed: [(Section, usize, &'static str); 7] = [
+            (Section::CenterIndex, n, "centre index length"),
+            (
+                Section::Clusters,
+                num_clusters * CLUSTER_RECORD_WORDS,
+                "cluster table length",
+            ),
+            (Section::MemberIds, total_members, "member column length"),
+            (
+                Section::MemberTableOffs,
+                total_members,
+                "table-offset column length",
+            ),
+            (Section::VtreesOff, n + 1, "vertex-trees CSR length"),
+            (Section::OwnOff, n + 1, "own-label CSR length"),
+            (Section::LabelEntriesOff, n + 1, "label-entry CSR length"),
+        ];
+        for (s, expect, what) in fixed {
+            if sec_len(s) != expect {
+                return Err(WireError::Corrupt { what });
+            }
+        }
+
+        let flat = FlatScheme {
+            words,
+            n,
+            k,
+            num_clusters,
+            secs,
+        };
+        flat.validate_clusters(total_members)?;
+        flat.validate_csrs()?;
+        Ok(flat)
+    }
+
+    fn validate_clusters(&self, total_members: usize) -> Result<(), WireError> {
+        let words = self.words;
+        // Centre index entries point at clusters whose centre points back.
+        let ci = self.secs[Section::CenterIndex as usize];
+        for v in 0..self.n {
+            let c = words.get(ci + v);
+            if c == NULL {
+                continue;
+            }
+            if c as usize >= self.num_clusters {
+                return Err(WireError::Corrupt {
+                    what: "centre index points past the cluster table",
+                });
+            }
+            if self.cluster(c as usize).center != v {
+                return Err(WireError::Corrupt {
+                    what: "centre index disagrees with the cluster table",
+                });
+            }
+        }
+        let table_pool_len =
+            self.secs[Section::TablePool as usize + 1] - self.secs[Section::TablePool as usize];
+        let mut covered = 0usize;
+        for id in 0..self.num_clusters {
+            let c = self.cluster(id);
+            if c.center >= self.n
+                || words.get(ci + c.center) != id as u64
+                || c.members_start != covered
+                || c.members_len == 0
+            {
+                return Err(WireError::Corrupt {
+                    what: "cluster descriptor inconsistent",
+                });
+            }
+            covered += c.members_len;
+            if covered > total_members {
+                return Err(WireError::Corrupt {
+                    what: "cluster members overrun the member column",
+                });
+            }
+            let members = c.members();
+            let mut prev: Option<u64> = None;
+            let mut has_center = false;
+            for i in 0..members.len() {
+                let v = members.get(i);
+                if v >= self.n as u64 || prev.is_some_and(|p| p >= v) {
+                    return Err(WireError::Corrupt {
+                        what: "cluster members not ascending vertex ids",
+                    });
+                }
+                has_center |= v as usize == c.center;
+                prev = Some(v);
+                let rel = words
+                    .get(self.secs[Section::MemberTableOffs as usize] + c.members_start + i)
+                    as usize;
+                validate_table_record(
+                    words,
+                    self.secs[Section::TablePool as usize],
+                    table_pool_len,
+                    rel,
+                )?;
+            }
+            if !has_center {
+                return Err(WireError::Corrupt {
+                    what: "cluster centre is not a member",
+                });
+            }
+        }
+        if covered != total_members {
+            return Err(WireError::Corrupt {
+                what: "member column not fully covered by clusters",
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_csrs(&self) -> Result<(), WireError> {
+        let words = self.words;
+        let check_csr = |s: Section, unit: usize, vals: Section| -> Result<(), WireError> {
+            let base = self.secs[s as usize];
+            let vals_len = (self.secs[vals as usize + 1] - self.secs[vals as usize]) / unit;
+            let mut prev = 0u64;
+            for v in 0..=self.n {
+                let o = words.get(base + v);
+                if (v == 0 && o != 0) || o < prev || o as usize > vals_len {
+                    return Err(WireError::Corrupt {
+                        what: "CSR offsets not monotone within bounds",
+                    });
+                }
+                prev = o;
+            }
+            if prev as usize != vals_len {
+                return Err(WireError::Corrupt {
+                    what: "CSR does not cover its value column",
+                });
+            }
+            Ok(())
+        };
+        check_csr(Section::VtreesOff, 1, Section::VtreesVals)?;
+        check_csr(Section::OwnOff, OWN_ENTRY_WORDS, Section::OwnEntries)?;
+        check_csr(
+            Section::LabelEntriesOff,
+            LABEL_ENTRY_WORDS,
+            Section::LabelEntries,
+        )?;
+
+        let label_pool_base = self.secs[Section::LabelPool as usize];
+        let label_pool_len = self.secs[Section::LabelPool as usize + 1] - label_pool_base;
+        for v in 0..self.n {
+            // Tree memberships: ascending centre ids.
+            let trees = self.trees_of(v);
+            for i in 0..trees.len() {
+                let c = trees.get(i);
+                if c >= self.n as u64 || (i > 0 && trees.get(i - 1) >= c) {
+                    return Err(WireError::Corrupt {
+                        what: "vertex tree list not ascending centre ids",
+                    });
+                }
+            }
+            // Own-cluster entries: ascending member ids, valid label records.
+            let (start, count) = self.own_range(v);
+            let base = self.secs[Section::OwnEntries as usize];
+            for e in 0..count {
+                let m = words.get(base + (start + e) * OWN_ENTRY_WORDS);
+                if m >= self.n as u64
+                    || (e > 0 && words.get(base + (start + e - 1) * OWN_ENTRY_WORDS) >= m)
+                {
+                    return Err(WireError::Corrupt {
+                        what: "own-cluster entries not ascending member ids",
+                    });
+                }
+                let off = words.get(base + (start + e) * OWN_ENTRY_WORDS + 1) as usize;
+                validate_label_record(words, label_pool_base, label_pool_len, off)?;
+            }
+            // Node-label entries: levels within range, valid label records.
+            let (start, count) = self.label_entry_range(v);
+            let base = self.secs[Section::LabelEntries as usize];
+            for e in 0..count {
+                let at = base + (start + e) * LABEL_ENTRY_WORDS;
+                if words.get(at) >= self.k as u64 || words.get(at + 1) >= self.n as u64 {
+                    return Err(WireError::Corrupt {
+                        what: "label entry level or pivot out of range",
+                    });
+                }
+                let off = words.get(at + 3);
+                if off != NULL {
+                    validate_label_record(words, label_pool_base, label_pool_len, off as usize)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- Header accessors ----------------------------------------------------
+
+    /// Number of host vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The trade-off parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of cluster trees.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Total snapshot size in bytes.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Sum of all cluster sizes.
+    pub fn total_members(&self) -> usize {
+        self.words.get(H_TOTAL_MEMBERS) as usize
+    }
+
+    /// Largest routing table in `O(log n)` words (the Table-1 accounting the
+    /// in-memory scheme measured at serialization time).
+    pub fn max_table_words(&self) -> usize {
+        self.words.get(H_MAX_TABLE_WORDS) as usize
+    }
+
+    /// Summed routing-table words over all vertices.
+    pub fn total_table_words(&self) -> usize {
+        self.words.get(H_TOTAL_TABLE_WORDS) as usize
+    }
+
+    /// Largest label in `O(log n)` words.
+    pub fn max_label_words(&self) -> usize {
+        self.words.get(H_MAX_LABEL_WORDS) as usize
+    }
+
+    /// Summed label words over all vertices.
+    pub fn total_label_words(&self) -> usize {
+        self.words.get(H_TOTAL_LABEL_WORDS) as usize
+    }
+
+    // --- Column accessors ----------------------------------------------------
+
+    /// The ascending centres of the cluster trees containing `v` (empty for
+    /// a vertex id outside the snapshot).
+    pub fn trees_of(&self, v: NodeId) -> FlatU64s<'a> {
+        if v >= self.n {
+            return FlatU64s {
+                words: self.words,
+                start: self.secs[Section::VtreesVals as usize],
+                len: 0,
+            };
+        }
+        let base = self.secs[Section::VtreesOff as usize];
+        let start = self.words.get(base + v) as usize;
+        let end = self.words.get(base + v + 1) as usize;
+        FlatU64s {
+            words: self.words,
+            start: self.secs[Section::VtreesVals as usize] + start,
+            len: end - start,
+        }
+    }
+
+    /// `(start entry, entry count)` of `v`'s slice of an offset CSR; empty
+    /// for a vertex id outside the snapshot.
+    fn csr_range(&self, offsets: Section, v: NodeId) -> (usize, usize) {
+        if v >= self.n {
+            return (0, 0);
+        }
+        let base = self.secs[offsets as usize];
+        let start = self.words.get(base + v) as usize;
+        let end = self.words.get(base + v + 1) as usize;
+        (start, end - start)
+    }
+
+    fn own_range(&self, v: NodeId) -> (usize, usize) {
+        self.csr_range(Section::OwnOff, v)
+    }
+
+    /// The `4k−5` refinement lookup: if `center` stores an own-cluster label
+    /// for `member`, return it (`None` for out-of-range ids).
+    pub fn own_label(&self, center: NodeId, member: NodeId) -> Option<FlatTreeLabel<'a>> {
+        let (start, count) = self.own_range(center);
+        let base = self.secs[Section::OwnEntries as usize];
+        let (mut lo, mut hi) = (0usize, count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let m = self.words.get(base + (start + mid) * OWN_ENTRY_WORDS);
+            match m.cmp(&(member as u64)) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let off = self.words.get(base + (start + mid) * OWN_ENTRY_WORDS + 1) as usize;
+                    return Some(FlatTreeLabel {
+                        words: self.words,
+                        off: self.secs[Section::LabelPool as usize] + off,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of own-cluster labels stored at `center` (0 unless `center` is
+    /// a level-0 centre).
+    pub fn own_label_count(&self, center: NodeId) -> usize {
+        self.own_range(center).1
+    }
+
+    fn label_entry_range(&self, v: NodeId) -> (usize, usize) {
+        self.csr_range(Section::LabelEntriesOff, v)
+    }
+
+    /// The node-label entries of `v`, in ascending level order (empty for a
+    /// vertex id outside the snapshot).
+    pub fn label_entries_of(&self, v: NodeId) -> impl Iterator<Item = FlatLabelEntry<'a>> + '_ {
+        let (start, count) = self.label_entry_range(v);
+        let base = self.secs[Section::LabelEntries as usize];
+        let words = self.words;
+        let label_pool = self.secs[Section::LabelPool as usize];
+        (0..count).map(move |e| {
+            let at = base + (start + e) * LABEL_ENTRY_WORDS;
+            let off = words.get(at + 3);
+            FlatLabelEntry {
+                level: words.get(at) as usize,
+                pivot: words.get(at + 1) as NodeId,
+                dist: words.get(at + 2),
+                tree_label: (off != NULL).then(|| FlatTreeLabel {
+                    words,
+                    off: label_pool + off as usize,
+                }),
+            }
+        })
+    }
+
+    /// The cluster with dense id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= num_clusters()`.
+    pub fn cluster(&self, id: usize) -> FlatCluster<'a> {
+        assert!(id < self.num_clusters, "cluster id out of range");
+        let at = self.secs[Section::Clusters as usize] + id * CLUSTER_RECORD_WORDS;
+        FlatCluster {
+            scheme: *self,
+            id,
+            center: self.words.get(at) as NodeId,
+            level: self.words.get(at + 1) as usize,
+            members_start: self.words.get(at + 2) as usize,
+            members_len: self.words.get(at + 3) as usize,
+        }
+    }
+
+    /// The cluster rooted at `center`, if any.
+    pub fn cluster_of_center(&self, center: NodeId) -> Option<FlatCluster<'a>> {
+        if center >= self.n {
+            return None;
+        }
+        let id = self
+            .words
+            .get(self.secs[Section::CenterIndex as usize] + center);
+        (id != NULL).then(|| self.cluster(id as usize))
+    }
+
+    /// Iterates all clusters in dense id order.
+    pub fn clusters(&self) -> impl Iterator<Item = FlatCluster<'a>> + '_ {
+        (0..self.num_clusters).map(move |id| self.cluster(id))
+    }
+}
+
+/// Walks one table record, checking that it fits inside the table pool.
+fn validate_table_record(
+    words: Words<'_>,
+    pool_base: usize,
+    pool_len: usize,
+    rel: usize,
+) -> Result<(), WireError> {
+    let err = WireError::Corrupt {
+        what: "table record overruns the table pool",
+    };
+    let end = rel.checked_add(TABLE_FIXED_WORDS).ok_or(err)?;
+    if end > pool_len {
+        return Err(err);
+    }
+    if words.get(pool_base + rel + 7) != NULL {
+        // Global-heavy tail: portal, portal-label DFS time, exception count…
+        let count_end = end.checked_add(3).ok_or(err)?;
+        if count_end > pool_len {
+            return Err(err);
+        }
+        // …then that many (x, x') pairs.
+        let exc = words.get(pool_base + end + 2) as usize;
+        if count_end
+            .checked_add(exc.checked_mul(2).ok_or(err)?)
+            .ok_or(err)?
+            > pool_len
+        {
+            return Err(err);
+        }
+    }
+    Ok(())
+}
+
+/// Walks one label record, checking that it fits inside the label pool.
+fn validate_label_record(
+    words: Words<'_>,
+    pool_base: usize,
+    pool_len: usize,
+    rel: usize,
+) -> Result<(), WireError> {
+    let err = WireError::Corrupt {
+        what: "label record overruns the label pool",
+    };
+    let check = |at: usize| if at > pool_len { Err(err) } else { Ok(at) };
+    let mut at = check(rel.checked_add(5).ok_or(err)?)?;
+    let local_exc = words.get(pool_base + rel + 4) as usize;
+    at = check(
+        at.checked_add(local_exc.checked_mul(2).ok_or(err)?)
+            .ok_or(err)?,
+    )?;
+    check(at + 1)?;
+    let gexc = words.get(pool_base + at) as usize;
+    at += 1;
+    for _ in 0..gexc {
+        check(at.checked_add(5).ok_or(err)?)?;
+        let exc = words.get(pool_base + at + 4) as usize;
+        at = check(
+            at.checked_add(5)
+                .and_then(|x| x.checked_add(exc.checked_mul(2)?))
+                .ok_or(err)?,
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! The on-the-wire layout shared by the serializer and the zero-copy reader.
+//!
+//! A snapshot is a single relocatable little-endian byte buffer made of
+//! 8-byte words; every column starts at a word boundary, so the whole buffer
+//! is 8-byte aligned internally and can be memory-mapped or embedded at any
+//! aligned offset. Layout, in word offsets:
+//!
+//! ```text
+//! header (HEADER_WORDS words)
+//!   0  magic "ENWIRE01"
+//!   1  format version (1)
+//!   2  n                      (host vertices)
+//!   3  k                      (levels)
+//!   4  number of clusters
+//!   5  total buffer size in words (truncation check)
+//!   6  total cluster members
+//!   7  max routing-table size in words   (Table-1 accounting, from the
+//!   8  total routing-table words          in-memory scheme's own word
+//!   9  max label size in words            counters)
+//!   10 total label words
+//!   11..=22  the 12 section offsets below, in words from buffer start
+//!   23 reserved (0)
+//! sections, contiguous and in this order
+//!   CENTER_INDEX        n words: vertex -> cluster id, NULL if not a centre
+//!   CLUSTERS            4 words per cluster: centre, level, members start,
+//!                       member count (members start indexes MEMBER_IDS)
+//!   MEMBER_IDS          member vertex ids, ascending within each cluster
+//!   MEMBER_TABLE_OFFS   per member: word offset of its table record,
+//!                       relative to TABLE_POOL
+//!   TABLE_POOL          variable-length table records (layout below)
+//!   VTREES_OFF          n+1 CSR offsets into VTREES_VALS
+//!   VTREES_VALS         per vertex: ascending centre ids of its trees
+//!   OWN_OFF             n+1 CSR offsets into OWN_ENTRIES (in entries)
+//!   OWN_ENTRIES         2 words per entry: member vertex (ascending per
+//!                       centre), label record offset into LABEL_POOL
+//!   LABEL_ENTRIES_OFF   n+1 CSR offsets into LABEL_ENTRIES (in entries)
+//!   LABEL_ENTRIES       4 words per entry: level, pivot, distance,
+//!                       label record offset into LABEL_POOL or NULL
+//!   LABEL_POOL          variable-length tree-label records (layout below)
+//! ```
+//!
+//! **Table record** (vertex and tree root are implicit — the member column
+//! and the cluster centre): subtree root, parent or NULL, heavy child or
+//! NULL, `a_local`, `b_local`, `a_global`, `b_global`, global-heavy child
+//! subtree or NULL; when present, the global-heavy entry continues with
+//! portal, portal-label DFS time, exception count, and that many `(x, x')`
+//! word pairs.
+//!
+//! **Label record**: vertex, subtree root, `a_global`, local DFS time, local
+//! exception count, the `(x, x')` pairs, global exception count, then per
+//! global exception: parent subtree, child subtree, portal, portal-label DFS
+//! time, portal exception count, and its `(x, x')` pairs.
+//!
+//! Tree labels referenced from more than one place (a level-0 member's label
+//! appears in its own node label *and* in the centre's own-cluster table —
+//! the same `Arc` after the assemble-path pooling) are written to LABEL_POOL
+//! once and shared by offset.
+
+/// First header word: `"ENWIRE01"` as a little-endian `u64`.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"ENWIRE01");
+
+/// Current format version.
+pub const VERSION: u64 = 1;
+
+/// Sentinel standing for "absent" (`None` parents, missing global-heavy
+/// entries, label entries whose vertex is outside the pivot's tree).
+pub const NULL: u64 = u64::MAX;
+
+/// Number of header words before the first section.
+pub const HEADER_WORDS: usize = 24;
+
+/// Word index of `n` in the header.
+pub const H_N: usize = 2;
+/// Word index of `k`.
+pub const H_K: usize = 3;
+/// Word index of the cluster count.
+pub const H_NUM_CLUSTERS: usize = 4;
+/// Word index of the total buffer size in words.
+pub const H_TOTAL_WORDS: usize = 5;
+/// Word index of the total member count.
+pub const H_TOTAL_MEMBERS: usize = 6;
+/// Word index of the maximum routing-table size in words.
+pub const H_MAX_TABLE_WORDS: usize = 7;
+/// Word index of the summed routing-table sizes in words.
+pub const H_TOTAL_TABLE_WORDS: usize = 8;
+/// Word index of the maximum label size in words.
+pub const H_MAX_LABEL_WORDS: usize = 9;
+/// Word index of the summed label sizes in words.
+pub const H_TOTAL_LABEL_WORDS: usize = 10;
+/// Word index of the first section offset.
+pub const H_SECTIONS: usize = 11;
+
+/// Number of sections.
+pub const NUM_SECTIONS: usize = 12;
+
+/// Section ids, in buffer order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Section {
+    /// Vertex → cluster id (or [`NULL`]).
+    CenterIndex = 0,
+    /// Fixed 4-word cluster descriptors.
+    Clusters = 1,
+    /// Concatenated per-cluster member vertex ids.
+    MemberIds = 2,
+    /// Per-member table-record offsets (relative to [`Section::TablePool`]).
+    MemberTableOffs = 3,
+    /// Variable-length table records.
+    TablePool = 4,
+    /// CSR offsets of [`Section::VtreesVals`].
+    VtreesOff = 5,
+    /// Per-vertex ascending centre ids.
+    VtreesVals = 6,
+    /// CSR offsets of [`Section::OwnEntries`] (counted in entries).
+    OwnOff = 7,
+    /// Own-cluster label entries (2 words each).
+    OwnEntries = 8,
+    /// CSR offsets of [`Section::LabelEntries`] (counted in entries).
+    LabelEntriesOff = 9,
+    /// Node-label entries (4 words each).
+    LabelEntries = 10,
+    /// Variable-length tree-label records.
+    LabelPool = 11,
+}
+
+/// Words per [`Section::Clusters`] record.
+pub const CLUSTER_RECORD_WORDS: usize = 4;
+/// Words per [`Section::OwnEntries`] record.
+pub const OWN_ENTRY_WORDS: usize = 2;
+/// Words per [`Section::LabelEntries`] record.
+pub const LABEL_ENTRY_WORDS: usize = 4;
+/// Fixed words of a table record before the optional global-heavy tail.
+pub const TABLE_FIXED_WORDS: usize = 8;
+
+/// A borrowed little-endian word array over a byte buffer.
+///
+/// Every read decodes one `u64` with `from_le_bytes` — no allocation, no
+/// alignment requirement on the underlying bytes, and the compiler lowers it
+/// to a single unaligned load.
+#[derive(Debug, Clone, Copy)]
+pub struct Words<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Words<'a> {
+    /// Wraps a byte buffer. The length must be a multiple of 8 (checked by
+    /// the snapshot validator before any `Words` is handed out).
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        debug_assert_eq!(bytes.len() % 8, 0);
+        Words { bytes }
+    }
+
+    /// Number of whole words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the buffer holds no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds — the snapshot validator guarantees
+    /// in-bounds access for every offset it accepted.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        let b = &self.bytes[i * 8..i * 8 + 8];
+        u64::from_le_bytes(b.try_into().expect("8-byte slice"))
+    }
+}
+
+/// Appends one word to a byte buffer being serialized.
+#[inline]
+pub(crate) fn push_word(out: &mut Vec<u8>, w: u64) {
+    out.extend_from_slice(&w.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_roundtrip() {
+        let mut buf = Vec::new();
+        for w in [0u64, 1, MAGIC, NULL, 0x0123_4567_89AB_CDEF] {
+            push_word(&mut buf, w);
+        }
+        let words = Words::new(&buf);
+        assert_eq!(words.len(), 5);
+        assert!(!words.is_empty());
+        assert_eq!(words.get(2), MAGIC);
+        assert_eq!(words.get(3), NULL);
+        assert_eq!(words.get(4), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn magic_is_ascii_tag() {
+        assert_eq!(&MAGIC.to_le_bytes(), b"ENWIRE01");
+    }
+}

@@ -1,0 +1,61 @@
+//! Serving subsystem: flat zero-copy routing-scheme snapshots and a
+//! multi-threaded batched query engine.
+//!
+//! The paper's whole point is that *after* preprocessing, routing decisions
+//! are made from compact local tables and `o(n)`-size labels (Table 1,
+//! Theorem 7, the `4k−5` refinement of \[TZ01\]). This crate gives that
+//! serving side a production shape:
+//!
+//! * [`snapshot::serialize`] flattens a complete
+//!   [`RoutingScheme`](en_routing::scheme::RoutingScheme) — per-vertex
+//!   tables, node labels, pivots, and the `4k−5` own-cluster labels — into
+//!   one relocatable little-endian buffer of CSR-style columns with pooled
+//!   variable-length records (shared tree labels are written once), plus a
+//!   versioned header carrying `n`, `k`, and the Table-1 word-size stats.
+//! * [`FlatScheme::from_bytes`] validates that buffer **once** and then
+//!   serves every access zero-copy: the views it hands out are `Copy`
+//!   slice-plus-offset handles, no per-label or per-table allocation.
+//! * [`QueryEngine`] answers `find_tree` / `route` batches directly off the
+//!   flat columns, sharding batches over `std::thread::scope` workers.
+//!   Forwarding runs through the same
+//!   [`next_hop_view`](en_tree_routing::next_hop_view) implementation the
+//!   in-memory scheme uses — outcomes are bit-identical by construction
+//!   (and property-proven in `tests/property_wire_roundtrip.rs`).
+//! * [`workload::generate_pairs`] produces uniform, Zipf-hotspot, and
+//!   near-vs-far query workloads for the benches.
+//!
+//! # Example
+//!
+//! ```
+//! use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+//! use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+//! use en_wire::{FlatScheme, QueryEngine};
+//!
+//! let g = erdos_renyi_connected(&GeneratorConfig::new(64, 5), 0.1);
+//! let built = build_routing_scheme(&g, &ConstructionConfig::new(2, 42)).unwrap();
+//!
+//! // Snapshot the scheme, then serve it zero-copy from the bytes.
+//! let bytes = en_wire::snapshot::serialize(&built.scheme);
+//! let flat = FlatScheme::from_bytes(&bytes).expect("snapshot validates");
+//! let engine = QueryEngine::new(flat, &g).expect("sizes match");
+//!
+//! let outcome = engine.route(3, 60).expect("delivery succeeds");
+//! let reference = built.scheme.route(&g, 3, 60).expect("delivery succeeds");
+//! assert_eq!(outcome.path, reference.path);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod flat;
+pub mod format;
+pub mod snapshot;
+pub mod workload;
+
+pub use engine::{BatchOutcome, BatchStats, QueryEngine};
+pub use error::WireError;
+pub use flat::{FlatCluster, FlatLabelEntry, FlatScheme, FlatTreeLabel, FlatTreeTable, FlatU64s};
+pub use snapshot::serialize;
+pub use workload::{generate_pairs, PairWorkload};

@@ -9,6 +9,22 @@ use en_graph::dijkstra::dijkstra;
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
 use en_routing::construction::{build_routing_scheme, ConstructionConfig};
 
+/// The serving subsystem is part of the build graph: snapshot → zero-copy
+/// load → flat query, through `en_wire`'s public surface.
+#[test]
+fn wire_snapshot_round_trips_through_the_build_graph() {
+    let g = erdos_renyi_connected(&GeneratorConfig::new(48, 11).with_weights(1, 20), 0.15);
+    let built = build_routing_scheme(&g, &ConstructionConfig::new(2, 11)).unwrap();
+    let bytes = en_wire::serialize(&built.scheme);
+    let flat = en_wire::FlatScheme::from_bytes(&bytes).expect("snapshot validates");
+    assert_eq!(flat.n(), 48);
+    let engine = en_wire::QueryEngine::new(flat, &g).expect("graph matches");
+    let out = engine.route(0, 47).expect("flat delivery succeeds");
+    let reference = built.scheme.route(&g, 0, 47).expect("delivery succeeds");
+    assert_eq!(out.path, reference.path);
+    assert_eq!(out.stretch.to_bits(), reference.stretch.to_bits());
+}
+
 #[test]
 fn routing_and_sketches_round_trip_on_small_er_graph() {
     let g = erdos_renyi_connected(&GeneratorConfig::new(48, 11).with_weights(1, 20), 0.15);
