@@ -2,10 +2,13 @@
 //!
 //! Two groups:
 //!
-//! * `construction`: wall time of `build_routing_scheme` at
-//!   `n ∈ {200, 500, 1000}`, `k ∈ {2, 3}` — the repo's headline perf
-//!   trajectory (the `perf_baseline` harness bin records the same numbers
-//!   into `BENCH_construction.json`).
+//! * `construction`: wall time of the end-to-end build at
+//!   `n ∈ {200, 500, 1000}`, `k ∈ {2, 3}`, along a threads axis — the
+//!   sequential oracle (`threads = 1`) vs the host's full parallelism — the
+//!   repo's headline perf trajectory (the `perf_baseline` harness bin
+//!   records the same numbers, plus the per-thread work accounting, into
+//!   `BENCH_construction.json`; the two axes produce bit-identical schemes,
+//!   so the gap is pure construction wall time).
 //! * `theorem1_kernel`: the batched frontier/CSR `multi_source_hop_bounded`
 //!   against the retained naive reference on the acceptance workload
 //!   (1000 vertices, |V'| = 32, B = 16); the batched kernel must stay ≥ 5×
@@ -27,8 +30,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
-use en_graph::CsrGraph;
-use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_graph::{BuildOptions, CsrGraph};
+use en_routing::construction::{build_routing_scheme_with, ConstructionConfig};
 use en_routing::exact::{
     exact_cluster_family, exact_pivots_csr, grow_exact_cluster_csr,
     grow_exact_clusters_batched_with_pivots, membership_thresholds,
@@ -39,19 +42,32 @@ use en_routing::{Hierarchy, SchemeParams};
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction");
     group.sample_size(10);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     for n in [200usize, 500, 1000] {
         let g = erdos_renyi_connected(
             &GeneratorConfig::new(n, 42).with_weights(1, 100),
             8.0 / n as f64,
         );
         for k in [2usize, 3] {
-            group.bench_with_input(
-                BenchmarkId::new("build_routing_scheme", format!("n{n}_k{k}")),
-                &(n, k),
-                |b, &(_, k)| {
-                    b.iter(|| build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap())
-                },
-            );
+            for (axis, threads) in [("t1", 1usize), ("tmax", host_cpus)] {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        "build_routing_scheme",
+                        format!("n{n}_k{k}_{axis}x{threads}"),
+                    ),
+                    &(k, threads),
+                    |b, &(k, threads)| {
+                        b.iter(|| {
+                            build_routing_scheme_with(
+                                &g,
+                                &ConstructionConfig::new(k, 42),
+                                &BuildOptions::new(threads),
+                            )
+                            .unwrap()
+                        })
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -33,6 +33,14 @@
 //! with the snapshot size and the host's CPU count (the multi-thread
 //! number only shows real scaling on a multi-core host).
 //!
+//! The end-to-end build is timed along a threads axis — the sequential
+//! oracle (`threads = 1`) and the host's full parallelism — and the
+//! multi-thread build's per-thread work accounting
+//! (`BuildStats::per_thread_sources` / `per_thread_members`) is written into
+//! each entry, with its totals asserted equal to the sequential build's (the
+//! outputs themselves are bit-identical by construction; the committed
+//! speedup number is only meaningful when `host_cpus > 1`).
+//!
 //! Usage: `cargo run --release -p en_bench --bin perf_baseline [--smoke]`
 //!
 //! `--smoke` restricts the sweep to the smallest size and skips the file
@@ -47,8 +55,10 @@ use en_wire::{generate_pairs, FlatScheme, PairWorkload, QueryEngine};
 use en_bench::warn_if_round_limit_hit;
 use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
-use en_graph::{CsrGraph, WeightedGraph};
-use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_graph::{BuildOptions, CsrGraph, WeightedGraph};
+use en_routing::construction::{
+    build_routing_scheme, build_routing_scheme_with, ConstructionConfig,
+};
 use en_routing::exact::{
     exact_cluster_family, exact_pivots_csr, grow_exact_cluster_csr,
     grow_exact_clusters_batched_with_pivots, membership_thresholds,
@@ -285,9 +295,39 @@ fn main() {
             let (kernel_ms, _) = best_of(runs, || {
                 multi_source_hop_bounded(&g, &sources, 16, 0.25, 10)
             });
+            // The construction threads axis: the sequential oracle vs the
+            // host's full parallelism. The outputs are bit-identical (the
+            // default `cargo test` pass proves it), so only wall time and
+            // the per-thread work accounting may differ — and the totals of
+            // the accounting must not.
             let (build_ms, built) = best_of(runs, || {
-                build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap()
+                build_routing_scheme_with(
+                    &g,
+                    &ConstructionConfig::new(k, 42),
+                    &BuildOptions::sequential(),
+                )
+                .unwrap()
             });
+            let (build_mt_ms, built_mt) = best_of(runs, || {
+                build_routing_scheme_with(
+                    &g,
+                    &ConstructionConfig::new(k, 42),
+                    &BuildOptions::new(host_cpus),
+                )
+                .unwrap()
+            });
+            assert_eq!(
+                built.build_stats.total_sources(),
+                built_mt.build_stats.total_sources(),
+                "parallel build swept different sources"
+            );
+            assert_eq!(
+                built.build_stats.total_members(),
+                built_mt.build_stats.total_members(),
+                "parallel build produced different members"
+            );
+            let per_thread_sources = built_mt.build_stats.per_thread_sources.clone();
+            let per_thread_members = built_mt.build_stats.per_thread_members.clone();
             warn_if_round_limit_hit(&built);
             let (route_ms, _) = best_of(runs, || {
                 let mut total = 0u64;
@@ -299,8 +339,14 @@ fn main() {
             });
             println!(
                 "n={n} k={k}: generate {gen_ms:.3} ms, theorem1 {kernel_ms:.3} ms, \
-                 build {build_ms:.3} ms ({} rounds charged), route+sketch {route_ms:.3} ms",
+                 build 1 thread {build_ms:.3} ms / {host_cpus} threads {build_mt_ms:.3} ms \
+                 ({:.2}x, {} rounds charged), route+sketch {route_ms:.3} ms",
+                build_ms / build_mt_ms,
                 built.total_rounds()
+            );
+            println!(
+                "          per-thread work (sources/members): {per_thread_sources:?} / \
+                 {per_thread_members:?}"
             );
             if !entries.is_empty() {
                 entries.push_str(",\n");
@@ -309,6 +355,9 @@ fn main() {
                 entries,
                 "    {{\"n\": {n}, \"k\": {k}, \"generate_ms\": {gen_ms:.3}, \
                  \"theorem1_kernel_ms\": {kernel_ms:.3}, \"build_ms\": {build_ms:.3}, \
+                 \"build_threads\": {host_cpus}, \"build_threads_ms\": {build_mt_ms:.3}, \
+                 \"per_thread_sources\": {per_thread_sources:?}, \
+                 \"per_thread_members\": {per_thread_members:?}, \
                  \"charged_rounds\": {}, \"route_and_sketch_ms\": {route_ms:.3}}}",
                 built.total_rounds()
             );
@@ -330,6 +379,7 @@ fn main() {
     let json = format!(
         "{{\n  \"schema\": \"en-bench/construction-v1\",\n  \"workload\": \
          \"erdos-renyi avg-degree 8, weights 1..=100, seed 42\",\n  \
+         \"host_cpus\": {host_cpus},\n  \
          \"theorem1_kernel\": {{\"n\": {kn}, \"sources\": 32, \"hop_bound\": 16, \
          \"batched_ms\": {kernel_batched_ms:.3}, \"naive_ms\": {kernel_naive_ms:.3}, \
          \"speedup\": {kernel_speedup:.2}}},\n  \

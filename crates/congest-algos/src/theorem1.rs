@@ -48,7 +48,10 @@
 use std::collections::HashMap;
 
 use en_graph::cell::{fits_i32, DistCell};
-use en_graph::{dist_add, CsrGraph, Dist, NodeId, WeightedGraph, INFINITY};
+use en_graph::{
+    dist_add, shard_spans, BuildOptions, BuildStats, CsrGraph, Dist, NodeId, WeightedGraph,
+    INFINITY,
+};
 
 use en_congest::RoundLedger;
 
@@ -134,6 +137,36 @@ pub fn multi_source_hop_bounded(
     eps: f64,
     hop_diameter: usize,
 ) -> MultiSourceHopBounded {
+    multi_source_hop_bounded_opts(
+        g,
+        sources,
+        hop_bound,
+        eps,
+        hop_diameter,
+        &BuildOptions::sequential(),
+    )
+    .0
+}
+
+/// [`multi_source_hop_bounded`] with a thread-count knob: the source
+/// sequence is sharded into 64-aligned contiguous spans, each swept by its
+/// own scoped worker into its own disjoint slice of the flat source-major
+/// output — same chunk composition, same writes, so the result is
+/// bit-identical to the sequential run for every thread count. Also returns
+/// per-thread work accounting (sources swept; finite distance cells
+/// produced).
+///
+/// # Panics
+///
+/// Panics if a source is out of range, `B == 0`, or `eps` is not in `(0, 1)`.
+pub fn multi_source_hop_bounded_opts(
+    g: &WeightedGraph,
+    sources: &[NodeId],
+    hop_bound: usize,
+    eps: f64,
+    hop_diameter: usize,
+    opts: &BuildOptions,
+) -> (MultiSourceHopBounded, BuildStats) {
     assert!(hop_bound >= 1, "hop bound B must be at least 1");
     assert!(eps > 0.0 && eps < 1.0, "epsilon must be in (0, 1)");
     for &s in sources {
@@ -146,11 +179,25 @@ pub fn multi_source_hop_bounded(
     // The i32 kernel is exact whenever every finite levelled distance fits
     // below its sentinel: a B-hop path has at most n - 1 edges of weight at
     // most max_weight.
-    if fits_i32(n, g.max_weight()) {
-        batched_chunks::<i32>(&csr, sources, hop_bound, &mut dist, &mut parent);
+    let stats = if fits_i32(n, g.max_weight()) {
+        sharded_chunks::<i32>(
+            &csr,
+            sources,
+            hop_bound,
+            opts.threads,
+            &mut dist,
+            &mut parent,
+        )
     } else {
-        batched_chunks::<u64>(&csr, sources, hop_bound, &mut dist, &mut parent);
-    }
+        sharded_chunks::<u64>(
+            &csr,
+            sources,
+            hop_bound,
+            opts.threads,
+            &mut dist,
+            &mut parent,
+        )
+    };
     let source_index = sources
         .iter()
         .copied()
@@ -174,7 +221,7 @@ pub fn multi_source_hop_bounded(
             eps
         ),
     );
-    MultiSourceHopBounded {
+    let res = MultiSourceHopBounded {
         sources: sources.to_vec(),
         dist,
         parent,
@@ -182,7 +229,65 @@ pub fn multi_source_hop_bounded(
         source_index,
         hop_bound,
         ledger,
+    };
+    (res, stats)
+}
+
+/// Shards `sources` into 64-aligned spans, splits the flat source-major
+/// output arrays into the matching disjoint slices, and runs
+/// [`batched_chunks`] for each span on its own scoped worker (in place on
+/// the calling thread for a single span). Row indices inside
+/// [`batched_chunks`] are relative to the slice it is handed, so each worker
+/// writes exactly the rows the sequential sweep would — bit-identically.
+fn sharded_chunks<T: DistCell>(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+    hop_bound: usize,
+    threads: usize,
+    dist: &mut [Dist],
+    parent: &mut [Option<NodeId>],
+) -> BuildStats {
+    let n = csr.num_nodes();
+    let spans = shard_spans(sources.len(), threads, 64);
+    if spans.len() <= 1 {
+        batched_chunks::<T>(csr, sources, hop_bound, dist, parent);
+        let finite = dist.iter().filter(|&&d| d < INFINITY).count();
+        return BuildStats::single(sources.len(), finite);
     }
+    let mut dist_parts: Vec<&mut [Dist]> = Vec::with_capacity(spans.len());
+    let mut parent_parts: Vec<&mut [Option<NodeId>]> = Vec::with_capacity(spans.len());
+    let mut dist_rest = dist;
+    let mut parent_rest = parent;
+    for span in &spans {
+        let (d, dr) = dist_rest.split_at_mut(span.len() * n);
+        let (p, pr) = parent_rest.split_at_mut(span.len() * n);
+        dist_parts.push(d);
+        parent_parts.push(p);
+        dist_rest = dr;
+        parent_rest = pr;
+    }
+    let finite_counts: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .zip(dist_parts.into_iter().zip(parent_parts))
+            .map(|(span, (d, p))| {
+                let span = span.clone();
+                scope.spawn(move || {
+                    batched_chunks::<T>(csr, &sources[span], hop_bound, d, p);
+                    d.iter().filter(|&&x| x < INFINITY).count()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("theorem-1 kernel worker panicked"))
+            .collect()
+    });
+    let mut stats = BuildStats::default();
+    for (span, finite) in spans.iter().zip(finite_counts) {
+        stats.record(span.len(), finite);
+    }
+    stats
 }
 
 /// The batched vertex-major kernel: processes `sources` in chunks of up to

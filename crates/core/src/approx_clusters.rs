@@ -24,12 +24,14 @@ use std::collections::HashMap;
 
 use en_congest::broadcast::lemma1_rounds;
 use en_congest::RoundLedger;
-use en_congest_algos::theorem1::multi_source_hop_bounded;
+use en_congest_algos::theorem1::multi_source_hop_bounded_opts;
 use en_graph::forest::{ClusterForest, ClusterForestBuilder, ForestMember};
-use en_graph::restricted::restricted_multi_source_csr;
-use en_graph::{is_finite, Dist, NodeId, NodeMap, Weight, WeightedGraph, INFINITY};
+use en_graph::restricted::restricted_multi_source_csr_opts;
+use en_graph::{
+    is_finite, BuildOptions, BuildStats, Dist, NodeId, NodeMap, Weight, WeightedGraph, INFINITY,
+};
 
-use crate::exact::{grow_exact_clusters_batched_with_pivots_into, membership_thresholds};
+use crate::exact::{grow_exact_clusters_batched_with_pivots_into_opts, membership_thresholds};
 use crate::hierarchy::Hierarchy;
 use crate::params::SchemeParams;
 use crate::preprocess::Preprocessing;
@@ -92,6 +94,31 @@ pub fn small_scale_clusters_into(
     pivots: &[Vec<Option<(NodeId, Dist)>>],
     builder: &mut ClusterForestBuilder,
 ) -> (RoundLedger, ClusterDiagnostics) {
+    let mut stats = BuildStats::default();
+    small_scale_clusters_into_opts(
+        g,
+        hierarchy,
+        params,
+        pivots,
+        builder,
+        &BuildOptions::sequential(),
+        &mut stats,
+    )
+}
+
+/// [`small_scale_clusters_into`] with a thread-count knob: every level's
+/// batched restricted sweep and forest pushes run sharded (bit-identically
+/// to the sequential path); per-thread work accounting is absorbed into
+/// `stats`.
+pub fn small_scale_clusters_into_opts(
+    g: &WeightedGraph,
+    hierarchy: &Hierarchy,
+    params: &SchemeParams,
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    builder: &mut ClusterForestBuilder,
+    opts: &BuildOptions,
+    stats: &mut BuildStats,
+) -> (RoundLedger, ClusterDiagnostics) {
     let mut ledger = RoundLedger::new();
     let mut diagnostics = ClusterDiagnostics::default();
     let half = params.half_k();
@@ -106,9 +133,10 @@ pub fn small_scale_clusters_into(
             continue;
         }
         let threshold = membership_thresholds(pivots, i);
-        let pushed = grow_exact_clusters_batched_with_pivots_into(
-            &csr, &centers, i, &threshold, pivots, builder,
+        let (pushed, level_stats) = grow_exact_clusters_batched_with_pivots_into_opts(
+            &csr, &centers, i, &threshold, pivots, builder, opts,
         );
+        stats.absorb(&level_stats);
         let mut level_overlap = vec![0usize; g.num_nodes()];
         for id in pushed {
             for &v in builder.members_of(id) {
@@ -157,6 +185,33 @@ pub fn middle_level_clusters_into(
     hop_diameter: usize,
     builder: &mut ClusterForestBuilder,
 ) -> (RoundLedger, ClusterDiagnostics) {
+    let mut stats = BuildStats::default();
+    middle_level_clusters_into_opts(
+        g,
+        hierarchy,
+        params,
+        pivots,
+        hop_diameter,
+        builder,
+        &BuildOptions::sequential(),
+        &mut stats,
+    )
+}
+
+/// [`middle_level_clusters_into`] with a thread-count knob: the Theorem-1
+/// sweep from the middle-level centres runs sharded; per-thread work
+/// accounting is absorbed into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn middle_level_clusters_into_opts(
+    g: &WeightedGraph,
+    hierarchy: &Hierarchy,
+    params: &SchemeParams,
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    hop_diameter: usize,
+    builder: &mut ClusterForestBuilder,
+    opts: &BuildOptions,
+    stats: &mut BuildStats,
+) -> (RoundLedger, ClusterDiagnostics) {
     let mut ledger = RoundLedger::new();
     let mut diagnostics = ClusterDiagnostics::default();
     let Some(i) = params.middle_level() else {
@@ -168,7 +223,9 @@ pub fn middle_level_clusters_into(
     }
     let b = params.exploration_depth(i + 1);
     let eps = params.epsilon();
-    let t1 = multi_source_hop_bounded(g, &centers, b, eps.max(1e-9), hop_diameter);
+    let (t1, t1_stats) =
+        multi_source_hop_bounded_opts(g, &centers, b, eps.max(1e-9), hop_diameter, opts);
+    stats.absorb(&t1_stats);
     ledger.absorb(t1.ledger.clone());
     let threshold = membership_thresholds(pivots, i);
     for (ci, &center) in centers.iter().enumerate() {
@@ -234,6 +291,37 @@ pub fn large_scale_clusters_into(
     hop_diameter: usize,
     builder: &mut ClusterForestBuilder,
 ) -> (RoundLedger, ClusterDiagnostics) {
+    let mut stats = BuildStats::default();
+    large_scale_clusters_into_opts(
+        g,
+        hierarchy,
+        params,
+        pivots,
+        pre,
+        hop_diameter,
+        builder,
+        &BuildOptions::sequential(),
+        &mut stats,
+    )
+}
+
+/// [`large_scale_clusters_into`] with a thread-count knob: each level's
+/// Phase-1 depth-bounded exploration on `G''` runs sharded over the level's
+/// centres (the per-centre Phase 1.5 / Phase 2 passes stay sequential —
+/// they are reads of the batched results); per-thread work accounting is
+/// absorbed into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn large_scale_clusters_into_opts(
+    g: &WeightedGraph,
+    hierarchy: &Hierarchy,
+    params: &SchemeParams,
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    pre: &Preprocessing,
+    hop_diameter: usize,
+    builder: &mut ClusterForestBuilder,
+    opts: &BuildOptions,
+    stats: &mut BuildStats,
+) -> (RoundLedger, ClusterDiagnostics) {
     let mut ledger = RoundLedger::new();
     let mut diagnostics = ClusterDiagnostics::default();
     let eps = params.epsilon();
@@ -294,7 +382,9 @@ pub fn large_scale_clusters_into(
                     .expect("large-scale centre is in A_i ⊆ A_{⌈k/2⌉} = V'")
             })
             .collect();
-        let phase1 = restricted_multi_source_csr(&aug_csr, &cus, &vthreshold, Some(pre.beta));
+        let (phase1, phase1_stats) =
+            restricted_multi_source_csr_opts(&aug_csr, &cus, &vthreshold, Some(pre.beta), opts);
+        stats.absorb(&phase1_stats);
         for (s, &center) in centers.iter().enumerate() {
             let cu = cus[s];
             // Per-centre Phase-1 state, read off the batched result: levelled

@@ -18,12 +18,12 @@
 
 use en_congest::RoundLedger;
 use en_graph::bfs::{hop_diameter_estimate, is_connected};
-use en_graph::WeightedGraph;
+use en_graph::{BuildOptions, BuildStats, WeightedGraph};
 use en_tree_routing::remark3_rounds;
 
 use crate::approx_clusters::{
-    large_scale_clusters_into, middle_level_clusters_into, small_scale_clusters_into,
-    ClusterDiagnostics,
+    large_scale_clusters_into_opts, middle_level_clusters_into_opts,
+    small_scale_clusters_into_opts, ClusterDiagnostics,
 };
 use crate::distance_estimation::DistanceEstimation;
 use crate::error::RoutingError;
@@ -85,6 +85,10 @@ pub struct BuiltScheme {
     /// there were no large scales). This is the concrete value behind the
     /// paper's `n^{o(1)}` factor on this instance.
     pub hopset_beta: Option<usize>,
+    /// Per-thread work accounting of the parallel construction phases (the
+    /// totals are invariant across thread counts — the determinism suite
+    /// asserts they match the sequential build exactly).
+    pub build_stats: BuildStats,
 }
 
 impl BuiltScheme {
@@ -96,6 +100,11 @@ impl BuiltScheme {
 
 /// Runs the full distributed construction on `g`.
 ///
+/// Uses the host's available parallelism ([`BuildOptions::default`]); the
+/// parallel build is bit-identical to the sequential one, so the thread
+/// count never changes the produced scheme (see
+/// [`en_graph::parallel`] and `tests/property_parallel_build.rs`).
+///
 /// # Errors
 ///
 /// Returns an error if `k == 0`, the graph is empty, or the graph is not
@@ -103,6 +112,23 @@ impl BuiltScheme {
 pub fn build_routing_scheme(
     g: &WeightedGraph,
     config: &ConstructionConfig,
+) -> Result<BuiltScheme, RoutingError> {
+    build_routing_scheme_with(g, config, &BuildOptions::default())
+}
+
+/// [`build_routing_scheme`] with an explicit thread-count knob.
+///
+/// `opts.threads = 1` runs the exact sequential pipeline — the oracle the
+/// determinism suite compares every other thread count against.
+///
+/// # Errors
+///
+/// Returns an error if `k == 0`, the graph is empty, or the graph is not
+/// connected.
+pub fn build_routing_scheme_with(
+    g: &WeightedGraph,
+    config: &ConstructionConfig,
+    opts: &BuildOptions,
 ) -> Result<BuiltScheme, RoutingError> {
     if config.k == 0 {
         return Err(RoutingError::InvalidK { k: config.k });
@@ -118,12 +144,18 @@ pub fn build_routing_scheme(
         .hop_diameter
         .unwrap_or_else(|| hop_diameter_estimate(g));
     let mut ledger = RoundLedger::new();
+    let mut build_stats = BuildStats::default();
 
     // 1. Hierarchy (local coin flips: 0 rounds).
     let hierarchy = Hierarchy::sample(&params);
 
     // 2. Preprocessing for the large scales.
-    let pre = Preprocessing::run(g, &hierarchy, &params, hop_diameter);
+    let pre = Preprocessing::run_with(g, &hierarchy, &params, hop_diameter, opts).map(
+        |(pre, pre_stats)| {
+            build_stats.absorb(&pre_stats);
+            pre
+        },
+    );
     let hopset_beta = pre.as_ref().map(|p| p.beta);
     if let Some(pre) = &pre {
         ledger.absorb(pre.ledger.clone());
@@ -139,22 +171,31 @@ pub fn build_routing_scheme(
     let mut diagnostics = ClusterDiagnostics::default();
     diagnostics.round_limit_hits += pivot_table.round_limit_hits;
     let mut builder = en_graph::forest::ClusterForestBuilder::new(g.num_nodes());
-    let (small_ledger, small_diag) =
-        small_scale_clusters_into(g, &hierarchy, &params, &pivot_table.pivots, &mut builder);
+    let (small_ledger, small_diag) = small_scale_clusters_into_opts(
+        g,
+        &hierarchy,
+        &params,
+        &pivot_table.pivots,
+        &mut builder,
+        opts,
+        &mut build_stats,
+    );
     ledger.absorb(small_ledger);
     merge_diagnostics(&mut diagnostics, small_diag);
-    let (middle_ledger, middle_diag) = middle_level_clusters_into(
+    let (middle_ledger, middle_diag) = middle_level_clusters_into_opts(
         g,
         &hierarchy,
         &params,
         &pivot_table.pivots,
         hop_diameter,
         &mut builder,
+        opts,
+        &mut build_stats,
     );
     ledger.absorb(middle_ledger);
     merge_diagnostics(&mut diagnostics, middle_diag);
     if let Some(pre) = &pre {
-        let (large_ledger, large_diag) = large_scale_clusters_into(
+        let (large_ledger, large_diag) = large_scale_clusters_into_opts(
             g,
             &hierarchy,
             &params,
@@ -162,6 +203,8 @@ pub fn build_routing_scheme(
             pre,
             hop_diameter,
             &mut builder,
+            opts,
+            &mut build_stats,
         );
         ledger.absorb(large_ledger);
         merge_diagnostics(&mut diagnostics, large_diag);
@@ -179,7 +222,9 @@ pub fn build_routing_scheme(
             params.k
         ),
     );
-    let scheme = RoutingScheme::assemble(&family, config.seed ^ 0x7EE5_0FF1CE);
+    let (scheme, assemble_stats) =
+        RoutingScheme::assemble_opts(&family, config.seed ^ 0x7EE5_0FF1CE, opts);
+    build_stats.absorb(&assemble_stats);
 
     // 6. Distance-estimation sketches (assembled from information every vertex
     // already holds: 0 extra rounds).
@@ -194,6 +239,7 @@ pub fn build_routing_scheme(
         diagnostics,
         hop_diameter,
         hopset_beta,
+        build_stats,
     })
 }
 

@@ -33,11 +33,12 @@ use std::collections::BinaryHeap;
 use en_graph::dijkstra::multi_source_dijkstra_csr;
 use en_graph::forest::{ClusterForest, ClusterForestBuilder, ClusterId, ForestMember};
 use en_graph::restricted::{
-    restricted_multi_source_csr, restricted_multi_source_csr_grouped, RestrictedMultiSource,
+    restricted_multi_source_csr, restricted_multi_source_csr_grouped_opts, RestrictedMultiSource,
 };
 use en_graph::tree::RootedTree;
 use en_graph::{
-    dist_add, is_finite, CsrGraph, Dist, NodeId, NodeMap, Weight, WeightedGraph, INFINITY,
+    dist_add, is_finite, shard_spans, BuildOptions, BuildStats, CsrGraph, Dist, NodeId, NodeMap,
+    Weight, WeightedGraph, INFINITY,
 };
 
 use crate::family::{Cluster, ClusterFamily};
@@ -221,6 +222,34 @@ pub fn grow_exact_clusters_batched_with_pivots_into(
     pivots: &[Vec<Option<(NodeId, Dist)>>],
     builder: &mut ClusterForestBuilder,
 ) -> std::ops::Range<ClusterId> {
+    grow_exact_clusters_batched_with_pivots_into_opts(
+        csr,
+        centers,
+        level,
+        threshold,
+        pivots,
+        builder,
+        &BuildOptions::sequential(),
+    )
+    .0
+}
+
+/// [`grow_exact_clusters_batched_with_pivots_into`] with a thread-count
+/// knob: the restricted sweep shards its source chunks and the forest pushes
+/// shard the resulting clusters across scoped workers whose private builders
+/// are absorbed in shard order — the merged forest is bit-identical to the
+/// sequential one. Returns the pushed id range and the combined per-thread
+/// work accounting of both phases.
+#[allow(clippy::too_many_arguments)]
+pub fn grow_exact_clusters_batched_with_pivots_into_opts(
+    csr: &CsrGraph,
+    centers: &[NodeId],
+    level: usize,
+    threshold: &[Dist],
+    pivots: &[Vec<Option<(NodeId, Dist)>>],
+    builder: &mut ClusterForestBuilder,
+    opts: &BuildOptions,
+) -> (std::ops::Range<ClusterId>, BuildStats) {
     let groups: Vec<(NodeId, Dist)> = centers
         .iter()
         .map(|&c| {
@@ -231,8 +260,11 @@ pub fn grow_exact_clusters_batched_with_pivots_into(
             }
         })
         .collect();
-    let res = restricted_multi_source_csr_grouped(csr, centers, threshold, None, &groups);
-    push_restricted_clusters(builder, &res, level)
+    let (res, mut stats) =
+        restricted_multi_source_csr_grouped_opts(csr, centers, threshold, None, &groups, opts);
+    let (range, push_stats) = push_restricted_clusters_opts(builder, &res, level, opts);
+    stats.absorb(&push_stats);
+    (range, stats)
 }
 
 /// Appends every source's cluster of a converged restricted multi-source
@@ -246,25 +278,81 @@ pub fn push_restricted_clusters(
     res: &RestrictedMultiSource,
     level: usize,
 ) -> std::ops::Range<ClusterId> {
+    push_restricted_clusters_opts(builder, res, level, &BuildOptions::sequential()).0
+}
+
+/// [`push_restricted_clusters`] with a thread-count knob: the sources are
+/// sharded into contiguous spans, each span's clusters are pushed into a
+/// private per-worker [`ClusterForestBuilder`], and the workers' builders
+/// are absorbed into `builder` **in shard order** — cluster ids come out
+/// exactly as the sequential loop assigns them (see
+/// [`ClusterForestBuilder::absorb`] for why the order matters). Also returns
+/// per-thread work accounting (clusters pushed; forest members appended).
+pub fn push_restricted_clusters_opts(
+    builder: &mut ClusterForestBuilder,
+    res: &RestrictedMultiSource,
+    level: usize,
+    opts: &BuildOptions,
+) -> (std::ops::Range<ClusterId>, BuildStats) {
     let start = builder.num_clusters();
-    for (s, &center) in res.sources().iter().enumerate() {
-        builder.push_cluster(
-            center,
-            level,
-            res.member_cells(s).iter().map(|c| {
-                let (parent, weight) = c
-                    .tree_arc()
-                    .expect("non-centre member has a recorded parent");
-                ForestMember {
-                    v: c.v as NodeId,
-                    parent,
-                    weight,
-                    root_dist: c.dist,
-                }
-            }),
-        );
+    let spans = shard_spans(res.sources().len(), opts.threads, 1);
+    if spans.len() <= 1 {
+        let before = builder.total_members();
+        for s in 0..res.sources().len() {
+            push_one_restricted_cluster(builder, res, s, level);
+        }
+        let stats = BuildStats::single(res.sources().len(), builder.total_members() - before);
+        return (start..builder.num_clusters(), stats);
     }
-    start..builder.num_clusters()
+    let shards: Vec<ClusterForestBuilder> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                let span = span.clone();
+                scope.spawn(move || {
+                    let mut local = ClusterForestBuilder::new(res.num_vertices());
+                    for s in span {
+                        push_one_restricted_cluster(&mut local, res, s, level);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("forest push worker panicked"))
+            .collect()
+    });
+    let mut stats = BuildStats::default();
+    for (span, local) in spans.iter().zip(shards) {
+        stats.record(span.len(), local.total_members());
+        builder.absorb(local);
+    }
+    (start..builder.num_clusters(), stats)
+}
+
+/// Pushes source `s`'s cluster off the kernel's compact member records.
+fn push_one_restricted_cluster(
+    builder: &mut ClusterForestBuilder,
+    res: &RestrictedMultiSource,
+    s: usize,
+    level: usize,
+) {
+    builder.push_cluster(
+        res.sources()[s],
+        level,
+        res.member_cells(s).iter().map(|c| {
+            let (parent, weight) = c
+                .tree_arc()
+                .expect("non-centre member has a recorded parent");
+            ForestMember {
+                v: c.v as NodeId,
+                parent,
+                weight,
+                root_dist: c.dist,
+            }
+        }),
+    );
 }
 
 /// Builds the complete exact cluster family (all centres, all levels) plus the

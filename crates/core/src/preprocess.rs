@@ -20,8 +20,8 @@ use std::collections::HashMap;
 
 use en_congest::broadcast::lemma1_rounds;
 use en_congest::RoundLedger;
-use en_congest_algos::theorem1::{multi_source_hop_bounded, MultiSourceHopBounded};
-use en_graph::{is_finite, Dist, NodeId, WeightedGraph};
+use en_congest_algos::theorem1::{multi_source_hop_bounded_opts, MultiSourceHopBounded};
+use en_graph::{is_finite, BuildOptions, BuildStats, Dist, NodeId, WeightedGraph};
 use en_hopset::{build_hopset, AugmentedGraph, Hopset, HopsetConfig};
 
 use crate::hierarchy::Hierarchy;
@@ -61,6 +61,26 @@ impl Preprocessing {
         params: &SchemeParams,
         hop_diameter: usize,
     ) -> Option<Self> {
+        Self::run_with(
+            g,
+            hierarchy,
+            params,
+            hop_diameter,
+            &BuildOptions::sequential(),
+        )
+        .map(|(pre, _)| pre)
+    }
+
+    /// [`Self::run`] with a thread-count knob: the Theorem-1 sweep from `V'`
+    /// — the dominant cost of preprocessing — runs sharded, bit-identically
+    /// to the sequential sweep. Also returns its per-thread work accounting.
+    pub fn run_with(
+        g: &WeightedGraph,
+        hierarchy: &Hierarchy,
+        params: &SchemeParams,
+        hop_diameter: usize,
+        opts: &BuildOptions,
+    ) -> Option<(Self, BuildStats)> {
         let half = params.half_k();
         let vprime: Vec<NodeId> = hierarchy.level(half).to_vec();
         if vprime.is_empty() {
@@ -70,8 +90,14 @@ impl Preprocessing {
         let hop_bound = params.large_scale_hop_bound();
         let eps = params.epsilon();
         // Step 1: Theorem 1 with accuracy ε/2.
-        let theorem1 =
-            multi_source_hop_bounded(g, &vprime, hop_bound, (eps / 2.0).max(1e-9), hop_diameter);
+        let (theorem1, stats) = multi_source_hop_bounded_opts(
+            g,
+            &vprime,
+            hop_bound,
+            (eps / 2.0).max(1e-9),
+            hop_diameter,
+            opts,
+        );
         ledger.absorb(theorem1.ledger.clone());
         // Step 2: the virtual graph G'.
         let index_of: HashMap<NodeId, usize> = vprime
@@ -115,7 +141,7 @@ impl Preprocessing {
         );
         // Step 4: the augmented graph G''.
         let augmented = AugmentedGraph::new(&gprime, &hopset);
-        Some(Preprocessing {
+        let pre = Preprocessing {
             vprime,
             index_of,
             theorem1,
@@ -125,7 +151,8 @@ impl Preprocessing {
             augmented,
             hop_bound,
             ledger,
-        })
+        };
+        Some((pre, stats))
     }
 
     /// Number of virtual vertices `|V'|`.

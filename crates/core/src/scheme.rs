@@ -17,10 +17,11 @@
 //! `u ∈ A_0 \ A_1` stores the tree labels of all members of its own cluster,
 //! so packets *from* `u` to a member of `C̃(u)` are routed directly in `C̃(u)`.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use en_graph::dijkstra::dijkstra;
-use en_graph::{Dist, NodeId, NodeMap, Path, WeightedGraph};
+use en_graph::{shard_spans, BuildOptions, BuildStats, Dist, NodeId, NodeMap, Path, WeightedGraph};
 use en_tree_routing::{TreeLabel, TreeRoutingConfig, TreeRoutingScheme};
 
 use crate::error::RoutingError;
@@ -102,6 +103,30 @@ pub struct RoutingScheme {
     center_level: NodeMap<usize>,
 }
 
+/// Runs one independent closure per span, on scoped worker threads when
+/// there is more than one span, and returns the results in span order — the
+/// fixed merge order that keeps the parallel assembly bit-identical to the
+/// sequential one (see [`en_graph::parallel`]).
+fn run_sharded<T: Send>(spans: &[Range<usize>], work: impl Fn(Range<usize>) -> T + Sync) -> Vec<T> {
+    if spans.len() <= 1 {
+        return spans.iter().map(|span| work(span.clone())).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                let span = span.clone();
+                let work = &work;
+                scope.spawn(move || work(span))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheme assembly worker panicked"))
+            .collect()
+    })
+}
+
 /// The outcome of routing one packet.
 #[derive(Debug, Clone)]
 pub struct RouteOutcome {
@@ -131,89 +156,155 @@ impl RoutingScheme {
     /// forest's inverted membership CSR instead of one `members()` loop per
     /// cluster.
     pub fn assemble(family: &ClusterFamily, tree_seed: u64) -> Self {
+        Self::assemble_opts(family, tree_seed, &BuildOptions::sequential()).0
+    }
+
+    /// [`Self::assemble`] with a thread-count knob, also returning the
+    /// per-thread work accounting.
+    ///
+    /// Two phases shard over `std::thread::scope` workers: the per-tree
+    /// scheme builds (contiguous cluster-id spans — each tree's portal
+    /// sampling is seeded from its own centre, so the processing order is
+    /// immaterial) and the per-vertex table/label sweep (contiguous vertex
+    /// spans). Per-worker outputs are concatenated in span order, so the
+    /// assembled scheme is bit-identical to the sequential one for every
+    /// thread count.
+    pub fn assemble_opts(
+        family: &ClusterFamily,
+        tree_seed: u64,
+        opts: &BuildOptions,
+    ) -> (Self, BuildStats) {
         let n = family.n();
         let k = family.k();
         let forest = &family.forest;
         let num_clusters = forest.num_clusters();
-        let mut tree_schemes = NodeMap::default();
-        tree_schemes.reserve(num_clusters);
+        let mut stats = BuildStats::default();
+        // Phase A: per-tree schemes, sharded over contiguous cluster-id
+        // spans and concatenated back in span (= dense id) order.
+        let build_trees = |span: Range<usize>| -> (Vec<TreeRoutingScheme>, usize) {
+            let mut members = 0usize;
+            let schemes = span
+                .map(|id| {
+                    let cluster = forest.cluster(id);
+                    members += cluster.len();
+                    let config = TreeRoutingConfig::new(
+                        tree_seed ^ (cluster.center() as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    TreeRoutingScheme::build(&cluster, &config)
+                })
+                .collect();
+            (schemes, members)
+        };
+        let tree_spans = shard_spans(num_clusters, opts.threads, 1);
+        let mut schemes_by_id = Vec::with_capacity(num_clusters);
+        let mut tree_stats = BuildStats::default();
+        for (span, (schemes, members)) in
+            tree_spans.iter().zip(run_sharded(&tree_spans, build_trees))
+        {
+            tree_stats.record(span.len(), members);
+            schemes_by_id.extend(schemes);
+        }
+        stats.absorb(&tree_stats);
+        // Per-cluster data addressable by dense id during the sweeps below.
         let mut center_level = NodeMap::default();
         center_level.reserve(num_clusters);
-        // Per-cluster data addressable by dense id during the sweep below.
         let mut centers = Vec::with_capacity(num_clusters);
         let mut is_level0 = Vec::with_capacity(num_clusters);
-        let mut schemes_by_id = Vec::with_capacity(num_clusters);
         for cluster in forest.clusters() {
-            let center = cluster.center();
-            let config =
-                TreeRoutingConfig::new(tree_seed ^ (center as u64).wrapping_mul(0x9E37_79B9));
-            schemes_by_id.push(TreeRoutingScheme::build(&cluster, &config));
-            centers.push(center);
+            centers.push(cluster.center());
             is_level0.push(cluster.level() == 0);
-            center_level.insert(center, cluster.level());
+            center_level.insert(cluster.center(), cluster.level());
         }
-        // Tables in one membership-CSR sweep: which trees contain each vertex,
-        // and — for level-0 centres — the member's tree label, inserted into
-        // the centre's own-cluster table as it is encountered (pre-sized to
-        // the cluster size, no per-centre rebuild pass).
+        // Centre-keyed scheme lookup for the label sweep (the map itself is
+        // only moved into the result after `schemes_by_id` is done serving
+        // the own-cluster fill, so the sweep reads through dense ids).
+        let mut id_of_center = NodeMap::default();
+        id_of_center.reserve(num_clusters);
+        for (id, &center) in centers.iter().enumerate() {
+            id_of_center.insert(center, id);
+        }
+        // Phase B: the per-vertex sweep — tree memberships (sorted by
+        // centre) and pivot label entries — sharded over contiguous vertex
+        // spans. Workers only read the forest CSR and the finished schemes;
+        // outputs land at fixed per-vertex slots.
+        let schemes_ref = &schemes_by_id;
+        let centers_ref = &centers;
+        let id_of_center_ref = &id_of_center;
+        let sweep = |span: Range<usize>| -> (Vec<(Vec<NodeId>, NodeLabel)>, usize) {
+            let mut produced = 0usize;
+            let rows = span
+                .map(|v| {
+                    let mut trees = Vec::with_capacity(forest.overlap_of(v));
+                    for (id, _) in forest.membership(v) {
+                        trees.push(centers_ref[id]);
+                    }
+                    trees.sort_unstable();
+                    let mut entries = Vec::new();
+                    for i in 0..k {
+                        if let Some((pivot, dist)) = family.pivots[v][i] {
+                            let tree_label = id_of_center_ref
+                                .get(&pivot)
+                                .and_then(|&id| schemes_ref[id].label_arc(v))
+                                .cloned();
+                            entries.push(LabelEntry {
+                                level: i,
+                                pivot,
+                                dist,
+                                tree_label,
+                            });
+                        }
+                    }
+                    produced += trees.len() + entries.len();
+                    (trees, NodeLabel { vertex: v, entries })
+                })
+                .collect();
+            (rows, produced)
+        };
+        let vertex_spans = shard_spans(n, opts.threads, 1);
         let mut tables: Vec<NodeTable> = (0..n).map(|_| NodeTable::default()).collect();
-        for cluster in forest.clusters() {
-            if cluster.level() == 0 {
-                let own = &mut tables[cluster.center()].own_cluster_labels;
-                own.reserve(cluster.len());
+        let mut labels: Vec<NodeLabel> = Vec::with_capacity(n);
+        let mut sweep_stats = BuildStats::default();
+        for (span, (rows, produced)) in vertex_spans.iter().zip(run_sharded(&vertex_spans, sweep)) {
+            sweep_stats.record(span.len(), produced);
+            for (j, (trees, label)) in rows.into_iter().enumerate() {
+                tables[span.start + j].trees = trees;
+                labels.push(label);
             }
         }
-        for v in 0..n {
-            let mut trees = Vec::with_capacity(forest.overlap_of(v));
-            for (id, pos) in forest.membership(v) {
-                trees.push(centers[id]);
-                if is_level0[id] {
-                    // The scheme's member order is the cluster slice's member
-                    // order, so the CSR position addresses v's label directly;
-                    // the insert shares the scheme's allocation (Arc bump).
-                    let label = schemes_by_id[id]
-                        .label_arc_by_index(pos)
-                        .expect("membership position is within the tree scheme");
-                    debug_assert_eq!(label.vertex, v);
-                    tables[centers[id]]
-                        .own_cluster_labels
-                        .insert(v, Arc::clone(label));
-                }
+        stats.absorb(&sweep_stats);
+        // The [TZ01] 4k−5 refinement: every level-0 centre stores the tree
+        // labels of its own cluster's members. The fill walks the member
+        // slice, whose positions index the scheme's labels directly; each
+        // insert shares the scheme's allocation (Arc bump).
+        for (id, scheme) in schemes_by_id.iter().enumerate() {
+            if !is_level0[id] {
+                continue;
             }
-            trees.sort_unstable();
-            tables[v].trees = trees;
+            let cluster = forest.cluster(id);
+            let own = &mut tables[centers[id]].own_cluster_labels;
+            own.reserve(cluster.len());
+            for (pos, v) in cluster.members().enumerate() {
+                let label = scheme
+                    .label_arc_by_index(pos)
+                    .expect("member position is within the tree scheme");
+                debug_assert_eq!(label.vertex, v);
+                own.insert(v, Arc::clone(label));
+            }
         }
-        // Labels: pivot entries per level.
+        let mut tree_schemes = NodeMap::default();
+        tree_schemes.reserve(num_clusters);
         for (center, scheme) in centers.iter().zip(schemes_by_id) {
             tree_schemes.insert(*center, scheme);
         }
-        let mut labels: Vec<NodeLabel> = Vec::with_capacity(n);
-        for v in 0..n {
-            let mut entries = Vec::new();
-            for i in 0..k {
-                if let Some((pivot, dist)) = family.pivots[v][i] {
-                    let tree_label = tree_schemes
-                        .get(&pivot)
-                        .and_then(|s| s.label_arc(v))
-                        .cloned();
-                    entries.push(LabelEntry {
-                        level: i,
-                        pivot,
-                        dist,
-                        tree_label,
-                    });
-                }
-            }
-            labels.push(NodeLabel { vertex: v, entries });
-        }
-        RoutingScheme {
+        let scheme = RoutingScheme {
             k,
             n,
             tree_schemes,
             tables,
             labels,
             center_level,
-        }
+        };
+        (scheme, stats)
     }
 
     /// The pre-forest reference assembly, retained as the oracle the property

@@ -23,6 +23,10 @@
 //!   behind Thorup–Zwick cluster growing, built on the shared [`cell`]
 //!   distance-cell machinery (which the Theorem-1 kernel in
 //!   `en_congest_algos` reuses).
+//! * [`parallel`] — the deterministic-parallelism plumbing shared by every
+//!   construction phase: [`BuildOptions`] (thread count), [`BuildStats`]
+//!   (per-thread work accounting), and the chunk-aligned [`shard_spans`]
+//!   sharding that keeps parallel builds bit-identical to sequential ones.
 //! * [`dijkstra`] — exact single-source shortest paths (the ground truth all
 //!   stretch measurements are computed against).
 //! * [`bellman_ford`] — hop-bounded distances `d^{(t)}_G` (Section 2 of the
@@ -58,6 +62,7 @@ pub mod error;
 pub mod forest;
 pub mod generators;
 pub mod graph;
+pub mod parallel;
 pub mod path;
 pub mod properties;
 pub mod restricted;
@@ -71,8 +76,11 @@ pub use forest::{
     TreeView,
 };
 pub use graph::{Edge, Neighbor, WeightedGraph};
+pub use parallel::{shard_spans, BuildOptions, BuildStats};
 pub use path::Path;
 pub use restricted::{
-    restricted_multi_source_csr, restricted_multi_source_csr_grouped, RestrictedMultiSource,
+    restricted_multi_source_csr, restricted_multi_source_csr_grouped,
+    restricted_multi_source_csr_grouped_opts, restricted_multi_source_csr_opts,
+    RestrictedMultiSource,
 };
 pub use types::{dist_add, is_finite, Dist, NodeId, NodeIdHasher, NodeMap, Weight, INFINITY};

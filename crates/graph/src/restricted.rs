@@ -49,9 +49,21 @@
 //! (`grow_exact_cluster_csr` in `en_routing::exact`) is the retained oracle
 //! the property tests validate this kernel against, member set for member
 //! set and distance for distance.
+//!
+//! # Parallelism
+//!
+//! A source's output column depends only on the graph and the shared
+//! threshold vector — chunk-mates share sweeps, never values — so the
+//! `_opts` entry points shard the locality-ordered source sequence into
+//! chunk-aligned contiguous spans ([`shard_spans`]) and sweep each span on
+//! its own scoped worker thread. Chunk composition and all per-source
+//! outputs are exactly those of the sequential sweep, so the parallel run
+//! is bit-identical for every thread count; per-thread work accounting is
+//! returned as [`BuildStats`].
 
 use crate::cell::{fits_i32, DistCell};
 use crate::csr::CsrGraph;
+use crate::parallel::{shard_spans, BuildOptions, BuildStats};
 use crate::types::{Dist, NodeId, Weight, INFINITY};
 
 /// `parent` sentinel meaning "no parent recorded".
@@ -63,7 +75,7 @@ const NO_PARENT: u32 = u32::MAX;
 /// so the output holds the *reached* cells (and member records) instead of
 /// `|sources| × n` flat rows — a full distance row can be materialised on
 /// demand with [`RestrictedMultiSource::dist_row`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RestrictedMultiSource {
     sources: Vec<NodeId>,
     threshold: Vec<Dist>,
@@ -203,9 +215,34 @@ pub fn restricted_multi_source_csr(
     threshold: &[Dist],
     max_sweeps: Option<usize>,
 ) -> RestrictedMultiSource {
+    restricted_multi_source_csr_opts(
+        csr,
+        sources,
+        threshold,
+        max_sweeps,
+        &BuildOptions::sequential(),
+    )
+    .0
+}
+
+/// [`restricted_multi_source_csr`] with a thread-count knob: the
+/// locality-ordered sources are swept in chunk-aligned spans on up to
+/// `opts.threads` scoped worker threads, bit-identically to the sequential
+/// run (see the module docs). Also returns the per-thread work accounting.
+///
+/// # Panics
+///
+/// Panics if a source is out of range or `threshold.len() != csr.num_nodes()`.
+pub fn restricted_multi_source_csr_opts(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+    threshold: &[Dist],
+    max_sweeps: Option<usize>,
+    opts: &BuildOptions,
+) -> (RestrictedMultiSource, BuildStats) {
     validate_inputs(csr, sources, threshold);
     let order = locality_order(csr, sources, threshold);
-    restricted_multi_source_ordered(csr, sources, threshold, max_sweeps, order)
+    restricted_multi_source_ordered(csr, sources, threshold, max_sweeps, order, opts)
 }
 
 /// [`restricted_multi_source_csr`] with a caller-supplied locality grouping:
@@ -229,6 +266,32 @@ pub fn restricted_multi_source_csr_grouped(
     max_sweeps: Option<usize>,
     groups: &[(NodeId, Dist)],
 ) -> RestrictedMultiSource {
+    restricted_multi_source_csr_grouped_opts(
+        csr,
+        sources,
+        threshold,
+        max_sweeps,
+        groups,
+        &BuildOptions::sequential(),
+    )
+    .0
+}
+
+/// [`restricted_multi_source_csr_grouped`] with a thread-count knob; see
+/// [`restricted_multi_source_csr_opts`].
+///
+/// # Panics
+///
+/// Panics if a source is out of range, `threshold.len() != csr.num_nodes()`,
+/// or `groups.len() != sources.len()`.
+pub fn restricted_multi_source_csr_grouped_opts(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+    threshold: &[Dist],
+    max_sweeps: Option<usize>,
+    groups: &[(NodeId, Dist)],
+    opts: &BuildOptions,
+) -> (RestrictedMultiSource, BuildStats) {
     validate_inputs(csr, sources, threshold);
     assert_eq!(
         groups.len(),
@@ -237,7 +300,7 @@ pub fn restricted_multi_source_csr_grouped(
     );
     let mut order: Vec<usize> = (0..sources.len()).collect();
     order.sort_by_key(|&i| (groups[i], sources[i]));
-    restricted_multi_source_ordered(csr, sources, threshold, max_sweeps, order)
+    restricted_multi_source_ordered(csr, sources, threshold, max_sweeps, order, opts)
 }
 
 /// The input contract shared by both entry points, checked before any work.
@@ -262,7 +325,8 @@ fn restricted_multi_source_ordered(
     threshold: &[Dist],
     max_sweeps: Option<usize>,
     order: Vec<usize>,
-) -> RestrictedMultiSource {
+    opts: &BuildOptions,
+) -> (RestrictedMultiSource, BuildStats) {
     let n = csr.num_nodes();
     let budget = max_sweeps.unwrap_or(usize::MAX);
     let mut out = Outputs {
@@ -281,21 +345,35 @@ fn restricted_multi_source_ordered(
     // full 64-cell rows amortise best.
     let finite_thresholds = threshold.iter().filter(|&&t| t < INFINITY).count();
     let chunk_cap = if 2 * finite_thresholds > n { 32 } else { 64 };
-    if fits_i32(n, csr.max_weight()) {
-        restricted_chunks::<i32>(
-            csr, &permuted, &order, threshold, budget, chunk_cap, &mut out,
-        );
+    let stats = if fits_i32(n, csr.max_weight()) {
+        run_sharded::<i32>(
+            csr,
+            &permuted,
+            &order,
+            threshold,
+            budget,
+            chunk_cap,
+            opts.threads,
+            &mut out,
+        )
     } else {
-        restricted_chunks::<u64>(
-            csr, &permuted, &order, threshold, budget, chunk_cap, &mut out,
-        );
-    }
+        run_sharded::<u64>(
+            csr,
+            &permuted,
+            &order,
+            threshold,
+            budget,
+            chunk_cap,
+            opts.threads,
+            &mut out,
+        )
+    };
     let Outputs {
         reached,
         member_rows,
         members,
     } = out;
-    RestrictedMultiSource {
+    let res = RestrictedMultiSource {
         sources: sources.to_vec(),
         // Clamp to the saturation point of the Dist domain so the membership
         // test agrees with the kernel's cell-domain mask even for degenerate
@@ -305,7 +383,85 @@ fn restricted_multi_source_ordered(
         reached,
         member_rows,
         members,
+    };
+    (res, stats)
+}
+
+/// Shards the permuted source sequence into chunk-aligned spans and sweeps
+/// each span on its own scoped worker (sequentially in place for a single
+/// span). Workers fill span-local outputs with span-local row maps; the
+/// coordinator scatters them back to caller-order rows through `order`, so
+/// the result is bit-identical to the one sequential sweep — the chunks each
+/// worker processes are exactly the sequential chunks ([`shard_spans`]).
+#[allow(clippy::too_many_arguments)]
+fn run_sharded<T: DistCell>(
+    csr: &CsrGraph,
+    permuted: &[NodeId],
+    order: &[usize],
+    threshold: &[Dist],
+    budget: usize,
+    chunk_cap: usize,
+    threads: usize,
+    out: &mut Outputs,
+) -> BuildStats {
+    let spans = shard_spans(permuted.len(), threads, chunk_cap);
+    if spans.len() <= 1 {
+        restricted_chunks::<T>(csr, permuted, order, threshold, budget, chunk_cap, out);
+        let members = out.members.iter().map(Vec::len).sum();
+        return BuildStats::single(permuted.len(), members);
     }
+    let shards: Vec<Outputs> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                let span = span.clone();
+                scope.spawn(move || {
+                    let len = span.len();
+                    let rows: Vec<usize> = (0..len).collect();
+                    let mut local = Outputs {
+                        reached: vec![Vec::new(); len],
+                        member_rows: vec![Vec::new(); len],
+                        members: vec![Vec::new(); len],
+                    };
+                    restricted_chunks::<T>(
+                        csr,
+                        &permuted[span],
+                        &rows,
+                        threshold,
+                        budget,
+                        chunk_cap,
+                        &mut local,
+                    );
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("restricted kernel worker panicked"))
+            .collect()
+    });
+    let mut stats = BuildStats::default();
+    for (span, local) in spans.iter().zip(shards) {
+        stats.record(span.len(), local.members.iter().map(Vec::len).sum());
+        let Outputs {
+            reached,
+            member_rows,
+            members,
+        } = local;
+        for (j, ((r, mr), m)) in reached
+            .into_iter()
+            .zip(member_rows)
+            .zip(members)
+            .enumerate()
+        {
+            let si = order[span.start + j];
+            out.reached[si] = r;
+            out.member_rows[si] = mr;
+            out.members[si] = m;
+        }
+    }
+    stats
 }
 
 /// The compact per-source output the kernel fills, bundled to keep call

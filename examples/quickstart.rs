@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release -p en_bench --example quickstart`
 
 use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
-use en_routing::construction::{build_routing_scheme, ConstructionConfig};
-use en_routing::RoutingError;
+use en_routing::construction::{build_routing_scheme_with, ConstructionConfig};
+use en_routing::{BuildOptions, RoutingError};
 
 fn main() -> Result<(), RoutingError> {
     // A reproducible random network: 200 routers, average degree ~8,
@@ -21,14 +21,26 @@ fn main() -> Result<(), RoutingError> {
         graph.num_edges()
     );
 
-    // Build the compact routing scheme with k = 3 (stretch at most 4k-5 = 7).
+    // Build the compact routing scheme with k = 3 (stretch at most 4k-5 = 7),
+    // sharded over the host's cores. The thread count never changes the
+    // output — the parallel build is bit-identical to `threads = 1` — so
+    // this example is reproducible on any machine.
     let config = ConstructionConfig::new(3, 42);
-    let built = build_routing_scheme(&graph, &config)?;
+    let opts = BuildOptions::default();
+    let built = build_routing_scheme_with(&graph, &config, &opts)?;
     println!(
         "construction charged {} CONGEST rounds over {} phases (hop-diameter ~{})",
         built.total_rounds(),
         built.ledger.len(),
         built.hop_diameter
+    );
+    println!(
+        "parallel build: {} worker slots over {} requested threads swept {} sources \
+         and produced {} members",
+        built.build_stats.threads_used(),
+        opts.threads,
+        built.build_stats.total_sources(),
+        built.build_stats.total_members()
     );
     println!(
         "routing tables: max {} words, avg {:.1} words; labels: max {} words",
