@@ -1,0 +1,319 @@
+//! Deterministic corruption soak for the serving stack.
+//!
+//! Executes seeded fault plans from `en_wire::faultsim` against a freshly
+//! built snapshot and asserts *error-not-crash* at every layer:
+//!
+//! 1. **Load drill** — truncation at every section boundary, a single-bit
+//!    flip in every header bit, seeded bit flips inside every section, and
+//!    scrambled offset columns; every fault must be rejected by
+//!    `FlatScheme::from_bytes` with a structured error.
+//! 2. **Degraded-query drill** — content-section corruption is forced in
+//!    past validation (`from_bytes_unvalidated`, simulating corruption that
+//!    strikes after load) and batches are routed at 1/2/8 threads; the
+//!    process must survive, every query must resolve to an outcome or a
+//!    structured error, and the per-shard accounting must add up.
+//! 3. **Hot-swap race** — a `SchemeStore` swaps between two valid epochs
+//!    while corrupt publishes are fired at it and reader threads route
+//!    batches off pinned epochs; every reader batch must be bit-identical
+//!    to exactly the epoch it pinned, and no corrupt publish may land.
+//! 4. **Determinism check** — on the pristine snapshot, batch outcomes at
+//!    1/2/8 threads must be bit-identical and fault counters must be zero.
+//!
+//! Usage: `cargo run --release -p en_bench --bin fault_drill [-- --smoke]`
+//!
+//! `--smoke` shrinks the graph and iteration counts for CI. Exits non-zero
+//! (with a failing summary) if any fault goes undetected or any invariant
+//! breaks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_wire::checksum::fnv1a_words;
+use en_wire::faultsim::{
+    drill_loads, header_flip_plan, offset_scramble_plan, section_flip_plan, truncation_plan,
+    FaultReport,
+};
+use en_wire::{generate_pairs, BatchOutcome, FlatScheme, PairWorkload, QueryEngine, SchemeStore};
+
+/// Folds a batch's observable outcome into one word, so "bit-identical"
+/// is a single comparison.
+fn digest(batch: &BatchOutcome) -> u64 {
+    let mut words: Vec<u64> = Vec::new();
+    for out in &batch.outcomes {
+        match out {
+            Ok(o) => {
+                words.push(1);
+                words.push(o.tree_root as u64);
+                words.push(o.level as u64);
+                words.push(o.length);
+                words.extend(o.path.nodes().iter().map(|&v| v as u64));
+            }
+            Err(_) => words.push(0),
+        }
+    }
+    fnv1a_words(&words)
+}
+
+fn build_snapshot(n: usize, k: usize, graph_seed: u64, build_seed: u64) -> Vec<u8> {
+    let g = erdos_renyi_connected(
+        &GeneratorConfig::new(n, graph_seed).with_weights(1, 50),
+        8.0 / n as f64,
+    );
+    let built = build_routing_scheme(&g, &ConstructionConfig::new(k, build_seed)).unwrap();
+    en_wire::serialize(&built.scheme)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 120 } else { 600 };
+    let k = 2;
+    let flips_per_section = if smoke { 4 } else { 24 };
+    let scrambles = if smoke { 16 } else { 96 };
+    let pairs_len = if smoke { 400 } else { 4_000 };
+
+    let g = erdos_renyi_connected(
+        &GeneratorConfig::new(n, 42).with_weights(1, 50),
+        8.0 / n as f64,
+    );
+    let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap();
+    let bytes = en_wire::serialize(&built.scheme);
+    let manifest = FlatScheme::from_bytes(&bytes)
+        .expect("pristine snapshot validates")
+        .manifest();
+    println!(
+        "fault_drill: n={n} k={k}, snapshot {} bytes, {} sections{}",
+        bytes.len(),
+        manifest.sections.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut report = FaultReport::default();
+
+    // --- Phase 1: load drill -------------------------------------------------
+    report.merge(drill_loads(&bytes, &truncation_plan(&manifest)));
+    report.merge(drill_loads(&bytes, &header_flip_plan()));
+    report.merge(drill_loads(
+        &bytes,
+        &section_flip_plan(&manifest, 0xFA01, flips_per_section),
+    ));
+    report.merge(drill_loads(
+        &bytes,
+        &offset_scramble_plan(&manifest, 0xFA02, scrambles),
+    ));
+    println!("  load drill: {}", report.summary());
+    for name in &report.undetected {
+        failures.push(format!("load fault validated clean: {name}"));
+    }
+
+    // --- Phase 2: degraded-query drill --------------------------------------
+    // Corruption that strikes *after* validation: force the corrupt bytes in
+    // with the shape-only pass and route batches across thread counts. The
+    // contract is survival + accounting, not bit-identity (which sharding
+    // retries corruption hits is thread-dependent by design).
+    let pairs = generate_pairs(&g, &PairWorkload::Uniform, pairs_len, 7);
+    let degraded_plan = {
+        let mut plan = section_flip_plan(&manifest, 0xFA03, flips_per_section.min(6));
+        plan.extend(offset_scramble_plan(&manifest, 0xFA04, scrambles.min(24)));
+        plan
+    };
+    let mut degraded_runs = 0usize;
+    let mut degraded_queries = 0usize;
+    // Shard panics are caught and retried by design; keep the default
+    // hook's backtraces out of the drill log.
+    std::panic::set_hook(Box::new(|_| {}));
+    for case in &degraded_plan {
+        let corrupt = case.apply(&bytes);
+        // Only shape-valid buffers can be forced in; the rest were already
+        // proven detected in phase 1.
+        let Ok(flat) = FlatScheme::from_bytes_unvalidated(&corrupt) else {
+            report.injected += 1;
+            report.detected += 1;
+            continue;
+        };
+        let Ok(engine) = QueryEngine::new(flat, &g) else {
+            report.injected += 1;
+            report.detected += 1;
+            continue;
+        };
+        report.injected += 1;
+        let mut errors_seen = 0usize;
+        let mut ok = true;
+        for threads in [1usize, 2, 8] {
+            let batch = engine.route_batch(&pairs, None, threads);
+            if batch.outcomes.len() != pairs.len() {
+                failures.push(format!(
+                    "{}: {} outcomes for {} pairs at {threads} threads",
+                    case.name,
+                    batch.outcomes.len(),
+                    pairs.len()
+                ));
+                ok = false;
+            }
+            let s = &batch.stats;
+            if s.delivered + s.failed != s.pairs || s.pairs != pairs.len() {
+                failures.push(format!(
+                    "{}: stats do not add up at {threads} threads: {s:?}",
+                    case.name
+                ));
+                ok = false;
+            }
+            let shard_q: usize = batch.shards.iter().map(|sh| sh.queries).sum();
+            let shard_e: usize = batch.shards.iter().map(|sh| sh.errors).sum();
+            if shard_q != pairs.len() || shard_e != s.failed {
+                failures.push(format!(
+                    "{}: shard accounting off at {threads} threads: \
+                     queries {shard_q}/{} errors {shard_e}/{}",
+                    case.name,
+                    pairs.len(),
+                    s.failed
+                ));
+                ok = false;
+            }
+            errors_seen += s.failed;
+        }
+        degraded_runs += 1;
+        degraded_queries += errors_seen;
+        if !ok {
+            report.undetected.push(case.name.clone());
+        } else if errors_seen > 0 {
+            report.degraded += 1;
+        } else {
+            report.survived += 1;
+        }
+    }
+    let _ = std::panic::take_hook();
+    println!(
+        "  degraded drill: {degraded_runs} corrupt snapshots served, \
+         {degraded_queries} queries degraded to errors, 0 crashes"
+    );
+
+    // --- Phase 3: hot-swap race ----------------------------------------------
+    let bytes_b = build_snapshot(n, k, 42, 43); // same graph, different scheme
+    let store = Arc::new(SchemeStore::new(bytes.clone()).expect("epoch 0 validates"));
+    let race_pairs = generate_pairs(&g, &PairWorkload::Uniform, pairs_len.min(500), 11);
+    let digest_for = |snapshot: &[u8]| {
+        let flat = FlatScheme::from_bytes(snapshot).expect("epoch bytes validate");
+        let engine = QueryEngine::new(flat, &g).expect("same graph");
+        digest(&engine.route_batch(&race_pairs, None, 2))
+    };
+    let digest_a = digest_for(&bytes);
+    let digest_b = digest_for(&bytes_b);
+    let publishes = if smoke { 20 } else { 200 };
+    let stop = AtomicBool::new(false);
+    let race_result: Result<(usize, Vec<String>), String> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = &stop;
+                let g = &g;
+                let race_pairs = &race_pairs;
+                scope.spawn(move || {
+                    let mut batches = 0usize;
+                    let mut bad: Vec<String> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let epoch = store.current();
+                        let flat = epoch.scheme();
+                        let engine = QueryEngine::new(flat, g).expect("same graph");
+                        let d = digest(&engine.route_batch(race_pairs, None, 2));
+                        let expect = if epoch.id() % 2 == 0 {
+                            digest_a
+                        } else {
+                            digest_b
+                        };
+                        if d != expect {
+                            bad.push(format!(
+                                "epoch {} served a torn/mixed view (digest {d:#x})",
+                                epoch.id()
+                            ));
+                        }
+                        batches += 1;
+                    }
+                    (batches, bad)
+                })
+            })
+            .collect();
+
+        // Writer: alternate valid epochs (even ids get A, odd get B) while
+        // firing corrupt candidates that must all be rejected in place.
+        let mut corrupt_rejected = 0usize;
+        for i in 0..publishes {
+            let next = if store.current_id() % 2 == 0 {
+                &bytes_b
+            } else {
+                &bytes
+            };
+            let id = store.publish(next.clone()).expect("valid publish lands");
+            assert_eq!(id, store.current_id());
+            let mut junk = next.clone();
+            let at = (i * 997) % junk.len();
+            junk[at] ^= 0x10;
+            match store.publish(junk) {
+                Err(_) => corrupt_rejected += 1,
+                Ok(id) => return Err(format!("corrupt publish landed as epoch {id}")),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut total_batches = 0usize;
+        let mut bad = Vec::new();
+        for r in readers {
+            let (batches, mut b) = r.join().expect("reader panicked");
+            total_batches += batches;
+            bad.append(&mut b);
+        }
+        assert_eq!(corrupt_rejected, publishes);
+        Ok((total_batches, bad))
+    });
+    match race_result {
+        Ok((total_batches, bad)) => {
+            println!(
+                "  hot-swap race: {publishes} publishes + {publishes} corrupt rejects, \
+                 {total_batches} reader batches, {} torn views",
+                bad.len()
+            );
+            failures.extend(bad);
+            let stats = store.stats();
+            if stats.rejected != publishes as u64 || stats.published != publishes as u64 {
+                failures.push(format!("store counters off: {stats:?}"));
+            }
+        }
+        Err(e) => failures.push(e),
+    }
+
+    // --- Phase 4: pristine determinism + fault counters stay zero ------------
+    let flat = FlatScheme::from_bytes(&bytes).expect("pristine snapshot validates");
+    let engine = QueryEngine::new(flat, &g).expect("same graph");
+    let batches: Vec<BatchOutcome> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| engine.route_batch(&pairs, None, t))
+        .collect();
+    let d0 = digest(&batches[0]);
+    for (b, t) in batches.iter().zip([1usize, 2, 8]) {
+        if digest(b) != d0 {
+            failures.push(format!("pristine outcomes differ at {t} threads"));
+        }
+        if b.stats.shard_panics != 0 || b.stats.retried != 0 || b.stats.degraded != 0 {
+            failures.push(format!(
+                "pristine batch reports fault counters at {t} threads: {:?}",
+                b.stats
+            ));
+        }
+        if b.stats.failed != 0 {
+            failures.push(format!("pristine batch failed queries at {t} threads"));
+        }
+    }
+    println!("  determinism: outcomes bit-identical at 1/2/8 threads, fault counters zero");
+
+    println!("fault_drill summary: {}", report.summary());
+    if report.undetected.is_empty() && failures.is_empty() {
+        println!("fault_drill: PASS (100% of faults detected or survived degraded)");
+    } else {
+        for f in &failures {
+            eprintln!("fault_drill FAILURE: {f}");
+        }
+        eprintln!("fault_drill: FAIL ({} failures)", failures.len());
+        std::process::exit(1);
+    }
+}

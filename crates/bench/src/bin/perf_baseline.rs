@@ -27,7 +27,10 @@
 //!
 //! The `queries` workload tracks the `en_wire` serving path: per `(n, k)`
 //! at `n ∈ {1000, 10000}` it snapshots the built scheme, times the
-//! zero-copy `FlatScheme::from_bytes` load, and measures batched routing
+//! zero-copy `FlatScheme::from_bytes` load — and the shape-only
+//! `from_bytes_unvalidated` open, recording the difference as the
+//! snapshot-validation cost gauge (`validate_us`, GB/s) the v2 checksum
+//! layer charges per publish — and measures batched routing
 //! throughput off the flat columns (uniform pairs; single-threaded and
 //! sharded over scoped threads), written to `BENCH_queries.json` together
 //! with the snapshot size and the host's CPU count (the multi-thread
@@ -238,6 +241,19 @@ fn main() {
             let (load_ms, _) = best_of(kernel_runs, || {
                 FlatScheme::from_bytes(&bytes).expect("snapshot validates")
             });
+            // The integrity tax: a validated load walks every section for
+            // the v2 checksums; the shape-only open (what epoch re-pins
+            // pay) reads just the header. The difference is the per-publish
+            // validation cost the SchemeStore charges.
+            let (load_shape_ms, _) = best_of(kernel_runs, || {
+                FlatScheme::from_bytes_unvalidated(&bytes).expect("snapshot opens")
+            });
+            let validate_ms = (load_ms - load_shape_ms).max(0.0);
+            let validate_gbps = if validate_ms > 0.0 {
+                bytes.len() as f64 / 1e9 / (validate_ms / 1e3)
+            } else {
+                0.0
+            };
             let flat = FlatScheme::from_bytes(&bytes).expect("snapshot validates");
             let engine = QueryEngine::new(flat, &g).expect("graph matches snapshot");
             let pairs = generate_pairs(&g, &PairWorkload::Uniform, query_pairs, 7);
@@ -254,12 +270,14 @@ fn main() {
             let multi_rps = pairs.len() as f64 / (multi_ms / 1e3);
             println!(
                 "queries n={n} k={k}: snapshot {} bytes ({:.1}/vertex), serialize \
-                 {serialize_ms:.3} ms, load {:.1} us, {} pairs: single {single_ms:.3} ms \
+                 {serialize_ms:.3} ms, load {:.1} us (validate {:.1} us, \
+                 {validate_gbps:.2} GB/s), {} pairs: single {single_ms:.3} ms \
                  ({single_rps:.0} routes/s), {QUERY_THREADS} threads {multi_ms:.3} ms \
                  ({multi_rps:.0} routes/s, {:.2}x)",
                 bytes.len(),
                 bytes.len() as f64 / n as f64,
                 load_ms * 1e3,
+                validate_ms * 1e3,
                 pairs.len(),
                 multi_rps / single_rps
             );
@@ -270,6 +288,7 @@ fn main() {
                 query_entries,
                 "    {{\"n\": {n}, \"k\": {k}, \"snapshot_bytes\": {}, \
                  \"serialize_ms\": {serialize_ms:.3}, \"load_us\": {:.1}, \
+                 \"validate_us\": {:.1}, \"validate_gb_per_s\": {validate_gbps:.2}, \
                  \"pairs\": {}, \"single_thread_ms\": {single_ms:.3}, \
                  \"single_routes_per_sec\": {single_rps:.0}, \
                  \"multi_thread_ms\": {multi_ms:.3}, \
@@ -277,6 +296,7 @@ fn main() {
                  \"multi_vs_single\": {:.2}}}",
                 bytes.len(),
                 load_ms * 1e3,
+                validate_ms * 1e3,
                 pairs.len(),
                 multi_rps / single_rps
             );

@@ -9,6 +9,24 @@
 //! are bit-identical by construction. Batches shard across plain
 //! `std::thread::scope` workers (the engine is `Sync`: a snapshot borrow
 //! plus a graph borrow), each with its own pre-sized output scratch.
+//!
+//! # Fault tolerance
+//!
+//! A production batch must not die with one poisoned query. Every shard
+//! worker runs under [`std::panic::catch_unwind`]; a shard that panics
+//! (possible only over a snapshot loaded with
+//! [`FlatScheme::from_bytes_unvalidated`], or a latent bug) is **retried
+//! once, sequentially, one query at a time** through
+//! [`QueryEngine::route_checked`] — the hardened path that bounds-checks
+//! every untrusted index and catches any residual panic per query. A
+//! single corrupt record therefore degrades exactly the queries that touch
+//! it into structured [`RoutingError`]s; the rest of the shard, the batch,
+//! and the process keep going. [`BatchStats`] reports the damage
+//! (`shard_panics` / `retried` / `degraded`) and [`BatchOutcome::shards`]
+//! carries per-shard accounting whose totals always reconcile with the
+//! batch size.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::{Dist, NodeId, Path, WeightedGraph};
@@ -51,6 +69,30 @@ pub struct BatchStats {
     pub max_stretch: f64,
     /// Mean stretch over delivered pairs (0.0 when none delivered).
     pub mean_stretch: f64,
+    /// Shards whose worker panicked and was retried (0 on healthy
+    /// snapshots — a validated snapshot cannot panic a worker).
+    pub shard_panics: usize,
+    /// Queries re-run sequentially because their shard panicked.
+    pub retried: usize,
+    /// Queries that still failed after the checked retry and were degraded
+    /// into per-query errors instead of killing the batch.
+    pub degraded: usize,
+}
+
+/// Per-shard accounting of one routed batch, reported through
+/// [`BatchOutcome::shards`]: across all shards, `queries` always sums to
+/// the batch size, `errors` to [`BatchStats::failed`], and `retries` to
+/// [`BatchStats::retried`], whatever the thread count or fault pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Queries assigned to this shard.
+    pub queries: usize,
+    /// Queries that returned an error (including degraded ones).
+    pub errors: usize,
+    /// Queries re-run sequentially after the shard's worker panicked.
+    pub retries: usize,
+    /// Whether the shard's worker panicked on first pass.
+    pub panicked: bool,
 }
 
 /// The outcome of routing one batch: per-pair results in input order plus
@@ -62,6 +104,9 @@ pub struct BatchOutcome {
     pub outcomes: Vec<Result<RouteOutcome, RoutingError>>,
     /// Aggregates over `outcomes`, computed in input order.
     pub stats: BatchStats,
+    /// Per-shard accounting, in shard order (one entry per worker chunk;
+    /// a single entry when the batch ran on one thread).
+    pub shards: Vec<ShardStats>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -207,6 +252,107 @@ impl<'a> QueryEngine<'a> {
         Ok(self.outcome(root, level, path, exact))
     }
 
+    /// [`Self::find_tree`] over the checked accessors: every untrusted
+    /// index — CSR offsets, entry fields, record bounds — is validated
+    /// before use, so corrupt columns surface as errors, not panics.
+    fn find_tree_checked(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(NodeId, FlatTreeLabel<'a>), RoutingError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        let corrupt = |e: WireError| RoutingError::TreeRouting(format!("corrupt snapshot: {e}"));
+        if let Some(label) = self.flat.try_own_label(from, to).map_err(corrupt)? {
+            return Ok((from, label));
+        }
+        let from_trees = self.flat.try_trees_of(from).map_err(corrupt)?;
+        for entry in self.flat.try_label_entries_of(to).map_err(corrupt)? {
+            let Some(tree_label) = entry.tree_label else {
+                continue;
+            };
+            if from_trees
+                .try_binary_search(entry.pivot as u64)
+                .map_err(corrupt)?
+                .is_ok()
+            {
+                return Ok((entry.pivot, tree_label));
+            }
+        }
+        Err(RoutingError::NoCommonTree { from, to })
+    }
+
+    /// The hardened forwarding loop: checked accessors everywhere, every
+    /// per-hop index validated (`next` must name a real vertex), and the
+    /// hop budget bounds the walk even over a corrupt tree.
+    fn forward_checked(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(NodeId, usize, Path), RoutingError> {
+        let corrupt = |e: WireError| RoutingError::TreeRouting(format!("corrupt snapshot: {e}"));
+        let (root, header_label) = self.find_tree_checked(from, to)?;
+        let cluster = self
+            .flat
+            .try_cluster_of_center(root)
+            .map_err(corrupt)?
+            .ok_or_else(|| RoutingError::TreeRouting(format!("no cluster for centre {root}")))?;
+        let mut path = Path::trivial(from);
+        let mut current = from;
+        for _ in 0..=self.flat.n() {
+            let table = cluster
+                .try_table_of(current)
+                .map_err(corrupt)?
+                .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
+            match next_hop_view(table, header_label)? {
+                None => return Ok((root, cluster.level, path)),
+                Some(next) => {
+                    if next >= self.flat.n() {
+                        return Err(RoutingError::TreeRouting(format!(
+                            "corrupt snapshot: next hop {next} is not a vertex"
+                        )));
+                    }
+                    path.push(next);
+                    current = next;
+                }
+            }
+        }
+        Err(RoutingError::TreeRouting(format!(
+            "forwarding from {from} to {to} through tree {root} did not terminate"
+        )))
+    }
+
+    /// Routes one packet through the hardened path: checked accessors,
+    /// per-hop index validation, and a panic guard. Over a fully validated
+    /// snapshot this returns exactly what [`Self::route_with_exact`]
+    /// returns, just slower; over corrupt bytes (a snapshot loaded with
+    /// [`FlatScheme::from_bytes_unvalidated`]) it degrades the query into a
+    /// structured error instead of panicking the caller.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::route_with_exact`] reports, plus
+    /// [`RoutingError::TreeRouting`] for any corruption encountered
+    /// mid-route.
+    pub fn route_checked(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        exact: Dist,
+    ) -> Result<RouteOutcome, RoutingError> {
+        // The checked accessors make index corruption an error; the unwind
+        // guard additionally contains anything they cannot see (e.g. a
+        // corrupt record interior tripping a slice bound in a view).
+        match catch_unwind(AssertUnwindSafe(|| self.forward_checked(from, to))) {
+            Ok(forwarded) => {
+                forwarded.map(|(root, level, path)| self.outcome(root, level, path, exact))
+            }
+            Err(_) => Err(RoutingError::TreeRouting(format!(
+                "corrupt snapshot: query {from}->{to} panicked and was degraded"
+            ))),
+        }
+    }
+
     fn route_chunk(
         &self,
         pairs: &[(NodeId, NodeId)],
@@ -219,6 +365,41 @@ impl<'a> QueryEngine<'a> {
             out.push(self.route_with_exact(from, to, exact));
         }
         out
+    }
+
+    /// Routes one shard: the fast path first, under a panic guard; if the
+    /// worker panicked, one sequential retry per query through the checked
+    /// path, so only the queries actually touching corruption degrade.
+    fn route_shard_isolated(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        exacts: Option<&[Dist]>,
+    ) -> (Vec<Result<RouteOutcome, RoutingError>>, ShardStats) {
+        let mut stats = ShardStats {
+            queries: pairs.len(),
+            ..ShardStats::default()
+        };
+        let fast = catch_unwind(AssertUnwindSafe(|| self.route_chunk(pairs, exacts)));
+        let outcomes = match fast {
+            Ok(outcomes) => outcomes,
+            Err(_) => {
+                // The shard died mid-chunk; re-run it query by query on the
+                // hardened path. Retrying is deterministic — the snapshot
+                // bytes are immutable — so a query that panicked fast will
+                // now produce a structured error instead.
+                stats.panicked = true;
+                stats.retries = pairs.len();
+                pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(from, to))| {
+                        self.route_checked(from, to, exacts.map_or(0, |e| e[i]))
+                    })
+                    .collect()
+            }
+        };
+        stats.errors = outcomes.iter().filter(|o| o.is_err()).count();
+        (outcomes, stats)
     }
 
     /// Routes a batch of pairs, sharded over `threads` scoped worker
@@ -234,10 +415,15 @@ impl<'a> QueryEngine<'a> {
     /// order, so the result — including the aggregate statistics — is
     /// identical for every thread count.
     ///
+    /// A worker panic does not kill the batch: the shard is caught,
+    /// retried sequentially through [`Self::route_checked`], and any query
+    /// still failing is degraded into its per-query error (see the module
+    /// docs; `stats.shard_panics` / `retried` / `degraded` and
+    /// [`BatchOutcome::shards`] report what happened).
+    ///
     /// # Panics
     ///
-    /// Panics if `exacts` is shorter than `pairs`, or if a worker thread
-    /// panics.
+    /// Panics if `exacts` is shorter than `pairs`.
     pub fn route_batch(
         &self,
         pairs: &[(NodeId, NodeId)],
@@ -251,10 +437,11 @@ impl<'a> QueryEngine<'a> {
         // `chunks(chunk)` yields at most `threads` shards and never slices
         // past the end, whatever the len/threads remainder.
         let chunk = pairs.len().div_ceil(threads).max(1);
-        let outcomes = if threads == 1 {
-            self.route_chunk(pairs, exacts)
+        let (outcomes, shards) = if threads == 1 {
+            let (outcomes, stats) = self.route_shard_isolated(pairs, exacts);
+            (outcomes, vec![stats])
         } else {
-            let shards: Vec<Vec<Result<RouteOutcome, RoutingError>>> =
+            let sharded: Vec<(Vec<Result<RouteOutcome, RoutingError>>, ShardStats)> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = pairs
                         .chunks(chunk)
@@ -262,22 +449,37 @@ impl<'a> QueryEngine<'a> {
                         .map(|(t, pair_slice)| {
                             let exact_slice =
                                 exacts.map(|e| &e[t * chunk..t * chunk + pair_slice.len()]);
-                            scope.spawn(move || self.route_chunk(pair_slice, exact_slice))
+                            // The panic guard runs *inside* the worker, so
+                            // join() below cannot observe a panic.
+                            scope.spawn(move || self.route_shard_isolated(pair_slice, exact_slice))
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("query worker panicked"))
+                        .map(|h| h.join().expect("worker guarded by catch_unwind"))
                         .collect()
                 });
             let mut outcomes = Vec::with_capacity(pairs.len());
-            for shard in shards {
-                outcomes.extend(shard);
+            let mut shards = Vec::with_capacity(sharded.len());
+            for (shard_outcomes, shard_stats) in sharded {
+                outcomes.extend(shard_outcomes);
+                shards.push(shard_stats);
             }
-            outcomes
+            (outcomes, shards)
         };
-        let stats = batch_stats(&outcomes);
-        BatchOutcome { outcomes, stats }
+        let mut stats = batch_stats(&outcomes);
+        for s in &shards {
+            stats.shard_panics += s.panicked as usize;
+            stats.retried += s.retries;
+            if s.panicked {
+                stats.degraded += s.errors;
+            }
+        }
+        BatchOutcome {
+            outcomes,
+            stats,
+            shards,
+        }
     }
 }
 
@@ -292,6 +494,9 @@ fn batch_stats(outcomes: &[Result<RouteOutcome, RoutingError>]) -> BatchStats {
         total_length: 0,
         max_stretch: 0.0,
         mean_stretch: 0.0,
+        shard_panics: 0,
+        retried: 0,
+        degraded: 0,
     };
     let mut stretch_sum = 0.0f64;
     for out in outcomes {

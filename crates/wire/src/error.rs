@@ -29,6 +29,16 @@ pub enum WireError {
         /// The version found.
         found: u64,
     },
+    /// A stored checksum does not match the bytes it covers: the buffer was
+    /// corrupted in transit (bit rot, torn write, truncated-then-padded).
+    ChecksumMismatch {
+        /// Which covered range failed (`"header"` or a section name).
+        region: &'static str,
+        /// The checksum the header claims.
+        expected: u64,
+        /// The checksum the bytes actually hash to.
+        actual: u64,
+    },
     /// A structural invariant does not hold (offsets, CSRs, record bounds).
     Corrupt {
         /// Which invariant failed.
@@ -61,6 +71,15 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion { found } => {
                 write!(f, "unsupported snapshot format version {found}")
             }
+            WireError::ChecksumMismatch {
+                region,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot {region} checksum mismatch: header claims {expected:#018x}, \
+                 bytes hash to {actual:#018x}"
+            ),
             WireError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
             WireError::GraphMismatch {
                 graph_n,
@@ -94,6 +113,13 @@ mod tests {
         assert!(WireError::UnsupportedVersion { found: 9 }
             .to_string()
             .contains('9'));
+        assert!(WireError::ChecksumMismatch {
+            region: "label_pool",
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("label_pool"));
         assert!(WireError::Corrupt { what: "x" }.to_string().contains('x'));
         assert!(WireError::GraphMismatch {
             graph_n: 3,

@@ -1,0 +1,360 @@
+//! Deterministic fault injection against snapshot bytes.
+//!
+//! The serving stack claims *error-not-crash* for arbitrary snapshot
+//! corruption. This module makes that claim drillable: seeded, fully
+//! deterministic fault **plans** (truncations at every section boundary,
+//! single-bit flips over the header and each section, scrambled offset
+//! columns) plus runners that apply each fault to a pristine buffer and
+//! classify what the stack did about it:
+//!
+//! * **detected** — [`FlatScheme::from_bytes`] rejected the bytes with a
+//!   structured [`WireError`]; nothing corrupt was ever served.
+//! * **degraded** — the bytes were forced in past validation (via
+//!   [`FlatScheme::from_bytes_unvalidated`], simulating corruption that
+//!   strikes *after* load) and the engine turned the damage into per-query
+//!   errors while the batch and process survived.
+//! * **survived** — the fault turned out not to affect any observable
+//!   outcome (possible only for post-load corruption of bytes no query
+//!   touches).
+//! * **undetected** — the failure mode: a corrupt buffer validated clean.
+//!   The drills assert this count is zero.
+//!
+//! Plans are pure data (`Vec<FaultCase>`), so tests, the `fault_drill`
+//! harness bin, and CI all execute byte-identical fault sequences for a
+//! given seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::WireError;
+use crate::flat::{FlatScheme, SnapshotManifest};
+use crate::format::{Section, HEADER_WORDS};
+
+/// One way to damage a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Keep only the first `len` bytes.
+    Truncate {
+        /// Bytes to keep.
+        len: usize,
+    },
+    /// Flip a single bit.
+    BitFlip {
+        /// Byte offset.
+        byte: usize,
+        /// Bit index within the byte (0..8).
+        bit: u8,
+    },
+    /// Overwrite one 8-byte word with an arbitrary value.
+    WordWrite {
+        /// Word offset (in 8-byte words from the buffer start).
+        word: usize,
+        /// The value written.
+        value: u64,
+    },
+}
+
+/// A named fault: what to do to the bytes, and a label for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCase {
+    /// Human-readable label (`"truncate@member_ids"`, `"flip header 3:17"`).
+    pub name: String,
+    /// The damage to apply.
+    pub kind: FaultKind,
+}
+
+impl FaultCase {
+    /// Applies the fault to a copy of `bytes`.
+    pub fn apply(&self, bytes: &[u8]) -> Vec<u8> {
+        match self.kind {
+            FaultKind::Truncate { len } => bytes[..len.min(bytes.len())].to_vec(),
+            FaultKind::BitFlip { byte, bit } => {
+                let mut out = bytes.to_vec();
+                if let Some(b) = out.get_mut(byte) {
+                    *b ^= 1 << (bit % 8);
+                }
+                out
+            }
+            FaultKind::WordWrite { word, value } => {
+                let mut out = bytes.to_vec();
+                let at = word * 8;
+                if at + 8 <= out.len() {
+                    out[at..at + 8].copy_from_slice(&value.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Truncations at every section boundary, one word before each boundary,
+/// and two sub-word cuts — the shapes a torn transfer produces.
+pub fn truncation_plan(manifest: &SnapshotManifest) -> Vec<FaultCase> {
+    let total = manifest.total_words * 8;
+    let mut plan = Vec::new();
+    let mut push = |name: String, len: usize| {
+        if len < total {
+            plan.push(FaultCase {
+                name,
+                kind: FaultKind::Truncate { len },
+            });
+        }
+    };
+    for span in &manifest.sections {
+        let name = span.section.name();
+        push(format!("truncate@{name}"), span.start_word * 8);
+        if span.start_word > 0 {
+            push(format!("truncate@{name}-1w"), (span.start_word - 1) * 8);
+        }
+    }
+    push("truncate@end-1w".into(), total.saturating_sub(8));
+    // Sub-word cuts: misaligned buffers.
+    push("truncate@end-1b".into(), total.saturating_sub(1));
+    push("truncate@mid+3b".into(), total / 2 / 8 * 8 + 3);
+    push("truncate@empty".into(), 0);
+    plan
+}
+
+/// A single-bit flip in every bit of every header word — the header is
+/// small enough to sweep exhaustively.
+pub fn header_flip_plan() -> Vec<FaultCase> {
+    let mut plan = Vec::with_capacity(HEADER_WORDS * 64);
+    for word in 0..HEADER_WORDS {
+        for bit in 0..64u32 {
+            plan.push(FaultCase {
+                name: format!("flip header {word}:{bit}"),
+                kind: FaultKind::BitFlip {
+                    byte: word * 8 + (bit / 8) as usize,
+                    bit: (bit % 8) as u8,
+                },
+            });
+        }
+    }
+    plan
+}
+
+/// `per_section` seeded single-bit flips inside every non-empty section.
+pub fn section_flip_plan(
+    manifest: &SnapshotManifest,
+    seed: u64,
+    per_section: usize,
+) -> Vec<FaultCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan = Vec::new();
+    for span in &manifest.sections {
+        if span.words == 0 {
+            continue;
+        }
+        let (start, len) = (span.start_word * 8, span.words * 8);
+        for i in 0..per_section {
+            let byte = start + rng.gen_range(0..len);
+            let bit = rng.gen_range(0..8u32) as u8;
+            plan.push(FaultCase {
+                name: format!("flip {} #{i} @{byte}:{bit}", span.section.name()),
+                kind: FaultKind::BitFlip { byte, bit },
+            });
+        }
+    }
+    plan
+}
+
+/// Seeded scrambles of the offset columns — the words the reader indexes
+/// with: cluster descriptors, the member-table offset column, and all
+/// three per-vertex CSRs. Each case overwrites one word with a huge or
+/// adversarial value (past-the-end offsets, reversed monotonicity).
+pub fn offset_scramble_plan(
+    manifest: &SnapshotManifest,
+    seed: u64,
+    cases: usize,
+) -> Vec<FaultCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let targets = [
+        Section::Clusters,
+        Section::MemberTableOffs,
+        Section::VtreesOff,
+        Section::OwnOff,
+        Section::LabelEntriesOff,
+        Section::OwnEntries,
+        Section::LabelEntries,
+        Section::CenterIndex,
+    ];
+    let mut plan = Vec::new();
+    for i in 0..cases {
+        let span = manifest.sections[targets[i % targets.len()] as usize];
+        if span.words == 0 {
+            continue;
+        }
+        let word = span.start_word + rng.gen_range(0..span.words);
+        let value = match rng.gen_range(0..3u32) {
+            0 => u64::MAX,
+            1 => manifest.total_words as u64 + rng.gen_range(1..1_000_000u64),
+            _ => rng.gen_range(0..u64::MAX / 2) | (1 << 40),
+        };
+        plan.push(FaultCase {
+            name: format!("scramble {} w{word}={value:#x}", span.section.name()),
+            kind: FaultKind::WordWrite { word, value },
+        });
+    }
+    plan
+}
+
+/// How the stack handled one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// `from_bytes` rejected the corrupt buffer.
+    Detected(WireError),
+    /// Post-load corruption was served degraded: this many queries errored,
+    /// the batch and process survived.
+    Degraded {
+        /// Queries that returned structured errors.
+        errors: usize,
+    },
+    /// The fault changed no observable outcome.
+    Survived,
+    /// A corrupt buffer validated clean — the failure mode drills hunt.
+    Undetected,
+}
+
+/// Aggregated drill results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults injected.
+    pub injected: usize,
+    /// Faults rejected at load time.
+    pub detected: usize,
+    /// Faults served degraded (post-load corruption, per-query errors).
+    pub degraded: usize,
+    /// Faults with no observable effect.
+    pub survived: usize,
+    /// Labels of faults that validated clean — must stay empty.
+    pub undetected: Vec<String>,
+}
+
+impl FaultReport {
+    /// Whether every injected fault was detected, degraded, or survived.
+    pub fn all_handled(&self) -> bool {
+        self.undetected.is_empty() && self.detected + self.degraded + self.survived == self.injected
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: FaultReport) {
+        self.injected += other.injected;
+        self.detected += other.detected;
+        self.degraded += other.degraded;
+        self.survived += other.survived;
+        self.undetected.extend(other.undetected);
+    }
+
+    /// One-line summary for harness stdout.
+    pub fn summary(&self) -> String {
+        format!(
+            "injected={} detected={} degraded={} survived={} undetected={}",
+            self.injected,
+            self.detected,
+            self.degraded,
+            self.survived,
+            self.undetected.len()
+        )
+    }
+}
+
+/// Runs a load-time drill: every fault in `plan` must make
+/// [`FlatScheme::from_bytes`] return an error (the faults all really
+/// change covered bytes, so an `Ok` is recorded as undetected).
+pub fn drill_loads(bytes: &[u8], plan: &[FaultCase]) -> FaultReport {
+    let mut report = FaultReport::default();
+    for case in plan {
+        let corrupt = case.apply(bytes);
+        if corrupt.len() == bytes.len() && corrupt == bytes {
+            continue; // the fault was a no-op (e.g. writing the same word)
+        }
+        report.injected += 1;
+        match FlatScheme::from_bytes(&corrupt) {
+            Err(_) => report.detected += 1,
+            Ok(_) => report.undetected.push(case.name.clone()),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize;
+    use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+    use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+    fn snapshot() -> Vec<u8> {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(36, 5).with_weights(1, 9), 0.15);
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(2, 5)).unwrap();
+        serialize(&built.scheme)
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let bytes = snapshot();
+        let manifest = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+        assert_eq!(truncation_plan(&manifest), truncation_plan(&manifest));
+        assert_eq!(
+            section_flip_plan(&manifest, 7, 4),
+            section_flip_plan(&manifest, 7, 4)
+        );
+        assert_ne!(
+            section_flip_plan(&manifest, 7, 4),
+            section_flip_plan(&manifest, 8, 4)
+        );
+        assert_eq!(
+            offset_scramble_plan(&manifest, 3, 16),
+            offset_scramble_plan(&manifest, 3, 16)
+        );
+    }
+
+    #[test]
+    fn apply_shapes_are_right() {
+        let bytes = vec![0u8; 64];
+        let t = FaultCase {
+            name: "t".into(),
+            kind: FaultKind::Truncate { len: 10 },
+        };
+        assert_eq!(t.apply(&bytes).len(), 10);
+        let f = FaultCase {
+            name: "f".into(),
+            kind: FaultKind::BitFlip { byte: 3, bit: 2 },
+        };
+        let flipped = f.apply(&bytes);
+        assert_eq!(flipped[3], 4);
+        assert_eq!(f.apply(&flipped), bytes, "a bit flip is an involution");
+        let w = FaultCase {
+            name: "w".into(),
+            kind: FaultKind::WordWrite { word: 1, value: 42 },
+        };
+        assert_eq!(
+            u64::from_le_bytes(w.apply(&bytes)[8..16].try_into().unwrap()),
+            42
+        );
+        // Out-of-range damage degrades to a no-op instead of panicking.
+        let oob = FaultCase {
+            name: "oob".into(),
+            kind: FaultKind::WordWrite {
+                word: 100,
+                value: 1,
+            },
+        };
+        assert_eq!(oob.apply(&bytes), bytes);
+    }
+
+    #[test]
+    fn every_planned_fault_is_detected_at_load() {
+        let bytes = snapshot();
+        let manifest = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+        let mut report = drill_loads(&bytes, &truncation_plan(&manifest));
+        report.merge(drill_loads(&bytes, &section_flip_plan(&manifest, 11, 3)));
+        report.merge(drill_loads(
+            &bytes,
+            &offset_scramble_plan(&manifest, 13, 24),
+        ));
+        assert!(report.all_handled(), "undetected: {:?}", report.undetected);
+        assert_eq!(report.detected, report.injected, "all load faults detect");
+        assert!(report.injected > 30);
+    }
+}

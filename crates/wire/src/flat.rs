@@ -10,12 +10,13 @@
 use en_graph::NodeId;
 use en_tree_routing::{LabelView, LocalLabelView, TableView};
 
+use crate::checksum::fnv1a_bytes;
 use crate::error::WireError;
 use crate::format::{
-    Section, Words, CLUSTER_RECORD_WORDS, HEADER_WORDS, H_K, H_MAX_LABEL_WORDS, H_MAX_TABLE_WORDS,
-    H_N, H_NUM_CLUSTERS, H_SECTIONS, H_TOTAL_LABEL_WORDS, H_TOTAL_MEMBERS, H_TOTAL_TABLE_WORDS,
-    H_TOTAL_WORDS, LABEL_ENTRY_WORDS, MAGIC, NULL, NUM_SECTIONS, OWN_ENTRY_WORDS,
-    TABLE_FIXED_WORDS, VERSION,
+    Section, Words, CLUSTER_RECORD_WORDS, HEADER_WORDS, H_HEADER_SUM, H_K, H_MAX_LABEL_WORDS,
+    H_MAX_TABLE_WORDS, H_N, H_NUM_CLUSTERS, H_SECTIONS, H_SECTION_SUMS, H_TOTAL_LABEL_WORDS,
+    H_TOTAL_MEMBERS, H_TOTAL_TABLE_WORDS, H_TOTAL_WORDS, LABEL_ENTRY_WORDS, MAGIC, NULL,
+    NUM_SECTIONS, OWN_ENTRY_WORDS, TABLE_FIXED_WORDS, VERSION,
 };
 
 /// A complete routing scheme served directly from a snapshot buffer.
@@ -52,10 +53,46 @@ impl FlatU64s<'_> {
     }
 
     /// Element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the underlying read runs past the buffer — impossible on
+    /// a fully validated snapshot, possible on one loaded with
+    /// [`FlatScheme::from_bytes_unvalidated`]. The checked paths use
+    /// [`Self::try_get`].
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
         debug_assert!(i < self.len);
         self.words.get(self.start + i)
+    }
+
+    /// Element `i`, or `None` when `i` is out of range or the slice itself
+    /// (computed from possibly-corrupt offsets) runs past the buffer.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Option<u64> {
+        if i >= self.len {
+            return None;
+        }
+        self.words.try_get(self.start.checked_add(i)?)
+    }
+
+    /// Binary search over an ascending column without trusting the column
+    /// bounds: out-of-buffer reads surface as `Err(WireError)` instead of a
+    /// panic, and `Ok` mirrors [`Self::binary_search`]'s `Ok`.
+    pub fn try_binary_search(&self, x: u64) -> Result<Result<usize, usize>, WireError> {
+        let err = WireError::Corrupt {
+            what: "member column runs past the buffer",
+        };
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.try_get(mid).ok_or(err)?.cmp(&x) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(Ok(mid)),
+            }
+        }
+        Ok(Err(lo))
     }
 
     /// Binary search for `x` over an ascending column.
@@ -112,7 +149,33 @@ impl<'a> FlatCluster<'a> {
         }
     }
 
+    /// The member column with its span checked against the member section:
+    /// a descriptor whose `members_start`/`members_len` (untrusted words)
+    /// overrun the column is reported instead of read.
+    pub fn try_members(&self) -> Result<FlatU64s<'a>, WireError> {
+        let err = WireError::Corrupt {
+            what: "cluster members overrun the member column",
+        };
+        let sec = self.scheme.secs[Section::MemberIds as usize];
+        let sec_len = self.scheme.secs[Section::MemberIds as usize + 1] - sec;
+        let end = self
+            .members_start
+            .checked_add(self.members_len)
+            .ok_or(err)?;
+        if end > sec_len {
+            return Err(err);
+        }
+        Ok(self.members())
+    }
+
     /// The routing table of member `v`, if `v` is in this cluster.
+    ///
+    /// # Panics
+    ///
+    /// May panic (never reads out of bounds — the crate forbids `unsafe`)
+    /// over a scheme loaded with [`FlatScheme::from_bytes_unvalidated`]
+    /// whose member or offset columns are corrupt; [`Self::try_table_of`]
+    /// is the checked equivalent.
     pub fn table_of(&self, v: NodeId) -> Option<FlatTreeTable<'a>> {
         let pos = self.members().binary_search(v as u64).ok()?;
         let rel = self
@@ -124,6 +187,36 @@ impl<'a> FlatCluster<'a> {
             off: self.scheme.secs[Section::TablePool as usize] + rel as usize,
             vertex: v,
         })
+    }
+
+    /// [`Self::table_of`] with every untrusted index checked: the member
+    /// span, the offset-column read, and the whole table record (including
+    /// its global-heavy tail) are bounds-validated before a view is handed
+    /// out, so the returned view's reads cannot leave the table pool.
+    pub fn try_table_of(&self, v: NodeId) -> Result<Option<FlatTreeTable<'a>>, WireError> {
+        let members = self.try_members()?;
+        let Ok(pos) = members.try_binary_search(v as u64)? else {
+            return Ok(None);
+        };
+        let off_col = WireError::Corrupt {
+            what: "table-offset column runs past the buffer",
+        };
+        let rel = self
+            .scheme
+            .words
+            .try_get(
+                self.scheme.secs[Section::MemberTableOffs as usize]
+                    + self.members_start.checked_add(pos).ok_or(off_col)?,
+            )
+            .ok_or(off_col)?;
+        let pool_base = self.scheme.secs[Section::TablePool as usize];
+        let pool_len = self.scheme.secs[Section::TablePool as usize + 1] - pool_base;
+        validate_table_record(self.scheme.words, pool_base, pool_len, rel as usize)?;
+        Ok(Some(FlatTreeTable {
+            words: self.scheme.words,
+            off: pool_base + rel as usize,
+            vertex: v,
+        }))
     }
 }
 
@@ -306,16 +399,55 @@ pub struct FlatLabelEntry<'a> {
 impl<'a> FlatScheme<'a> {
     /// Validates `bytes` as a snapshot and wraps it for zero-copy access.
     ///
-    /// The validation is exhaustive — header magic/version/size, section
-    /// bounds, CSR monotonicity, every record reachable from a column — so
-    /// the accessors never have to re-check and simply borrow.
+    /// The validation is exhaustive — header magic/version/size, the header
+    /// checksum, every per-section checksum, section bounds, CSR
+    /// monotonicity, every record reachable from a column — so the
+    /// accessors never have to re-check and simply borrow. The checksums
+    /// are verified here, once per load: integrity costs one linear pass at
+    /// publish/load time and nothing on the per-query hot path.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] describing the first inconsistency found;
-    /// truncated buffers, foreign magic, and corrupted offsets are all
-    /// rejected rather than risking a panic at query time.
+    /// truncated buffers, foreign magic, flipped bits anywhere in the
+    /// header or a section, and corrupted offsets are all rejected rather
+    /// than risking a panic at query time.
     pub fn from_bytes(bytes: &'a [u8]) -> Result<Self, WireError> {
+        let flat = Self::parse_header(bytes, true)?;
+        flat.verify_section_checksums(bytes)?;
+        let total_members = flat.words.get(H_TOTAL_MEMBERS) as usize;
+        flat.validate_clusters(total_members)?;
+        flat.validate_csrs()?;
+        Ok(flat)
+    }
+
+    /// Wraps `bytes` after shape checks only: header geometry, section
+    /// bounds, and fixed column lengths — **no checksums, no structural
+    /// validation of section contents**.
+    ///
+    /// This exists for two callers. The epoch store re-opens bytes it
+    /// already fully validated at publish time, where re-walking hundreds
+    /// of megabytes per reader would defeat validate-once. And the
+    /// fault-injection harness deliberately loads malformed-but-header-valid
+    /// buffers to drill the checked accessor paths ([`FlatU64s::try_get`],
+    /// [`FlatCluster::try_table_of`],
+    /// [`route_checked`](crate::QueryEngine::route_checked)) — over an
+    /// unvalidated scheme the *unchecked* accessors may panic or return
+    /// garbage, the checked ones must return errors.
+    ///
+    /// # Errors
+    ///
+    /// Rejects buffers whose header geometry is unusable (misalignment,
+    /// truncation, foreign magic/version, out-of-order section offsets,
+    /// wrong fixed-column lengths); everything deeper is trusted.
+    pub fn from_bytes_unvalidated(bytes: &'a [u8]) -> Result<Self, WireError> {
+        Self::parse_header(bytes, false)
+    }
+
+    /// The shared shape pass: cheap O(header) checks that make the section
+    /// arithmetic well-defined. `verify_header_sum` additionally pins every
+    /// header bit under the trailing header checksum.
+    fn parse_header(bytes: &'a [u8], verify_header_sum: bool) -> Result<Self, WireError> {
         if bytes.len() % 8 != 0 {
             return Err(WireError::Misaligned { len: bytes.len() });
         }
@@ -335,6 +467,19 @@ impl<'a> FlatScheme<'a> {
             return Err(WireError::UnsupportedVersion {
                 found: words.get(1),
             });
+        }
+        if verify_header_sum {
+            // Covers every header word but itself — verified before any
+            // other header word is trusted.
+            let expected = words.get(H_HEADER_SUM);
+            let actual = fnv1a_bytes(&bytes[..H_HEADER_SUM * 8]);
+            if expected != actual {
+                return Err(WireError::ChecksumMismatch {
+                    region: "header",
+                    expected,
+                    actual,
+                });
+            }
         }
         let total_words = words.get(H_TOTAL_WORDS) as usize;
         if total_words != words.len() {
@@ -371,7 +516,9 @@ impl<'a> FlatScheme<'a> {
         }
         let sec_len = |s: Section| secs[s as usize + 1] - secs[s as usize];
 
-        // Fixed-size sections.
+        // Fixed-size sections — the byte-budget manifest check: every
+        // fixed column's span must match the header's own n / cluster /
+        // member counts before any of it is indexed.
         let fixed: [(Section, usize, &'static str); 7] = [
             (Section::CenterIndex, n, "centre index length"),
             (
@@ -395,16 +542,29 @@ impl<'a> FlatScheme<'a> {
             }
         }
 
-        let flat = FlatScheme {
+        Ok(FlatScheme {
             words,
             n,
             k,
             num_clusters,
             secs,
-        };
-        flat.validate_clusters(total_members)?;
-        flat.validate_csrs()?;
-        Ok(flat)
+        })
+    }
+
+    /// Verifies each section's stored checksum against its bytes.
+    fn verify_section_checksums(&self, bytes: &[u8]) -> Result<(), WireError> {
+        for (i, sec) in Section::ALL.iter().enumerate() {
+            let expected = self.words.get(H_SECTION_SUMS + i);
+            let actual = fnv1a_bytes(&bytes[self.secs[i] * 8..self.secs[i + 1] * 8]);
+            if expected != actual {
+                return Err(WireError::ChecksumMismatch {
+                    region: sec.name(),
+                    expected,
+                    actual,
+                });
+            }
+        }
+        Ok(())
     }
 
     fn validate_clusters(&self, total_members: usize) -> Result<(), WireError> {
@@ -642,6 +802,43 @@ impl<'a> FlatScheme<'a> {
         (start, end - start)
     }
 
+    /// [`Self::csr_range`] with the offset pair checked for monotonicity
+    /// and against the value section's capacity (`unit` words per entry).
+    fn try_csr_range(
+        &self,
+        offsets: Section,
+        vals: Section,
+        unit: usize,
+        v: NodeId,
+    ) -> Result<(usize, usize), WireError> {
+        if v >= self.n {
+            return Ok((0, 0));
+        }
+        let err = WireError::Corrupt {
+            what: "CSR offsets not monotone within bounds",
+        };
+        let base = self.secs[offsets as usize];
+        let start = self.words.try_get(base + v).ok_or(err)? as usize;
+        let end = self.words.try_get(base + v + 1).ok_or(err)? as usize;
+        let vals_len = (self.secs[vals as usize + 1] - self.secs[vals as usize]) / unit;
+        if start > end || end > vals_len {
+            return Err(err);
+        }
+        Ok((start, end - start))
+    }
+
+    /// [`Self::trees_of`] with the CSR offsets checked: a corrupt offset
+    /// pair (non-monotone, or pointing past the value column) is reported
+    /// instead of producing a slice that reads out of bounds.
+    pub fn try_trees_of(&self, v: NodeId) -> Result<FlatU64s<'a>, WireError> {
+        let (start, len) = self.try_csr_range(Section::VtreesOff, Section::VtreesVals, 1, v)?;
+        Ok(FlatU64s {
+            words: self.words,
+            start: self.secs[Section::VtreesVals as usize] + start,
+            len,
+        })
+    }
+
     fn own_range(&self, v: NodeId) -> (usize, usize) {
         self.csr_range(Section::OwnOff, v)
     }
@@ -668,6 +865,51 @@ impl<'a> FlatScheme<'a> {
             }
         }
         None
+    }
+
+    /// [`Self::own_label`] with the CSR range, the entry reads, and the
+    /// label record all bounds-checked before a view escapes.
+    pub fn try_own_label(
+        &self,
+        center: NodeId,
+        member: NodeId,
+    ) -> Result<Option<FlatTreeLabel<'a>>, WireError> {
+        let (start, count) = self.try_csr_range(
+            Section::OwnOff,
+            Section::OwnEntries,
+            OWN_ENTRY_WORDS,
+            center,
+        )?;
+        let err = WireError::Corrupt {
+            what: "own-cluster entry runs past the buffer",
+        };
+        let base = self.secs[Section::OwnEntries as usize];
+        let (mut lo, mut hi) = (0usize, count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let m = self
+                .words
+                .try_get(base + (start + mid) * OWN_ENTRY_WORDS)
+                .ok_or(err)?;
+            match m.cmp(&(member as u64)) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let off = self
+                        .words
+                        .try_get(base + (start + mid) * OWN_ENTRY_WORDS + 1)
+                        .ok_or(err)? as usize;
+                    let pool_base = self.secs[Section::LabelPool as usize];
+                    let pool_len = self.secs[Section::LabelPool as usize + 1] - pool_base;
+                    validate_label_record(self.words, pool_base, pool_len, off)?;
+                    return Ok(Some(FlatTreeLabel {
+                        words: self.words,
+                        off: pool_base + off,
+                    }));
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Number of own-cluster labels stored at `center` (0 unless `center` is
@@ -702,6 +944,53 @@ impl<'a> FlatScheme<'a> {
         })
     }
 
+    /// [`Self::label_entries_of`] with every entry checked — the CSR range,
+    /// the level/pivot fields, and each referenced label record — collected
+    /// into a vector (the checked path may allocate; the hot path may not).
+    pub fn try_label_entries_of(&self, v: NodeId) -> Result<Vec<FlatLabelEntry<'a>>, WireError> {
+        let (start, count) = self.try_csr_range(
+            Section::LabelEntriesOff,
+            Section::LabelEntries,
+            LABEL_ENTRY_WORDS,
+            v,
+        )?;
+        let err = WireError::Corrupt {
+            what: "label entry runs past the buffer",
+        };
+        let base = self.secs[Section::LabelEntries as usize];
+        let pool_base = self.secs[Section::LabelPool as usize];
+        let pool_len = self.secs[Section::LabelPool as usize + 1] - pool_base;
+        let mut out = Vec::with_capacity(count);
+        for e in 0..count {
+            let at = base + (start + e) * LABEL_ENTRY_WORDS;
+            let level = self.words.try_get(at).ok_or(err)?;
+            let pivot = self.words.try_get(at + 1).ok_or(err)?;
+            if level >= self.k as u64 || pivot >= self.n as u64 {
+                return Err(WireError::Corrupt {
+                    what: "label entry level or pivot out of range",
+                });
+            }
+            let dist = self.words.try_get(at + 2).ok_or(err)?;
+            let off = self.words.try_get(at + 3).ok_or(err)?;
+            let tree_label = if off == NULL {
+                None
+            } else {
+                validate_label_record(self.words, pool_base, pool_len, off as usize)?;
+                Some(FlatTreeLabel {
+                    words: self.words,
+                    off: pool_base + off as usize,
+                })
+            };
+            out.push(FlatLabelEntry {
+                level: level as usize,
+                pivot: pivot as NodeId,
+                dist,
+                tree_label,
+            });
+        }
+        Ok(out)
+    }
+
     /// The cluster with dense id `id`.
     ///
     /// # Panics
@@ -721,6 +1010,12 @@ impl<'a> FlatScheme<'a> {
     }
 
     /// The cluster rooted at `center`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics over an unvalidated scheme whose centre index names a cluster
+    /// id past the cluster table; [`Self::try_cluster_of_center`] reports
+    /// that instead.
     pub fn cluster_of_center(&self, center: NodeId) -> Option<FlatCluster<'a>> {
         if center >= self.n {
             return None;
@@ -731,9 +1026,96 @@ impl<'a> FlatScheme<'a> {
         (id != NULL).then(|| self.cluster(id as usize))
     }
 
+    /// [`Self::cluster_of_center`] with the centre-index word checked
+    /// against the cluster table before it is used as an index.
+    pub fn try_cluster_of_center(
+        &self,
+        center: NodeId,
+    ) -> Result<Option<FlatCluster<'a>>, WireError> {
+        if center >= self.n {
+            return Ok(None);
+        }
+        let id = self
+            .words
+            .try_get(self.secs[Section::CenterIndex as usize] + center)
+            .ok_or(WireError::Corrupt {
+                what: "centre index runs past the buffer",
+            })?;
+        if id == NULL {
+            return Ok(None);
+        }
+        if id as usize >= self.num_clusters {
+            return Err(WireError::Corrupt {
+                what: "centre index points past the cluster table",
+            });
+        }
+        Ok(Some(self.cluster(id as usize)))
+    }
+
     /// Iterates all clusters in dense id order.
     pub fn clusters(&self) -> impl Iterator<Item = FlatCluster<'a>> + '_ {
         (0..self.num_clusters).map(move |id| self.cluster(id))
+    }
+
+    /// The snapshot's byte-budget manifest: each section's span and stored
+    /// checksum, straight from the (already shape-checked) header. Fault
+    /// tooling uses it to aim truncations and flips at exact boundaries.
+    pub fn manifest(&self) -> SnapshotManifest {
+        let mut sections = [SectionSpan {
+            section: Section::CenterIndex,
+            start_word: 0,
+            words: 0,
+            checksum: 0,
+        }; NUM_SECTIONS];
+        for (i, sec) in Section::ALL.iter().enumerate() {
+            sections[i] = SectionSpan {
+                section: *sec,
+                start_word: self.secs[i],
+                words: self.secs[i + 1] - self.secs[i],
+                checksum: self.words.get(H_SECTION_SUMS + i),
+            };
+        }
+        SnapshotManifest {
+            total_words: self.words.len(),
+            header_checksum: self.words.get(H_HEADER_SUM),
+            sections,
+        }
+    }
+}
+
+/// One section's span inside a snapshot, as declared by the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionSpan {
+    /// Which section.
+    pub section: Section,
+    /// Absolute start, in words from the buffer start.
+    pub start_word: usize,
+    /// Length in words.
+    pub words: usize,
+    /// The checksum the header stores for this section.
+    pub checksum: u64,
+}
+
+/// The header's byte-budget manifest: every section span plus the stored
+/// checksums (see [`FlatScheme::manifest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Total buffer size in words.
+    pub total_words: usize,
+    /// The stored header checksum.
+    pub header_checksum: u64,
+    /// Per-section spans, in buffer order.
+    pub sections: [SectionSpan; NUM_SECTIONS],
+}
+
+impl SnapshotManifest {
+    /// The word offsets of every section boundary, ascending: the start of
+    /// each section plus the end of the buffer — the exact places where a
+    /// torn transfer truncates cleanly.
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut b: Vec<usize> = self.sections.iter().map(|s| s.start_word).collect();
+        b.push(self.total_words);
+        b
     }
 }
 
@@ -800,4 +1182,224 @@ fn validate_label_record(
         )?;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    //! Per-accessor corruption drills: each test poisons one word that the
+    //! header's *shape* checks cannot see (so the buffer still opens with
+    //! [`FlatScheme::from_bytes_unvalidated`]), then asserts the checked
+    //! accessor reports the damage as a [`WireError`] instead of panicking —
+    //! and that the full [`FlatScheme::from_bytes`] pass catches the same
+    //! corruption up front via the section checksums.
+
+    use super::*;
+    use crate::serialize;
+    use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+    use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+    fn snapshot() -> Vec<u8> {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(64, 9).with_weights(1, 15), 0.12);
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(2, 9)).unwrap();
+        serialize(&built.scheme)
+    }
+
+    fn word_at(bytes: &[u8], w: usize) -> u64 {
+        u64::from_le_bytes(bytes[w * 8..w * 8 + 8].try_into().unwrap())
+    }
+
+    /// Overwrites word `w` and asserts the checksum layer would have caught
+    /// it, then hands back the corrupt buffer for the accessor drill.
+    fn poke(bytes: &[u8], w: usize, value: u64) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        out[w * 8..w * 8 + 8].copy_from_slice(&value.to_le_bytes());
+        assert!(
+            FlatScheme::from_bytes(&out).is_err(),
+            "a poisoned word must never validate"
+        );
+        out
+    }
+
+    fn start(m: &SnapshotManifest, s: Section) -> usize {
+        m.sections[s as usize].start_word
+    }
+
+    #[test]
+    fn try_cluster_of_center_reports_poisoned_centre_index() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let m = flat.manifest();
+        let ci = start(&m, Section::CenterIndex);
+        let center = (0..flat.n())
+            .find(|&v| word_at(&bytes, ci + v) != NULL)
+            .expect("some vertex is a centre");
+        let bad = poke(&bytes, ci + center, flat.num_clusters() as u64 + 7);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(matches!(
+            forced.try_cluster_of_center(center),
+            Err(WireError::Corrupt { .. })
+        ));
+        // Ids past n stay a clean miss even on a corrupt buffer.
+        assert!(matches!(
+            forced.try_cluster_of_center(forced.n() + 3),
+            Ok(None)
+        ));
+    }
+
+    #[test]
+    fn try_members_reports_member_span_overrun() {
+        let bytes = snapshot();
+        let m = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+        let cl = start(&m, Section::Clusters);
+        // Cluster 0's descriptor: [center, level, members_start, members_len].
+        let bad = poke(&bytes, cl + 3, 1 << 40);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        let cluster = forced.cluster(0);
+        assert!(matches!(
+            cluster.try_members(),
+            Err(WireError::Corrupt { .. })
+        ));
+        // table_of goes through the same span first.
+        assert!(cluster.try_table_of(0).is_err());
+    }
+
+    #[test]
+    fn try_table_of_reports_poisoned_table_offset() {
+        let bytes = snapshot();
+        let m = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+        let cl = start(&m, Section::Clusters);
+        let members_start = word_at(&bytes, cl + 2) as usize;
+        let member0 = word_at(&bytes, start(&m, Section::MemberIds) + members_start) as NodeId;
+        let bad = poke(
+            &bytes,
+            start(&m, Section::MemberTableOffs) + members_start,
+            u64::MAX,
+        );
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(matches!(
+            forced.cluster(0).try_table_of(member0),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn try_trees_of_reports_corrupt_csr_offsets() {
+        let bytes = snapshot();
+        let m = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+        let vo = start(&m, Section::VtreesOff);
+        // Poisoning off[1] breaks vertex 0 (end past the column) and vertex 1
+        // (non-monotone start > end) at once.
+        let bad = poke(&bytes, vo + 1, u64::MAX);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(forced.try_trees_of(0).is_err());
+        assert!(forced.try_trees_of(1).is_err());
+        // Vertices whose offsets are untouched still read cleanly.
+        let pristine = FlatScheme::from_bytes(&bytes).unwrap();
+        let healthy: Vec<u64> = forced.try_trees_of(5).unwrap().iter().collect();
+        let expect: Vec<u64> = pristine.trees_of(5).iter().collect();
+        assert_eq!(healthy, expect);
+    }
+
+    #[test]
+    fn try_own_label_reports_poisoned_label_offset() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let m = flat.manifest();
+        let oo = start(&m, Section::OwnOff);
+        let v = (0..flat.n())
+            .find(|&v| word_at(&bytes, oo + v + 1) > word_at(&bytes, oo + v))
+            .expect("some centre stores own-cluster labels (4k-5 refinement)");
+        let entry =
+            start(&m, Section::OwnEntries) + word_at(&bytes, oo + v) as usize * OWN_ENTRY_WORDS;
+        let member = word_at(&bytes, entry) as NodeId;
+        // Sanity: the pristine lookup resolves.
+        assert!(flat.try_own_label(v, member).unwrap().is_some());
+        let bad = poke(&bytes, entry + 1, u64::MAX);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(matches!(
+            forced.try_own_label(v, member),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn try_label_entries_of_reports_out_of_range_fields() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let m = flat.manifest();
+        let lo = start(&m, Section::LabelEntriesOff);
+        let v = (0..flat.n())
+            .find(|&v| word_at(&bytes, lo + v + 1) > word_at(&bytes, lo + v))
+            .expect("some vertex has label entries");
+        let entry =
+            start(&m, Section::LabelEntries) + word_at(&bytes, lo + v) as usize * LABEL_ENTRY_WORDS;
+
+        // Level past k.
+        let bad = poke(&bytes, entry, flat.k() as u64 + 100);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(matches!(
+            forced.try_label_entries_of(v),
+            Err(WireError::Corrupt { .. })
+        ));
+
+        // Pivot past n.
+        let bad = poke(&bytes, entry + 1, flat.n() as u64 + 100);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(forced.try_label_entries_of(v).is_err());
+
+        // Label-pool offset past the pool.
+        let bad = poke(&bytes, entry + 3, u64::MAX - 1);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(forced.try_label_entries_of(v).is_err());
+
+        // The pristine checked path agrees with the fast iterator.
+        let checked = flat.try_label_entries_of(v).unwrap();
+        let fast: Vec<FlatLabelEntry<'_>> = flat.label_entries_of(v).collect();
+        assert_eq!(checked.len(), fast.len());
+        for (a, b) in checked.iter().zip(&fast) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.pivot, b.pivot);
+            assert_eq!(a.dist, b.dist);
+        }
+    }
+
+    #[test]
+    fn scrambled_member_column_never_panics_the_checked_paths() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let m = flat.manifest();
+        let cl = start(&m, Section::Clusters);
+        let members_start = word_at(&bytes, cl + 2) as usize;
+        let members_len = word_at(&bytes, cl + 3) as usize;
+        assert!(members_len >= 2, "cluster 0 needs two members for the swap");
+        let mi = start(&m, Section::MemberIds) + members_start;
+        let (a, b) = (word_at(&bytes, mi), word_at(&bytes, mi + 1));
+        let bad = poke(&poke(&bytes, mi, b), mi + 1, a);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        let cluster = forced.cluster(0);
+        // A descending run breaks the binary-search invariant: the lookups
+        // may miss or err, but they must return, not panic.
+        for v in [a as NodeId, b as NodeId, 0, forced.n() - 1] {
+            let _ = cluster.try_table_of(v);
+            let _ = forced.try_own_label(v, a as NodeId);
+        }
+    }
+
+    #[test]
+    fn manifest_boundaries_cover_the_whole_buffer() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let m = flat.manifest();
+        let b = m.boundaries();
+        assert_eq!(b.len(), NUM_SECTIONS + 1);
+        assert_eq!(b[0], HEADER_WORDS, "first section starts after the header");
+        assert_eq!(*b.last().unwrap(), bytes.len() / 8);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "boundaries ascend");
+        let spanned: usize = m.sections.iter().map(|s| s.words).sum();
+        assert_eq!(
+            spanned + HEADER_WORDS,
+            m.total_words,
+            "sections tile the buffer"
+        );
+    }
 }

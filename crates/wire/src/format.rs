@@ -8,7 +8,7 @@
 //! ```text
 //! header (HEADER_WORDS words)
 //!   0  magic "ENWIRE01"
-//!   1  format version (1)
+//!   1  format version (2)
 //!   2  n                      (host vertices)
 //!   3  k                      (levels)
 //!   4  number of clusters
@@ -19,7 +19,15 @@
 //!   9  max label size in words            counters)
 //!   10 total label words
 //!   11..=22  the 12 section offsets below, in words from buffer start
+//!            (together with word 5 this is the byte-budget manifest:
+//!            every section's word span is pinned by the header before a
+//!            single section word is trusted)
 //!   23 reserved (0)
+//!   24..=35  per-section checksums: word-wise FNV-1a over each section's
+//!            words (see the `checksum` module)
+//!   36..=38  reserved (0)
+//!   39 header checksum: word-wise FNV-1a over header words 0..=38 — the
+//!      last header word, so every other header bit is covered
 //! sections, contiguous and in this order
 //!   CENTER_INDEX        n words: vertex -> cluster id, NULL if not a centre
 //!   CLUSTERS            4 words per cluster: centre, level, members start,
@@ -59,15 +67,17 @@
 /// First header word: `"ENWIRE01"` as a little-endian `u64`.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"ENWIRE01");
 
-/// Current format version.
-pub const VERSION: u64 = 1;
+/// Current format version. Version 2 added the integrity layer: per-section
+/// checksums and the trailing header checksum (readers reject version-1
+/// snapshots, which carried no checksums at all).
+pub const VERSION: u64 = 2;
 
 /// Sentinel standing for "absent" (`None` parents, missing global-heavy
 /// entries, label entries whose vertex is outside the pivot's tree).
 pub const NULL: u64 = u64::MAX;
 
 /// Number of header words before the first section.
-pub const HEADER_WORDS: usize = 24;
+pub const HEADER_WORDS: usize = 40;
 
 /// Word index of `n` in the header.
 pub const H_N: usize = 2;
@@ -89,6 +99,11 @@ pub const H_MAX_LABEL_WORDS: usize = 9;
 pub const H_TOTAL_LABEL_WORDS: usize = 10;
 /// Word index of the first section offset.
 pub const H_SECTIONS: usize = 11;
+/// Word index of the first per-section checksum.
+pub const H_SECTION_SUMS: usize = 24;
+/// Word index of the header checksum (the last header word, so it covers
+/// every other header bit).
+pub const H_HEADER_SUM: usize = HEADER_WORDS - 1;
 
 /// Number of sections.
 pub const NUM_SECTIONS: usize = 12;
@@ -121,6 +136,42 @@ pub enum Section {
     LabelEntries = 10,
     /// Variable-length tree-label records.
     LabelPool = 11,
+}
+
+impl Section {
+    /// All sections, in buffer order.
+    pub const ALL: [Section; NUM_SECTIONS] = [
+        Section::CenterIndex,
+        Section::Clusters,
+        Section::MemberIds,
+        Section::MemberTableOffs,
+        Section::TablePool,
+        Section::VtreesOff,
+        Section::VtreesVals,
+        Section::OwnOff,
+        Section::OwnEntries,
+        Section::LabelEntriesOff,
+        Section::LabelEntries,
+        Section::LabelPool,
+    ];
+
+    /// Stable lower-case name, for error messages and fault reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Section::CenterIndex => "center_index",
+            Section::Clusters => "clusters",
+            Section::MemberIds => "member_ids",
+            Section::MemberTableOffs => "member_table_offs",
+            Section::TablePool => "table_pool",
+            Section::VtreesOff => "vtrees_off",
+            Section::VtreesVals => "vtrees_vals",
+            Section::OwnOff => "own_off",
+            Section::OwnEntries => "own_entries",
+            Section::LabelEntriesOff => "label_entries_off",
+            Section::LabelEntries => "label_entries",
+            Section::LabelPool => "label_pool",
+        }
+    }
 }
 
 /// Words per [`Section::Clusters`] record.
@@ -167,11 +218,27 @@ impl<'a> Words<'a> {
     /// # Panics
     ///
     /// Panics if `i` is out of bounds — the snapshot validator guarantees
-    /// in-bounds access for every offset it accepted.
+    /// in-bounds access for every offset it accepted. (Accessors that may
+    /// run over *unvalidated* bytes use [`Self::try_get`] instead.)
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
         let b = &self.bytes[i * 8..i * 8 + 8];
         u64::from_le_bytes(b.try_into().expect("8-byte slice"))
+    }
+
+    /// Reads word `i`, or `None` when `i` is out of bounds — the checked
+    /// read the hardened accessor paths build on.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Option<u64> {
+        let at = i.checked_mul(8)?;
+        let b = self.bytes.get(at..at.checked_add(8)?)?;
+        Some(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// The raw underlying bytes.
+    #[inline]
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
     }
 }
 
@@ -202,5 +269,35 @@ mod tests {
     #[test]
     fn magic_is_ascii_tag() {
         assert_eq!(&MAGIC.to_le_bytes(), b"ENWIRE01");
+    }
+
+    #[test]
+    fn try_get_checks_bounds() {
+        let mut buf = Vec::new();
+        push_word(&mut buf, 11);
+        push_word(&mut buf, 22);
+        let words = Words::new(&buf);
+        assert_eq!(words.try_get(0), Some(11));
+        assert_eq!(words.try_get(1), Some(22));
+        assert_eq!(words.try_get(2), None);
+        assert_eq!(words.try_get(usize::MAX), None);
+        assert_eq!(words.try_get(usize::MAX / 8 + 1), None);
+    }
+
+    #[test]
+    fn section_names_are_distinct_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, s) in Section::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i, "Section::ALL must be in buffer order");
+            assert!(seen.insert(s.name()), "duplicate section name {}", s.name());
+        }
+    }
+
+    #[test]
+    fn header_checksum_is_the_last_header_word() {
+        assert_eq!(H_HEADER_SUM, HEADER_WORDS - 1);
+        // The section checksums (and any reserved padding) must fit strictly
+        // before the header checksum word.
+        const { assert!(H_SECTION_SUMS + NUM_SECTIONS <= H_HEADER_SUM) }
     }
 }

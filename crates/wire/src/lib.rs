@@ -24,6 +24,29 @@
 //! * [`workload::generate_pairs`] produces uniform, Zipf-hotspot, and
 //!   near-vs-far query workloads for the benches.
 //!
+//! # Fault tolerance
+//!
+//! Serving is hardened end to end (see `tests/integration_fault_tolerance.rs`
+//! and the `fault_drill` harness bin):
+//!
+//! * **Snapshot integrity** — the v2 header carries a per-section FNV-1a
+//!   checksum plus a whole-header checksum ([`checksum`]);
+//!   [`FlatScheme::from_bytes`] verifies them once at load, so corruption is
+//!   a structured [`WireError::ChecksumMismatch`], never a wrong answer, and
+//!   the per-query hot path stays checksum-free.
+//! * **Epoch hot swap** — [`SchemeStore`] validates candidate snapshots
+//!   *before* atomically swapping them in; a failed publish leaves the
+//!   current epoch serving (rollback by default) and readers pin whole
+//!   epochs, so a swap never tears a batch.
+//! * **Panic-isolated shards** — [`QueryEngine::route_batch`] runs each
+//!   shard under `catch_unwind`; a panicking shard is retried one query at a
+//!   time through the checked accessors ([`QueryEngine::route_checked`]), so
+//!   one corrupt record degrades one query, and [`BatchStats`] /
+//!   [`ShardStats`] report exactly what happened.
+//! * **Deterministic fault injection** — [`faultsim`] builds seeded fault
+//!   plans (boundary truncations, bit flips, offset scrambles) and drills
+//!   the whole stack, asserting error-not-crash everywhere.
+//!
 //! # Example
 //!
 //! ```
@@ -47,15 +70,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod engine;
 pub mod error;
+pub mod faultsim;
 pub mod flat;
 pub mod format;
 pub mod snapshot;
+pub mod store;
 pub mod workload;
 
-pub use engine::{BatchOutcome, BatchStats, QueryEngine};
+pub use engine::{BatchOutcome, BatchStats, QueryEngine, ShardStats};
 pub use error::WireError;
-pub use flat::{FlatCluster, FlatLabelEntry, FlatScheme, FlatTreeLabel, FlatTreeTable, FlatU64s};
+pub use flat::{
+    FlatCluster, FlatLabelEntry, FlatScheme, FlatTreeLabel, FlatTreeTable, FlatU64s, SectionSpan,
+    SnapshotManifest,
+};
 pub use snapshot::serialize;
+pub use store::{SchemeStore, SnapshotEpoch, StoreStats};
 pub use workload::{generate_pairs, PairWorkload};

@@ -6,9 +6,10 @@ use std::sync::Arc;
 use en_routing::scheme::RoutingScheme;
 use en_tree_routing::{TreeLabel, TreeTable};
 
+use crate::checksum::{fnv1a_bytes, fnv1a_words};
 use crate::format::{
-    push_word, Section, CLUSTER_RECORD_WORDS, HEADER_WORDS, LABEL_ENTRY_WORDS, MAGIC, NULL,
-    NUM_SECTIONS, OWN_ENTRY_WORDS, VERSION,
+    push_word, Section, CLUSTER_RECORD_WORDS, HEADER_WORDS, H_HEADER_SUM, H_SECTION_SUMS,
+    LABEL_ENTRY_WORDS, MAGIC, NULL, NUM_SECTIONS, OWN_ENTRY_WORDS, VERSION,
 };
 
 fn opt(v: Option<usize>) -> u64 {
@@ -206,6 +207,18 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
         off += s.len() as u64;
     }
     push_word(&mut out, 0); // reserved
+    debug_assert_eq!(out.len(), H_SECTION_SUMS * 8);
+    // The integrity layer: one checksum per section, then — as the very
+    // last header word — a checksum over every other header byte, so no
+    // header or section bit can flip undetected.
+    for s in &sections {
+        push_word(&mut out, fnv1a_words(s));
+    }
+    while out.len() < H_HEADER_SUM * 8 {
+        push_word(&mut out, 0); // reserved
+    }
+    let header_sum = fnv1a_bytes(&out);
+    push_word(&mut out, header_sum);
     debug_assert_eq!(out.len(), HEADER_WORDS * 8);
     for s in &sections {
         for &w in *s {

@@ -1,0 +1,248 @@
+//! Epoch-based hot swap of validated snapshots under live traffic.
+//!
+//! [`SchemeStore`] owns the serving snapshot behind an `Arc` epoch:
+//! [`SchemeStore::publish`] **validates first** (the full
+//! [`FlatScheme::from_bytes`] pass — checksums and structure), and only an
+//! accepted buffer is atomically swapped in as the next epoch. Readers pin
+//! an epoch with [`SchemeStore::current`] and keep routing on it for as
+//! long as they hold the `Arc` — a publish mid-batch never tears a reader's
+//! view, and the old epoch's memory is freed when its last reader drops it.
+//!
+//! **Rollback is the default**: a publish whose bytes fail validation
+//! returns the error, bumps the rejected counter, and leaves the current
+//! epoch serving untouched. This is the epoch/swap half of the delta-
+//! snapshot roadmap item — producers can hand the store candidate buffers
+//! as fast as they like; traffic only ever sees complete, validated
+//! schemes.
+//!
+//! ```
+//! use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+//! use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+//! use en_wire::{QueryEngine, SchemeStore};
+//!
+//! let g = erdos_renyi_connected(&GeneratorConfig::new(48, 9), 0.15);
+//! let built = build_routing_scheme(&g, &ConstructionConfig::new(2, 9)).unwrap();
+//! let store = SchemeStore::new(en_wire::serialize(&built.scheme)).unwrap();
+//!
+//! // A reader pins the current epoch and serves off it.
+//! let epoch = store.current();
+//! let engine = QueryEngine::new(epoch.scheme(), &g).unwrap();
+//! assert!(engine.route(0, 47).is_ok());
+//!
+//! // Garbage never makes it in; the pinned epoch keeps serving.
+//! assert!(store.publish(vec![0u8; 64]).is_err());
+//! assert_eq!(store.rejected(), 1);
+//! assert!(engine.route(0, 47).is_ok());
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::error::WireError;
+use crate::flat::FlatScheme;
+
+/// One validated, immutable snapshot generation.
+///
+/// The bytes were fully validated when the epoch was published, so
+/// [`Self::scheme`] re-opens them with the cheap shape-only pass — readers
+/// pay O(header), not O(snapshot), to borrow a [`FlatScheme`].
+#[derive(Debug)]
+pub struct SnapshotEpoch {
+    id: u64,
+    bytes: Box<[u8]>,
+}
+
+impl SnapshotEpoch {
+    /// The epoch id: 0 for the store's initial snapshot, then one per
+    /// accepted publish, strictly increasing.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The raw snapshot bytes (already validated).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Borrows the epoch's scheme for zero-copy serving.
+    pub fn scheme(&self) -> FlatScheme<'_> {
+        FlatScheme::from_bytes_unvalidated(&self.bytes)
+            .expect("epoch bytes were validated at publish time")
+    }
+}
+
+/// Counters describing a store's publish history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// The id of the epoch currently serving.
+    pub current_epoch: u64,
+    /// Accepted publishes (excluding the initial snapshot).
+    pub published: u64,
+    /// Rejected publishes (validation failures; the prior epoch kept
+    /// serving through every one of them).
+    pub rejected: u64,
+}
+
+/// The epoch hot-swap store: validate-then-swap snapshot publication with
+/// readers pinned to whole epochs. See the module docs.
+#[derive(Debug)]
+pub struct SchemeStore {
+    current: RwLock<Arc<SnapshotEpoch>>,
+    published: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl SchemeStore {
+    /// Creates a store serving `bytes` as epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error when `bytes` is not a valid snapshot —
+    /// a store never exists in an unserviceable state.
+    pub fn new(bytes: Vec<u8>) -> Result<Self, WireError> {
+        FlatScheme::from_bytes(&bytes)?;
+        Ok(SchemeStore {
+            current: RwLock::new(Arc::new(SnapshotEpoch {
+                id: 0,
+                bytes: bytes.into_boxed_slice(),
+            })),
+            published: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Validates `bytes` and, on success, atomically swaps it in as the
+    /// new current epoch, returning the new epoch id. In-flight readers
+    /// holding an older epoch keep serving it unchanged.
+    ///
+    /// # Errors
+    ///
+    /// On validation failure the candidate is dropped, the rejected
+    /// counter is bumped, and the current epoch is left serving — rollback
+    /// by default; there is no partially-applied state to undo.
+    pub fn publish(&self, bytes: Vec<u8>) -> Result<u64, WireError> {
+        if let Err(e) = FlatScheme::from_bytes(&bytes) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let mut guard = self.current.write().expect("store lock poisoned");
+        let id = guard.id + 1;
+        *guard = Arc::new(SnapshotEpoch {
+            id,
+            bytes: bytes.into_boxed_slice(),
+        });
+        self.published.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Pins and returns the current epoch. The returned `Arc` keeps that
+    /// whole snapshot generation alive until dropped, so a reader's view
+    /// can never change (or be freed) mid-batch.
+    pub fn current(&self) -> Arc<SnapshotEpoch> {
+        Arc::clone(&self.current.read().expect("store lock poisoned"))
+    }
+
+    /// The id of the epoch currently serving.
+    pub fn current_id(&self) -> u64 {
+        self.current.read().expect("store lock poisoned").id
+    }
+
+    /// Rejected publishes so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Publish counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            current_epoch: self.current_id(),
+            published: self.published.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize;
+    use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+    use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+
+    fn snapshot(seed: u64) -> Vec<u8> {
+        let g = erdos_renyi_connected(&GeneratorConfig::new(40, seed).with_weights(1, 9), 0.15);
+        let built = build_routing_scheme(&g, &ConstructionConfig::new(2, seed)).unwrap();
+        serialize(&built.scheme)
+    }
+
+    #[test]
+    fn new_rejects_garbage() {
+        assert!(SchemeStore::new(vec![0u8; 128]).is_err());
+        assert!(SchemeStore::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn publish_swaps_epochs_and_readers_keep_pins() {
+        let a = snapshot(1);
+        let b = snapshot(2);
+        let store = SchemeStore::new(a.clone()).unwrap();
+        assert_eq!(store.current_id(), 0);
+
+        let pinned = store.current();
+        assert_eq!(pinned.id(), 0);
+        assert_eq!(pinned.bytes(), &a[..]);
+
+        let id = store.publish(b.clone()).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(store.current_id(), 1);
+        // The pinned epoch is untouched by the swap.
+        assert_eq!(pinned.id(), 0);
+        assert_eq!(pinned.bytes(), &a[..]);
+        assert_eq!(store.current().bytes(), &b[..]);
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                current_epoch: 1,
+                published: 1,
+                rejected: 0
+            }
+        );
+    }
+
+    #[test]
+    fn failed_publish_rolls_back_by_default() {
+        let a = snapshot(3);
+        let store = SchemeStore::new(a.clone()).unwrap();
+
+        // Corrupt candidate: flip one byte mid-buffer.
+        let mut bad = a.clone();
+        let at = bad.len() / 2;
+        bad[at] ^= 0x40;
+        assert!(store.publish(bad).is_err());
+
+        // Truncated candidate.
+        assert!(store.publish(a[..a.len() - 8].to_vec()).is_err());
+
+        assert_eq!(store.current_id(), 0, "failed publishes must not swap");
+        assert_eq!(store.rejected(), 2);
+        assert_eq!(store.current().bytes(), &a[..]);
+        // And the epoch still opens.
+        assert_eq!(store.current().scheme().n(), 40);
+
+        // A good publish still works afterwards.
+        assert_eq!(store.publish(snapshot(4)).unwrap(), 1);
+    }
+
+    #[test]
+    fn epoch_scheme_reopens_cheaply_and_correctly() {
+        let a = snapshot(5);
+        let store = SchemeStore::new(a.clone()).unwrap();
+        let epoch = store.current();
+        let direct = FlatScheme::from_bytes(&a).unwrap();
+        let reopened = epoch.scheme();
+        assert_eq!(reopened.n(), direct.n());
+        assert_eq!(reopened.k(), direct.k());
+        assert_eq!(reopened.num_clusters(), direct.num_clusters());
+        assert_eq!(reopened.manifest(), direct.manifest());
+    }
+}

@@ -1,0 +1,229 @@
+//! Fault tolerance of the serving stack, end to end: snapshot integrity
+//! rejects corruption at load, the epoch store hot-swaps without tearing
+//! concurrent readers, and corrupt bytes forced in past validation degrade
+//! to per-query errors instead of crashing batches.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use en_graph::generators::{erdos_renyi_connected, GeneratorConfig};
+use en_graph::WeightedGraph;
+use en_routing::construction::{build_routing_scheme, ConstructionConfig};
+use en_wire::faultsim::{drill_loads, offset_scramble_plan, section_flip_plan, truncation_plan};
+use en_wire::{generate_pairs, serialize, FlatScheme, PairWorkload, QueryEngine, SchemeStore};
+
+fn graph(n: usize, seed: u64) -> WeightedGraph {
+    erdos_renyi_connected(
+        &GeneratorConfig::new(n, seed).with_weights(1, 30),
+        8.0 / n as f64,
+    )
+}
+
+fn snapshot_of(g: &WeightedGraph, k: usize, seed: u64) -> Vec<u8> {
+    let built = build_routing_scheme(g, &ConstructionConfig::new(k, seed)).unwrap();
+    serialize(&built.scheme)
+}
+
+/// Every seeded fault plan is rejected at load time with a structured
+/// error — zero panics, zero silently-accepted corruption.
+#[test]
+fn corruption_is_detected_at_load() {
+    let g = graph(150, 5);
+    let bytes = snapshot_of(&g, 2, 5);
+    let manifest = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+
+    let mut report = drill_loads(&bytes, &truncation_plan(&manifest));
+    report.merge(drill_loads(&bytes, &section_flip_plan(&manifest, 21, 6)));
+    report.merge(drill_loads(
+        &bytes,
+        &offset_scramble_plan(&manifest, 22, 32),
+    ));
+    assert!(
+        report.all_handled(),
+        "undetected faults: {:?}",
+        report.undetected
+    );
+    assert_eq!(report.detected, report.injected);
+    assert!(
+        report.injected > 20,
+        "the plans must actually inject faults"
+    );
+}
+
+/// Corrupt bytes forced in past validation (corruption striking after
+/// load) degrade to per-query errors: batches complete at every thread
+/// count, the process survives, and shard accounting still adds up.
+#[test]
+fn post_load_corruption_degrades_instead_of_crashing() {
+    let g = graph(150, 6);
+    let bytes = snapshot_of(&g, 2, 6);
+    let manifest = FlatScheme::from_bytes(&bytes).unwrap().manifest();
+    let pairs = generate_pairs(&g, &PairWorkload::Uniform, 300, 3);
+
+    let mut plan = section_flip_plan(&manifest, 31, 4);
+    plan.extend(offset_scramble_plan(&manifest, 32, 16));
+    let mut served = 0usize;
+    for case in &plan {
+        let corrupt = case.apply(&bytes);
+        // Shape-invalid corruption is already covered by the load drill.
+        let Ok(flat) = FlatScheme::from_bytes_unvalidated(&corrupt) else {
+            continue;
+        };
+        let Ok(engine) = QueryEngine::new(flat, &g) else {
+            continue;
+        };
+        served += 1;
+        for threads in [1usize, 2, 8] {
+            let batch = engine.route_batch(&pairs, None, threads);
+            assert_eq!(batch.outcomes.len(), pairs.len(), "{}", case.name);
+            assert_eq!(
+                batch.stats.delivered + batch.stats.failed,
+                pairs.len(),
+                "{} at {threads} threads",
+                case.name
+            );
+            assert_eq!(
+                batch.shards.iter().map(|s| s.queries).sum::<usize>(),
+                pairs.len(),
+                "{} at {threads} threads",
+                case.name
+            );
+            assert_eq!(
+                batch.shards.iter().map(|s| s.errors).sum::<usize>(),
+                batch.stats.failed,
+                "{} at {threads} threads",
+                case.name
+            );
+            // A panicked shard must be fully accounted as retried.
+            for s in &batch.shards {
+                if s.panicked {
+                    assert_eq!(s.retries, s.queries, "{}", case.name);
+                }
+            }
+            assert_eq!(
+                batch.stats.shard_panics,
+                batch.shards.iter().filter(|s| s.panicked).count(),
+                "{}",
+                case.name
+            );
+        }
+    }
+    assert!(served > 0, "some faults must be shape-valid and get served");
+}
+
+/// `route_checked` agrees bit-for-bit with the fast path on a healthy
+/// snapshot — the degraded path is a slower twin, not a different router.
+#[test]
+fn checked_route_matches_fast_path_on_healthy_snapshot() {
+    let g = graph(120, 7);
+    let bytes = snapshot_of(&g, 3, 7);
+    let flat = FlatScheme::from_bytes(&bytes).unwrap();
+    let engine = QueryEngine::new(flat, &g).unwrap();
+    for &(u, v) in &generate_pairs(&g, &PairWorkload::Uniform, 200, 9) {
+        let fast = engine.route_with_exact(u, v, 0).unwrap();
+        let checked = engine.route_checked(u, v, 0).unwrap();
+        assert_eq!(fast.tree_root, checked.tree_root, "{u}->{v}");
+        assert_eq!(fast.level, checked.level, "{u}->{v}");
+        assert_eq!(fast.path, checked.path, "{u}->{v}");
+        assert_eq!(fast.length, checked.length, "{u}->{v}");
+    }
+    // Out-of-range endpoints are structured errors on both paths.
+    let n = g.num_nodes();
+    assert!(engine.route_with_exact(n, 0, 0).is_err());
+    assert!(engine.route_checked(n, 0, 0).is_err());
+    assert!(engine.route_checked(0, n + 7, 0).is_err());
+}
+
+/// The hot-swap property: concurrent readers always observe a whole epoch
+/// (old or new, never a mix), failed publishes leave the prior epoch
+/// serving, and pinned epochs outlive the swap.
+#[test]
+fn hot_swap_never_tears_concurrent_readers() {
+    let g = graph(150, 8);
+    let bytes_a = snapshot_of(&g, 2, 8);
+    let bytes_b = snapshot_of(&g, 2, 9);
+    let pairs = generate_pairs(&g, &PairWorkload::Uniform, 150, 13);
+
+    let outcomes_for = |bytes: &[u8]| -> Vec<Option<(usize, u64)>> {
+        let flat = FlatScheme::from_bytes(bytes).unwrap();
+        let engine = QueryEngine::new(flat, &g).unwrap();
+        engine
+            .route_batch(&pairs, None, 2)
+            .outcomes
+            .iter()
+            .map(|o| o.as_ref().ok().map(|r| (r.tree_root, r.length)))
+            .collect()
+    };
+    let expect_a = outcomes_for(&bytes_a);
+    let expect_b = outcomes_for(&bytes_b);
+
+    let store = Arc::new(SchemeStore::new(bytes_a.clone()).unwrap());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let (stop, g, pairs) = (&stop, &g, &pairs);
+                let (expect_a, expect_b) = (&expect_a, &expect_b);
+                scope.spawn(move || {
+                    let mut batches = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let epoch = store.current();
+                        let engine = QueryEngine::new(epoch.scheme(), g).unwrap();
+                        let got: Vec<Option<(usize, u64)>> = engine
+                            .route_batch(pairs, None, 2)
+                            .outcomes
+                            .iter()
+                            .map(|o| o.as_ref().ok().map(|r| (r.tree_root, r.length)))
+                            .collect();
+                        // Even epochs serve A, odd epochs serve B — and the
+                        // batch must match its pinned epoch exactly.
+                        let expect = if epoch.id() % 2 == 0 {
+                            expect_a
+                        } else {
+                            expect_b
+                        };
+                        assert_eq!(&got, expect, "torn view at epoch {}", epoch.id());
+                        batches += 1;
+                    }
+                    batches
+                })
+            })
+            .collect();
+
+        let pinned = store.current();
+        for i in 0..30u64 {
+            let next = if store.current_id() % 2 == 0 {
+                &bytes_b
+            } else {
+                &bytes_a
+            };
+            store.publish(next.clone()).expect("valid publish lands");
+            // A corrupt candidate must be rejected without disturbing the
+            // serving epoch.
+            let mut junk = next.clone();
+            let at = (i as usize * 131) % junk.len();
+            junk[at] ^= 0x04;
+            let before = store.current_id();
+            // The exact error depends on where the flip lands (BadMagic in
+            // word 0, ChecksumMismatch elsewhere) — what matters is that it
+            // is an error, not a swap.
+            assert!(store.publish(junk).is_err());
+            assert_eq!(store.current_id(), before, "failed publish must not swap");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers must have routed at least one batch");
+
+        // The epoch pinned before all 30 swaps is still whole and servable.
+        assert_eq!(pinned.id(), 0);
+        assert_eq!(pinned.bytes(), &bytes_a[..]);
+        let engine = QueryEngine::new(pinned.scheme(), &g).unwrap();
+        assert_eq!(engine.route_batch(&pairs, None, 1).stats.failed, 0);
+
+        let stats = store.stats();
+        assert_eq!(stats.published, 30);
+        assert_eq!(stats.rejected, 30);
+        assert_eq!(stats.current_epoch, 30);
+    });
+}

@@ -12,9 +12,14 @@
 //! * **Header accounting**: the snapshot header's Table-1 word stats equal
 //!   the in-memory scheme's own counters, and serialization is
 //!   deterministic (same scheme → same bytes).
-//! * **Rejection**: truncated buffers, flipped magic/version words, and a
-//!   corrupted section offset are rejected by [`FlatScheme::from_bytes`]
-//!   rather than risking a panic at query time.
+//! * **Rejection**: truncated buffers — including cuts at every section
+//!   boundary — flipped magic/version words, and a corrupted section offset
+//!   are rejected by [`FlatScheme::from_bytes`] rather than risking a panic
+//!   at query time.
+//! * **Integrity**: the v2 per-section + header checksums detect *any*
+//!   single-bit flip anywhere in the buffer, so the accepted set is exactly
+//!   the pristine snapshot (which routes bit-identically by the round-trip
+//!   properties).
 
 use proptest::prelude::*;
 
@@ -110,8 +115,9 @@ proptest! {
         check_engine_matches_scheme(&g, &built.scheme);
     }
 
-    /// Corruption: every truncation of the buffer and targeted header edits
-    /// are rejected with an error, never a panic.
+    /// Corruption: every truncation of the buffer — including at every
+    /// section boundary — and targeted header edits are rejected with an
+    /// error, never a panic.
     #[test]
     fn corrupted_snapshots_are_rejected(gs in arb_graph()) {
         let (g, seed) = gs;
@@ -131,8 +137,26 @@ proptest! {
         }
         prop_assert_eq!(
             FlatScheme::from_bytes(&[]).unwrap_err(),
-            WireError::Truncated { expected: 24 * 8, actual: 0 }
+            WireError::Truncated { expected: 40 * 8, actual: 0 }
         );
+
+        // Exhaustive boundary sweep: cut the buffer exactly at every section
+        // start (losing that section and everything after it), one word
+        // before, and one byte past each boundary.
+        let manifest = FlatScheme::from_bytes(&bytes).expect("pristine validates").manifest();
+        for span in &manifest.sections {
+            let at = span.start_word * 8;
+            for cut in [at, at.saturating_sub(8), at + 1] {
+                if cut >= bytes.len() {
+                    continue;
+                }
+                prop_assert!(
+                    FlatScheme::from_bytes(&bytes[..cut]).is_err(),
+                    "cut at {cut} ({:?} boundary {at}) must be rejected",
+                    span.section
+                );
+            }
+        }
 
         // Flipped magic / unsupported version.
         let mut bad_magic = bytes.clone();
@@ -161,5 +185,57 @@ proptest! {
         let mut bad_clusters = bytes.clone();
         bad_clusters[4 * 8..4 * 8 + 8].copy_from_slice(&0u64.to_le_bytes());
         prop_assert!(FlatScheme::from_bytes(&bad_clusters).is_err());
+    }
+
+    /// Integrity sweep: flipping any single bit of any header field — and
+    /// any sampled bit anywhere in the buffer — is detected at load.
+    /// Checksums cover every byte, so the accepted set is exactly the
+    /// pristine buffer; whatever validates routes bit-identically because
+    /// it *is* the original snapshot.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        word in 0usize..40,
+        bit in 0usize..64,
+        permille in 0usize..1000,
+        body_bit in 0usize..8,
+    ) {
+        // One snapshot for the whole sweep (proptest re-enters per case, so
+        // keep the build small and deterministic).
+        let g = erdos_renyi_connected(
+            &GeneratorConfig::new(48, 77).with_weights(1, 20),
+            0.12,
+        );
+        let params = SchemeParams::new(2, g.num_nodes(), 77);
+        let hierarchy = Hierarchy::sample(&params);
+        let family = exact_cluster_family(&g, &hierarchy);
+        let scheme = RoutingScheme::assemble(&family, 77);
+        let bytes = serialize(&scheme);
+
+        // Header flip: one bit of the proptest-chosen header field.
+        let mut header_flipped = bytes.clone();
+        header_flipped[word * 8 + bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            FlatScheme::from_bytes(&header_flipped).is_err(),
+            "header word {word} bit {bit} flip must be rejected"
+        );
+
+        // Body flip: one bit at a proptest-sampled byte anywhere at all.
+        let at = (bytes.len() - 1) * permille / 999;
+        let mut body_flipped = bytes.clone();
+        body_flipped[at] ^= 1 << body_bit;
+        prop_assert!(
+            FlatScheme::from_bytes(&body_flipped).is_err(),
+            "byte {at} bit {body_bit} flip must be rejected"
+        );
+
+        // And the untouched buffer still validates and routes: the accepted
+        // set is the pristine snapshot, whose outcomes the round-trip
+        // properties above prove bit-identical.
+        let flat = FlatScheme::from_bytes(&bytes).expect("pristine validates");
+        let engine = QueryEngine::new(flat, &g).expect("graph matches");
+        let a = engine.route(1, 40).expect("routes");
+        let b = scheme.route(&g, 1, 40).expect("routes");
+        prop_assert_eq!(a.path, b.path);
+        prop_assert_eq!(a.length, b.length);
     }
 }
