@@ -107,6 +107,18 @@ fn main() {
     for name in &report.undetected {
         failures.push(format!("load fault validated clean: {name}"));
     }
+    // The v3 member-slot rank index must actually be drilled, not just exist:
+    // the manifest-driven plans cover every section, so its name shows up in
+    // both the flip and the scramble plans.
+    for plan_name in ["flip member_slots", "scramble member_slots"] {
+        let covered = section_flip_plan(&manifest, 0xFA01, flips_per_section)
+            .iter()
+            .chain(&offset_scramble_plan(&manifest, 0xFA02, scrambles))
+            .any(|c| c.name.starts_with(plan_name));
+        if !covered {
+            failures.push(format!("fault plans never target \"{plan_name}\""));
+        }
+    }
 
     // --- Phase 2: degraded-query drill --------------------------------------
     // Corruption that strikes *after* validation: force the corrupt bytes in

@@ -17,7 +17,7 @@
 //! Reproduction note (see DESIGN.md): we compute the values source-parallel at
 //! graph level — which yields the *exact* `B`-hop distances, trivially
 //! satisfying (2) — and charge the paper's round bound on a
-//! [`RoundLedger`](en_congest::RoundLedger). The exactness also makes (3) hold
+//! [`RoundLedger`]. The exactness also makes (3) hold
 //! with the hop-bounded parent (proof: `d^{(B)}(u,v) = w(u,p) + d^{(B-1)}(p,v)
 //! ≥ w(u,p) + d^{(B)}(p,v)`).
 //!

@@ -22,7 +22,7 @@
 //!   (Lemma 1 of the paper: `M` messages reach every vertex within
 //!   `O(M + D)` rounds) plus the closed-form round charges used by the
 //!   higher-level constructions.
-//! * [`ledger`] — a [`RoundLedger`](ledger::RoundLedger) that records, phase
+//! * [`ledger`] — a [`RoundLedger`] that records, phase
 //!   by phase, how many rounds a composite construction charges and why.
 //!
 //! # Example

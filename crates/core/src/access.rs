@@ -1,0 +1,162 @@
+//! The storage-generic forwarding kernel: one `Find-tree` + one hop loop
+//! shared by every representation of a routing scheme.
+//!
+//! The paper's forwarding decision is a pure function of `from`'s table and
+//! `to`'s label, whatever those are stored in. [`next_hop_view`] already
+//! makes the *per-hop step* storage-generic; this module does the same for
+//! the *query*: [`RouteAccess`] abstracts the handful of lookups a query
+//! needs (the `4k−5` own-cluster refinement, the destination's level-ordered
+//! label entries, tree membership, and per-tree table resolution), and
+//! [`find_tree_via`] / [`forward_via`] run Algorithm 1 and the forwarding
+//! loop over any implementation.
+//!
+//! Three accessors instantiate the kernel: the in-memory
+//! [`RoutingScheme`](crate::scheme::RoutingScheme) (via `&RoutingScheme`),
+//! and — in `en_wire` — the flat snapshot's fast (panics on poisoned bytes)
+//! and checked (returns structured errors) accessor pairs. Because all three
+//! share this single loop, their outcomes are bit-identical by construction,
+//! not by convention.
+
+use en_graph::{NodeId, Path};
+use en_tree_routing::{next_hop_view, scheme::TreeRoutingError, LabelView, TableView};
+
+use crate::error::RoutingError;
+
+/// Storage-generic access to one routing scheme, as consumed by the
+/// forwarding kernel.
+///
+/// Implementors are cheap `Copy` handles. Every method returns
+/// `Result` so hardened storages (checked snapshot accessors) can surface
+/// corruption as [`RoutingError`]s; infallible storages simply never return
+/// `Err`.
+pub trait RouteAccess: Copy {
+    /// The packet-header label view forwarding consumes.
+    type Label: LabelView;
+    /// The per-vertex table view forwarding consumes.
+    type Table: TableView;
+    /// A resolved handle to one cluster tree.
+    type Tree: Copy;
+
+    /// Number of host vertices.
+    fn n(&self) -> usize;
+
+    /// The `4k−5` refinement lookup: `member`'s label in `center`'s own
+    /// cluster, if `center` is a level-0 centre storing it.
+    fn own_label(
+        &self,
+        center: NodeId,
+        member: NodeId,
+    ) -> Result<Option<Self::Label>, RoutingError>;
+
+    /// Number of label entries `to` carries (its per-level pivots).
+    fn label_entry_count(&self, to: NodeId) -> Result<usize, RoutingError>;
+
+    /// `to`'s `i`-th label entry, in ascending level order: the pivot, and
+    /// `to`'s tree label in the pivot's tree when `to` belongs to it.
+    fn label_entry(
+        &self,
+        to: NodeId,
+        i: usize,
+    ) -> Result<(NodeId, Option<Self::Label>), RoutingError>;
+
+    /// Whether `v` belongs to the cluster tree rooted at `root` (answered
+    /// from `v`'s own table, as a real node would).
+    fn in_tree(&self, v: NodeId, root: NodeId) -> Result<bool, RoutingError>;
+
+    /// Resolves the cluster tree rooted at `root`, with its hierarchy level.
+    fn tree(&self, root: NodeId) -> Result<Option<(Self::Tree, usize)>, RoutingError>;
+
+    /// The routing table of `v` inside `tree`, if `v` is a member.
+    fn table(&self, tree: &Self::Tree, v: NodeId) -> Result<Option<Self::Table>, RoutingError>;
+
+    /// Validates a next-hop vertex id before the kernel steps to it.
+    ///
+    /// The default accepts everything (a validated storage cannot emit a bad
+    /// hop); checked storages override it to bound `next` by `n`.
+    fn check_hop(&self, next: NodeId) -> Result<(), RoutingError> {
+        let _ = next;
+        Ok(())
+    }
+}
+
+fn check_node(n: usize, v: NodeId) -> Result<(), RoutingError> {
+    if v < n {
+        Ok(())
+    } else {
+        Err(RoutingError::NodeOutOfRange { node: v, n })
+    }
+}
+
+/// Algorithm 1 (`Find-tree`) plus the \[TZ01\] `4k−5` refinement, over any
+/// [`RouteAccess`]: the centre of the tree a packet from `from` to `to` will
+/// use, and the destination's tree label there.
+///
+/// # Errors
+///
+/// Out-of-range vertices, the (low-probability) no-common-tree case, and
+/// whatever corruption a checked accessor reports.
+pub fn find_tree_via<A: RouteAccess>(
+    access: &A,
+    from: NodeId,
+    to: NodeId,
+) -> Result<(NodeId, A::Label), RoutingError> {
+    check_node(access.n(), from)?;
+    check_node(access.n(), to)?;
+    // The 4k−5 refinement: `from` is a level-0 centre storing `to`'s label
+    // in its own-cluster table.
+    if let Some(label) = access.own_label(from, to)? {
+        return Ok((from, label));
+    }
+    // Level scan: entries are stored in ascending level order.
+    for i in 0..access.label_entry_count(to)? {
+        let (pivot, tree_label) = access.label_entry(to, i)?;
+        let Some(tree_label) = tree_label else {
+            continue; // `to` itself is not in this pivot's tree.
+        };
+        if access.in_tree(from, pivot)? {
+            return Ok((pivot, tree_label));
+        }
+    }
+    Err(RoutingError::NoCommonTree { from, to })
+}
+
+/// THE forwarding loop: [`find_tree_via`], then hop-by-hop
+/// [`next_hop_view`] steps through the chosen tree until arrival, bounded
+/// by `n + 1` hops. Returns the tree root, its level, and the traversed
+/// path.
+///
+/// # Errors
+///
+/// Everything [`find_tree_via`] reports, a vertex falling out of the tree
+/// mid-route, a hop budget overrun (both impossible on a consistent
+/// scheme), and whatever corruption a checked accessor reports.
+pub fn forward_via<A: RouteAccess>(
+    access: &A,
+    from: NodeId,
+    to: NodeId,
+) -> Result<(NodeId, usize, Path), RoutingError> {
+    let (root, header_label) = find_tree_via(access, from, to)?;
+    let (tree, level) = access
+        .tree(root)?
+        .ok_or_else(|| RoutingError::TreeRouting(format!("no cluster for centre {root}")))?;
+    // Tree routes are short (≤ 2·depth of a cluster tree); reserve enough
+    // that typical routes never reallocate mid-loop.
+    let mut path = Path::trivial_with_capacity(from, 16);
+    let mut current = from;
+    for _ in 0..=access.n() {
+        let table = access
+            .table(&tree, current)?
+            .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
+        match next_hop_view(table, header_label)? {
+            None => return Ok((root, level, path)),
+            Some(next) => {
+                access.check_hop(next)?;
+                path.push(next);
+                current = next;
+            }
+        }
+    }
+    Err(RoutingError::TreeRouting(format!(
+        "forwarding from {from} to {to} through tree {root} did not terminate"
+    )))
+}

@@ -26,10 +26,13 @@
 //!   and the augmented graph `G''`.
 //! * [`approx_clusters`] — Section 3: small-scale cluster trees, the odd-`k`
 //!   middle level, and the three-phase large-scale construction.
-//! * [`family`] — the [`ClusterFamily`](family::ClusterFamily) abstraction
+//! * [`family`] — the [`ClusterFamily`] abstraction
 //!   shared by the exact and approximate constructions.
 //! * [`scheme`] — Section 4: assembling per-vertex routing tables and labels,
 //!   Algorithm 1 (`Find-tree`), and hop-by-hop packet forwarding.
+//! * [`access`] — the storage-generic forwarding kernel: one `Find-tree` +
+//!   one hop loop shared by the in-memory scheme and the flat snapshot's
+//!   fast/checked accessors (in `en_wire`), bit-identical by construction.
 //! * [`distance_estimation`] — Section 5: sketches and Algorithm 2 (`Dist`).
 //! * [`construction`] — the end-to-end distributed construction with its
 //!   round ledger (Theorems 4 and 5).
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod approx_clusters;
 pub mod baselines;
 pub mod construction;

@@ -22,8 +22,11 @@ use std::sync::Arc;
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::{shard_spans, BuildOptions, BuildStats, Dist, NodeId, NodeMap, Path, WeightedGraph};
-use en_tree_routing::{TreeLabel, TreeRoutingConfig, TreeRoutingScheme};
+use en_tree_routing::{
+    TableSlots, TreeLabel, TreeLabelRef, TreeRoutingConfig, TreeRoutingScheme, TreeTable,
+};
 
+use crate::access::{self, RouteAccess};
 use crate::error::RoutingError;
 use crate::family::ClusterFamily;
 
@@ -487,39 +490,35 @@ impl RoutingScheme {
     /// destination's tree label there — using only `from`'s table and `to`'s
     /// label, exactly as a real node would.
     ///
-    /// The returned label is a shared handle into the scheme's pooled label
-    /// storage (an `Arc` bump, not a deep copy of the exception vectors).
+    /// The scan itself is the storage-generic
+    /// [`find_tree_via`](crate::access::find_tree_via) kernel; this wrapper
+    /// only re-resolves the chosen label as a shared handle into the
+    /// scheme's pooled label storage (an `Arc` bump, not a deep copy of the
+    /// exception vectors).
     pub fn find_tree(
         &self,
         from: NodeId,
         to: NodeId,
     ) -> Result<(NodeId, Arc<TreeLabel>), RoutingError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
-        // The 4k−5 refinement: if `from` is a level-0 centre whose cluster
-        // contains `to`, route directly in `from`'s own tree.
+        let (root, _) = access::find_tree_via(&self, from, to)?;
+        // The kernel checks the own-cluster refinement first, so when the
+        // entry exists it is exactly the hit the kernel returned.
         if let Some(label) = self.tables[from].own_cluster_labels.get(&to) {
             return Ok((from, Arc::clone(label)));
         }
-        let to_label = &self.labels[to];
-        for i in 0..self.k {
-            let Some(entry) = to_label.entry(i) else {
-                continue;
-            };
-            let Some(tree_label) = &entry.tree_label else {
-                continue; // `to` itself is not in this pivot's tree.
-            };
-            // `from` must also belong to the tree (checked from its own table).
-            if self.tables[from].trees.binary_search(&entry.pivot).is_ok() {
-                return Ok((entry.pivot, Arc::clone(tree_label)));
-            }
-        }
-        Err(RoutingError::NoCommonTree { from, to })
+        let label = self.labels[to]
+            .entries
+            .iter()
+            .find(|e| e.pivot == root && e.tree_label.is_some())
+            .and_then(|e| e.tree_label.as_ref())
+            .expect("the kernel's pivot comes from one of to's label entries");
+        Ok((root, Arc::clone(label)))
     }
 
     /// Routes a packet from `from` to `to`, forwarding hop by hop through the
-    /// chosen cluster tree, and measures the stretch against the exact
-    /// shortest-path distance in `g`.
+    /// chosen cluster tree (the shared
+    /// [`forward_via`](crate::access::forward_via) kernel), and measures the
+    /// stretch against the exact shortest-path distance in `g`.
     ///
     /// # Errors
     ///
@@ -531,38 +530,9 @@ impl RoutingScheme {
         from: NodeId,
         to: NodeId,
     ) -> Result<RouteOutcome, RoutingError> {
-        let (root, header_label) = self.find_tree(from, to)?;
-        let scheme = &self.tree_schemes[&root];
-        let mut path = Path::trivial(from);
-        let mut current = from;
-        for _ in 0..=self.n {
-            match scheme.next_hop(current, &header_label)? {
-                None => {
-                    let length = path.length_in(g).unwrap_or(0);
-                    let exact = dijkstra(g, from).dist[to];
-                    let stretch = if exact == 0 {
-                        1.0
-                    } else {
-                        length as f64 / exact as f64
-                    };
-                    return Ok(RouteOutcome {
-                        tree_root: root,
-                        level: self.center_level.get(&root).copied().unwrap_or(0),
-                        path,
-                        length,
-                        exact,
-                        stretch,
-                    });
-                }
-                Some(next) => {
-                    path.push(next);
-                    current = next;
-                }
-            }
-        }
-        Err(RoutingError::TreeRouting(format!(
-            "forwarding from {from} to {to} through tree {root} did not terminate"
-        )))
+        let (root, level, path) = access::forward_via(&self, from, to)?;
+        let exact = dijkstra(g, from).dist[to];
+        Ok(Self::outcome(g, root, level, path, exact))
     }
 
     /// Routes between the endpoints using a precomputed all-pairs distance
@@ -575,45 +545,97 @@ impl RoutingScheme {
         to: NodeId,
         exact: Dist,
     ) -> Result<RouteOutcome, RoutingError> {
-        let (root, header_label) = self.find_tree(from, to)?;
-        let scheme = &self.tree_schemes[&root];
-        let mut path = Path::trivial(from);
-        let mut current = from;
-        for _ in 0..=self.n {
-            match scheme.next_hop(current, &header_label)? {
-                None => {
-                    let length = path.length_in(g).unwrap_or(0);
-                    let stretch = if exact == 0 {
-                        1.0
-                    } else {
-                        length as f64 / exact as f64
-                    };
-                    return Ok(RouteOutcome {
-                        tree_root: root,
-                        level: self.center_level.get(&root).copied().unwrap_or(0),
-                        path,
-                        length,
-                        exact,
-                        stretch,
-                    });
-                }
-                Some(next) => {
-                    path.push(next);
-                    current = next;
-                }
-            }
-        }
-        Err(RoutingError::TreeRouting(format!(
-            "forwarding from {from} to {to} through tree {root} did not terminate"
-        )))
+        let (root, level, path) = access::forward_via(&self, from, to)?;
+        Ok(Self::outcome(g, root, level, path, exact))
     }
 
-    fn check_node(&self, v: NodeId) -> Result<(), RoutingError> {
-        if v < self.n {
-            Ok(())
+    fn outcome(
+        g: &WeightedGraph,
+        root: NodeId,
+        level: usize,
+        path: Path,
+        exact: Dist,
+    ) -> RouteOutcome {
+        let length = path.length_in(g).unwrap_or(0);
+        let stretch = if exact == 0 {
+            1.0
         } else {
-            Err(RoutingError::NodeOutOfRange { node: v, n: self.n })
+            length as f64 / exact as f64
+        };
+        RouteOutcome {
+            tree_root: root,
+            level,
+            path,
+            length,
+            exact,
+            stretch,
         }
+    }
+}
+
+/// The in-memory instantiation of the forwarding kernel: lookups go through
+/// the owned tables, labels, and per-centre tree schemes; none of them can
+/// fail beyond the kernel's own range checks.
+impl<'a> RouteAccess for &'a RoutingScheme {
+    type Label = TreeLabelRef<'a>;
+    type Table = &'a TreeTable;
+    type Tree = &'a TreeRoutingScheme;
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn own_label(
+        &self,
+        center: NodeId,
+        member: NodeId,
+    ) -> Result<Option<TreeLabelRef<'a>>, RoutingError> {
+        let this: &'a RoutingScheme = self;
+        Ok(this.tables[center]
+            .own_cluster_labels
+            .get(&member)
+            .map(|l| l.as_view()))
+    }
+
+    #[inline]
+    fn label_entry_count(&self, to: NodeId) -> Result<usize, RoutingError> {
+        Ok(self.labels[to].entries.len())
+    }
+
+    #[inline]
+    fn label_entry(
+        &self,
+        to: NodeId,
+        i: usize,
+    ) -> Result<(NodeId, Option<TreeLabelRef<'a>>), RoutingError> {
+        let this: &'a RoutingScheme = self;
+        let entry = &this.labels[to].entries[i];
+        Ok((entry.pivot, entry.tree_label.as_ref().map(|l| l.as_view())))
+    }
+
+    #[inline]
+    fn in_tree(&self, v: NodeId, root: NodeId) -> Result<bool, RoutingError> {
+        Ok(self.tables[v].trees.binary_search(&root).is_ok())
+    }
+
+    #[inline]
+    fn tree(&self, root: NodeId) -> Result<Option<(&'a TreeRoutingScheme, usize)>, RoutingError> {
+        let this: &'a RoutingScheme = self;
+        Ok(this
+            .tree_schemes
+            .get(&root)
+            .map(|ts| (ts, this.center_level.get(&root).copied().unwrap_or(0))))
+    }
+
+    #[inline]
+    fn table(
+        &self,
+        tree: &&'a TreeRoutingScheme,
+        v: NodeId,
+    ) -> Result<Option<&'a TreeTable>, RoutingError> {
+        Ok(tree.table_of(v))
     }
 }
 

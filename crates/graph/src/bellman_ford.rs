@@ -155,7 +155,7 @@ pub fn hop_bounded_distances_reference(
 
 /// Computes the hop count `h_G(source, v)` of the (canonical) shortest path
 /// from `source` to every `v`, using the same tie-breaking as
-/// [`dijkstra`](crate::dijkstra::dijkstra).
+/// [`dijkstra`].
 ///
 /// Returns `usize::MAX` for unreachable vertices.
 pub fn shortest_path_hops(g: &WeightedGraph, source: NodeId) -> Vec<usize> {

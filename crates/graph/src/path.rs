@@ -25,6 +25,15 @@ impl Path {
         Path { nodes: vec![node] }
     }
 
+    /// A single-vertex path with room reserved for `expected_hops` more
+    /// vertices — the forwarding hot loop grows a path one hop at a time,
+    /// and pre-sizing skips the doubling reallocations.
+    pub fn trivial_with_capacity(node: NodeId, expected_hops: usize) -> Self {
+        let mut nodes = Vec::with_capacity(expected_hops + 1);
+        nodes.push(node);
+        Path { nodes }
+    }
+
     /// The ordered vertices of the path.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes

@@ -97,7 +97,7 @@ pub struct RestrictedMultiSource {
 pub struct MemberCell {
     /// The member vertex.
     pub v: u32,
-    /// Its tree parent ([`NO_PARENT`] in the degenerate case where no
+    /// Its tree parent (`NO_PARENT` in the degenerate case where no
     /// admitted neighbour realised the distance; never the case at
     /// convergence).
     pub parent: u32,

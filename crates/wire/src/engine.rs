@@ -1,12 +1,13 @@
 //! The batched, multi-threaded query engine over a flat snapshot.
 //!
 //! [`QueryEngine`] answers `find_tree` / `route` queries directly off the
-//! snapshot columns — forwarding runs through the *same*
-//! [`next_hop_view`](en_tree_routing::next_hop_view) implementation the
-//! in-memory [`RoutingScheme`] uses, over the flat
-//! [`TableView`](en_tree_routing::TableView) /
-//! [`LabelView`](en_tree_routing::LabelView) implementations, so outcomes
-//! are bit-identical by construction. Batches shard across plain
+//! snapshot columns. There is no forwarding loop in this module: both the
+//! fast and the hardened paths are instantiations of the single
+//! storage-generic kernel in [`en_routing::access`] — `FastAccess` reads
+//! the plain accessors (and may panic over unvalidated corrupt bytes),
+//! `CheckedAccess` reads the `try_*` accessors and bounds every hop, so
+//! fast, checked, and in-memory routing share one `Find-tree` and one hop
+//! loop and are bit-identical by construction. Batches shard across plain
 //! `std::thread::scope` workers (the engine is `Sync`: a snapshot borrow
 //! plus a graph borrow), each with its own pre-sized output scratch.
 //!
@@ -30,12 +31,156 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::{Dist, NodeId, Path, WeightedGraph};
+use en_routing::access::{self, RouteAccess};
 use en_routing::error::RoutingError;
 use en_routing::scheme::RouteOutcome;
-use en_tree_routing::{next_hop_view, scheme::TreeRoutingError};
 
 use crate::error::WireError;
-use crate::flat::{FlatScheme, FlatTreeLabel};
+use crate::flat::{FlatCluster, FlatScheme, FlatTreeLabel, FlatTreeTable};
+
+/// The fast instantiation of the forwarding kernel: plain accessors, no
+/// per-read checks. Over a fully validated snapshot no method can fail;
+/// over bytes loaded with [`FlatScheme::from_bytes_unvalidated`] it may
+/// panic (never read out of bounds — the crate forbids `unsafe`), which the
+/// batch layer contains per shard.
+#[derive(Debug, Clone, Copy)]
+struct FastAccess<'a> {
+    flat: FlatScheme<'a>,
+}
+
+impl<'a> RouteAccess for FastAccess<'a> {
+    type Label = FlatTreeLabel<'a>;
+    type Table = FlatTreeTable<'a>;
+    type Tree = FlatCluster<'a>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.flat.n()
+    }
+
+    #[inline]
+    fn own_label(
+        &self,
+        center: NodeId,
+        member: NodeId,
+    ) -> Result<Option<FlatTreeLabel<'a>>, RoutingError> {
+        Ok(self.flat.own_label(center, member))
+    }
+
+    #[inline]
+    fn label_entry_count(&self, to: NodeId) -> Result<usize, RoutingError> {
+        Ok(self.flat.label_entry_count(to))
+    }
+
+    #[inline]
+    fn label_entry(
+        &self,
+        to: NodeId,
+        i: usize,
+    ) -> Result<(NodeId, Option<FlatTreeLabel<'a>>), RoutingError> {
+        let e = self
+            .flat
+            .label_entry_at(to, i)
+            .expect("kernel indexes within the entry count");
+        Ok((e.pivot, e.tree_label))
+    }
+
+    #[inline]
+    fn in_tree(&self, v: NodeId, root: NodeId) -> Result<bool, RoutingError> {
+        Ok(self.flat.trees_of(v).binary_search(root as u64).is_ok())
+    }
+
+    #[inline]
+    fn tree(&self, root: NodeId) -> Result<Option<(FlatCluster<'a>, usize)>, RoutingError> {
+        Ok(self.flat.cluster_of_center(root).map(|c| (c, c.level)))
+    }
+
+    #[inline]
+    fn table(
+        &self,
+        tree: &FlatCluster<'a>,
+        v: NodeId,
+    ) -> Result<Option<FlatTreeTable<'a>>, RoutingError> {
+        Ok(tree.table_of(v))
+    }
+}
+
+/// The hardened instantiation of the forwarding kernel: every lookup goes
+/// through the `try_*` accessors (CSR offsets, entry fields, record bounds,
+/// the rank index's member-column agreement), and every next hop is bounded
+/// by `n`, so corrupt columns surface as structured [`RoutingError`]s
+/// instead of panics.
+#[derive(Debug, Clone, Copy)]
+struct CheckedAccess<'a> {
+    flat: FlatScheme<'a>,
+}
+
+impl<'a> RouteAccess for CheckedAccess<'a> {
+    type Label = FlatTreeLabel<'a>;
+    type Table = FlatTreeTable<'a>;
+    type Tree = FlatCluster<'a>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.flat.n()
+    }
+
+    fn own_label(
+        &self,
+        center: NodeId,
+        member: NodeId,
+    ) -> Result<Option<FlatTreeLabel<'a>>, RoutingError> {
+        Ok(self.flat.try_own_label(center, member)?)
+    }
+
+    fn label_entry_count(&self, to: NodeId) -> Result<usize, RoutingError> {
+        Ok(self.flat.try_label_entry_count(to)?)
+    }
+
+    fn label_entry(
+        &self,
+        to: NodeId,
+        i: usize,
+    ) -> Result<(NodeId, Option<FlatTreeLabel<'a>>), RoutingError> {
+        let e = self
+            .flat
+            .try_label_entry_at(to, i)?
+            .ok_or(WireError::Corrupt {
+                what: "label entry vanished between count and read",
+            })?;
+        Ok((e.pivot, e.tree_label))
+    }
+
+    fn in_tree(&self, v: NodeId, root: NodeId) -> Result<bool, RoutingError> {
+        Ok(self
+            .flat
+            .try_trees_of(v)?
+            .try_binary_search(root as u64)?
+            .is_ok())
+    }
+
+    fn tree(&self, root: NodeId) -> Result<Option<(FlatCluster<'a>, usize)>, RoutingError> {
+        Ok(self.flat.try_cluster_of_center(root)?.map(|c| (c, c.level)))
+    }
+
+    fn table(
+        &self,
+        tree: &FlatCluster<'a>,
+        v: NodeId,
+    ) -> Result<Option<FlatTreeTable<'a>>, RoutingError> {
+        Ok(tree.try_table_of(v)?)
+    }
+
+    #[inline]
+    fn check_hop(&self, next: NodeId) -> Result<(), RoutingError> {
+        if next >= self.flat.n() {
+            return Err(RoutingError::TreeRouting(format!(
+                "corrupt snapshot: next hop {next} is not a vertex"
+            )));
+        }
+        Ok(())
+    }
+}
 
 /// A query engine serving one snapshot over one host graph.
 ///
@@ -131,20 +276,10 @@ impl<'a> QueryEngine<'a> {
         &self.flat
     }
 
-    fn check_node(&self, v: NodeId) -> Result<(), RoutingError> {
-        if v < self.flat.n() {
-            Ok(())
-        } else {
-            Err(RoutingError::NodeOutOfRange {
-                node: v,
-                n: self.flat.n(),
-            })
-        }
-    }
-
     /// Algorithm 1 (`Find-tree`) plus the `4k−5` refinement, off the flat
     /// columns: the centre of the tree a packet from `from` to `to` will
-    /// use, and the destination's (borrowed) tree label there.
+    /// use, and the destination's (borrowed) tree label there — the shared
+    /// kernel ([`en_routing::access::find_tree_via`]) over `FastAccess`.
     ///
     /// # Errors
     ///
@@ -155,55 +290,12 @@ impl<'a> QueryEngine<'a> {
         from: NodeId,
         to: NodeId,
     ) -> Result<(NodeId, FlatTreeLabel<'a>), RoutingError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
-        // The 4k−5 refinement: `from` is a level-0 centre storing `to`'s
-        // label in its own-cluster table.
-        if let Some(label) = self.flat.own_label(from, to) {
-            return Ok((from, label));
-        }
-        // Entries are stored in ascending level order, matching the
-        // in-memory level scan.
-        for entry in self.flat.label_entries_of(to) {
-            let Some(tree_label) = entry.tree_label else {
-                continue; // `to` itself is not in this pivot's tree.
-            };
-            if self
-                .flat
-                .trees_of(from)
-                .binary_search(entry.pivot as u64)
-                .is_ok()
-            {
-                return Ok((entry.pivot, tree_label));
-            }
-        }
-        Err(RoutingError::NoCommonTree { from, to })
+        access::find_tree_via(&FastAccess { flat: self.flat }, from, to)
     }
 
     /// Forwards hop by hop, returning the tree used, its level, and the path.
     fn forward(&self, from: NodeId, to: NodeId) -> Result<(NodeId, usize, Path), RoutingError> {
-        let (root, header_label) = self.find_tree(from, to)?;
-        let cluster = self
-            .flat
-            .cluster_of_center(root)
-            .ok_or_else(|| RoutingError::TreeRouting(format!("no cluster for centre {root}")))?;
-        let mut path = Path::trivial(from);
-        let mut current = from;
-        for _ in 0..=self.flat.n() {
-            let table = cluster
-                .table_of(current)
-                .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
-            match next_hop_view(table, header_label)? {
-                None => return Ok((root, cluster.level, path)),
-                Some(next) => {
-                    path.push(next);
-                    current = next;
-                }
-            }
-        }
-        Err(RoutingError::TreeRouting(format!(
-            "forwarding from {from} to {to} through tree {root} did not terminate"
-        )))
+        access::forward_via(&FastAccess { flat: self.flat }, from, to)
     }
 
     fn outcome(&self, root: NodeId, level: usize, path: Path, exact: Dist) -> RouteOutcome {
@@ -252,74 +344,17 @@ impl<'a> QueryEngine<'a> {
         Ok(self.outcome(root, level, path, exact))
     }
 
-    /// [`Self::find_tree`] over the checked accessors: every untrusted
-    /// index — CSR offsets, entry fields, record bounds — is validated
-    /// before use, so corrupt columns surface as errors, not panics.
-    fn find_tree_checked(
-        &self,
-        from: NodeId,
-        to: NodeId,
-    ) -> Result<(NodeId, FlatTreeLabel<'a>), RoutingError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
-        let corrupt = |e: WireError| RoutingError::TreeRouting(format!("corrupt snapshot: {e}"));
-        if let Some(label) = self.flat.try_own_label(from, to).map_err(corrupt)? {
-            return Ok((from, label));
-        }
-        let from_trees = self.flat.try_trees_of(from).map_err(corrupt)?;
-        for entry in self.flat.try_label_entries_of(to).map_err(corrupt)? {
-            let Some(tree_label) = entry.tree_label else {
-                continue;
-            };
-            if from_trees
-                .try_binary_search(entry.pivot as u64)
-                .map_err(corrupt)?
-                .is_ok()
-            {
-                return Ok((entry.pivot, tree_label));
-            }
-        }
-        Err(RoutingError::NoCommonTree { from, to })
-    }
-
-    /// The hardened forwarding loop: checked accessors everywhere, every
-    /// per-hop index validated (`next` must name a real vertex), and the
-    /// hop budget bounds the walk even over a corrupt tree.
+    /// The hardened forwarding path — the *same* kernel, instantiated over
+    /// [`CheckedAccess`]: every untrusted index (CSR offsets, entry fields,
+    /// record bounds, the rank index) is validated before use and every
+    /// next hop is bounded, so corrupt columns surface as errors, not
+    /// panics, while the routing decisions stay bit-identical.
     fn forward_checked(
         &self,
         from: NodeId,
         to: NodeId,
     ) -> Result<(NodeId, usize, Path), RoutingError> {
-        let corrupt = |e: WireError| RoutingError::TreeRouting(format!("corrupt snapshot: {e}"));
-        let (root, header_label) = self.find_tree_checked(from, to)?;
-        let cluster = self
-            .flat
-            .try_cluster_of_center(root)
-            .map_err(corrupt)?
-            .ok_or_else(|| RoutingError::TreeRouting(format!("no cluster for centre {root}")))?;
-        let mut path = Path::trivial(from);
-        let mut current = from;
-        for _ in 0..=self.flat.n() {
-            let table = cluster
-                .try_table_of(current)
-                .map_err(corrupt)?
-                .ok_or(TreeRoutingError::NotInTree { vertex: current })?;
-            match next_hop_view(table, header_label)? {
-                None => return Ok((root, cluster.level, path)),
-                Some(next) => {
-                    if next >= self.flat.n() {
-                        return Err(RoutingError::TreeRouting(format!(
-                            "corrupt snapshot: next hop {next} is not a vertex"
-                        )));
-                    }
-                    path.push(next);
-                    current = next;
-                }
-            }
-        }
-        Err(RoutingError::TreeRouting(format!(
-            "forwarding from {from} to {to} through tree {root} did not terminate"
-        )))
+        access::forward_via(&CheckedAccess { flat: self.flat }, from, to)
     }
 
     /// Routes one packet through the hardened path: checked accessors,

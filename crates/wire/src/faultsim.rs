@@ -159,9 +159,10 @@ pub fn section_flip_plan(
 }
 
 /// Seeded scrambles of the offset columns — the words the reader indexes
-/// with: cluster descriptors, the member-table offset column, and all
-/// three per-vertex CSRs. Each case overwrites one word with a huge or
-/// adversarial value (past-the-end offsets, reversed monotonicity).
+/// with: cluster descriptors, the member-table offset column, the v3
+/// member-slot rank index, and all three per-vertex CSRs. Each case
+/// overwrites one word with a huge or adversarial value (past-the-end
+/// offsets, reversed monotonicity, slots naming the wrong member).
 pub fn offset_scramble_plan(
     manifest: &SnapshotManifest,
     seed: u64,
@@ -172,6 +173,7 @@ pub fn offset_scramble_plan(
         Section::Clusters,
         Section::MemberTableOffs,
         Section::VtreesOff,
+        Section::MemberSlots,
         Section::OwnOff,
         Section::LabelEntriesOff,
         Section::OwnEntries,

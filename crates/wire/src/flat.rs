@@ -8,7 +8,7 @@
 //! [`FlatU64s`]) are `Copy` slice-plus-offset handles that never allocate.
 
 use en_graph::NodeId;
-use en_tree_routing::{LabelView, LocalLabelView, TableView};
+use en_tree_routing::{LabelView, LocalLabelView, TableSlots, TableView};
 
 use crate::checksum::fnv1a_bytes;
 use crate::error::WireError;
@@ -168,34 +168,130 @@ impl<'a> FlatCluster<'a> {
         Ok(self.members())
     }
 
-    /// The routing table of member `v`, if `v` is in this cluster.
+    /// The member-order rank of `v` in this cluster, resolved through the
+    /// v3 [`Section::MemberSlots`] rank index: a binary search over `v`'s
+    /// *own* short tree list, then one word read — never a search over the
+    /// (up to `n`-element) member column.
+    ///
+    /// # Panics
+    ///
+    /// May panic over a scheme loaded with
+    /// [`FlatScheme::from_bytes_unvalidated`] whose CSR or slot columns are
+    /// corrupt; [`Self::try_slot_of`] is the checked equivalent.
+    pub fn slot_of(&self, v: NodeId) -> Option<usize> {
+        let trees = self.scheme.trees_of(v);
+        // A vertex's tree row is short (its cluster memberships, not a
+        // member column), so a forward scan with an ascending-order early
+        // exit beats binary search on the per-hop path.
+        let c = self.center as u64;
+        let mut i = 0usize;
+        loop {
+            if i >= trees.len() {
+                return None;
+            }
+            let w = trees.get(i);
+            if w >= c {
+                if w > c {
+                    return None;
+                }
+                break;
+            }
+            i += 1;
+        }
+        // MEMBER_SLOTS is word-aligned with VTREES_VALS, so the tree slice's
+        // position inside its column addresses the slot directly.
+        let rel = trees.start - self.scheme.secs[Section::VtreesVals as usize];
+        let slot = self
+            .scheme
+            .words
+            .get(self.scheme.secs[Section::MemberSlots as usize] + rel + i)
+            as usize;
+        (slot < self.members_len).then_some(slot)
+    }
+
+    /// [`Self::slot_of`] with every untrusted read checked: the CSR range,
+    /// the slot-column bounds, and — because the rank index itself is
+    /// untrusted over unvalidated bytes — agreement with the member column
+    /// (`members[slot] == v`) before the slot is handed out.
+    pub fn try_slot_of(&self, v: NodeId) -> Result<Option<usize>, WireError> {
+        let trees = self.scheme.try_trees_of(v)?;
+        let Ok(i) = trees.try_binary_search(self.center as u64)? else {
+            return Ok(None);
+        };
+        let err = WireError::Corrupt {
+            what: "member-slot index runs past its section",
+        };
+        let ms_base = self.scheme.secs[Section::MemberSlots as usize];
+        let ms_len = self.scheme.secs[Section::MemberSlots as usize + 1] - ms_base;
+        let rel = trees.start - self.scheme.secs[Section::VtreesVals as usize];
+        let at = rel.checked_add(i).ok_or(err)?;
+        if at >= ms_len {
+            return Err(err);
+        }
+        let slot = self.scheme.words.try_get(ms_base + at).ok_or(err)? as usize;
+        let members = self.try_members()?;
+        if members.try_get(slot) != Some(v as u64) {
+            return Err(WireError::Corrupt {
+                what: "member-slot index disagrees with the member column",
+            });
+        }
+        Ok(Some(slot))
+    }
+
+    /// The routing table stored at member-order rank `slot`: one
+    /// offset-column read plus the pool offset — O(1) on any slot source.
+    pub fn table_at(&self, slot: usize) -> Option<FlatTreeTable<'a>> {
+        if slot >= self.members_len {
+            return None;
+        }
+        let vertex = self.members().get(slot) as NodeId;
+        Some(self.table_at_slot(slot, vertex))
+    }
+
+    /// [`Self::table_at`] when the caller already knows the vertex stored at
+    /// `slot` (skips re-reading the member column).
+    fn table_at_slot(&self, slot: usize, vertex: NodeId) -> FlatTreeTable<'a> {
+        let rel = self
+            .scheme
+            .words
+            .get(self.scheme.secs[Section::MemberTableOffs as usize] + self.members_start + slot);
+        FlatTreeTable {
+            words: self.scheme.words,
+            off: self.scheme.secs[Section::TablePool as usize] + rel as usize,
+            vertex,
+        }
+    }
+
+    /// The routing table of member `v`, if `v` is in this cluster:
+    /// [`Self::slot_of`] through the v3 rank index, then O(1) column
+    /// arithmetic.
     ///
     /// # Panics
     ///
     /// May panic (never reads out of bounds — the crate forbids `unsafe`)
     /// over a scheme loaded with [`FlatScheme::from_bytes_unvalidated`]
-    /// whose member or offset columns are corrupt; [`Self::try_table_of`]
-    /// is the checked equivalent.
+    /// whose columns are corrupt; [`Self::try_table_of`] is the checked
+    /// equivalent.
     pub fn table_of(&self, v: NodeId) -> Option<FlatTreeTable<'a>> {
-        let pos = self.members().binary_search(v as u64).ok()?;
-        let rel = self
-            .scheme
-            .words
-            .get(self.scheme.secs[Section::MemberTableOffs as usize] + self.members_start + pos);
-        Some(FlatTreeTable {
-            words: self.scheme.words,
-            off: self.scheme.secs[Section::TablePool as usize] + rel as usize,
-            vertex: v,
-        })
+        let slot = self.slot_of(v)?;
+        Some(self.table_at_slot(slot, v))
     }
 
-    /// [`Self::table_of`] with every untrusted index checked: the member
-    /// span, the offset-column read, and the whole table record (including
-    /// its global-heavy tail) are bounds-validated before a view is handed
-    /// out, so the returned view's reads cannot leave the table pool.
+    /// The pre-v3 lookup — a binary search over the full member column —
+    /// kept as the test oracle the rank-index path is checked against.
+    #[cfg(test)]
+    pub(crate) fn table_of_by_search(&self, v: NodeId) -> Option<FlatTreeTable<'a>> {
+        let pos = self.members().binary_search(v as u64).ok()?;
+        Some(self.table_at_slot(pos, v))
+    }
+
+    /// [`Self::table_of`] with every untrusted index checked: the slot
+    /// resolution (including member-column agreement), the offset-column
+    /// read, and the whole table record (including its global-heavy tail)
+    /// are bounds-validated before a view is handed out, so the returned
+    /// view's reads cannot leave the table pool.
     pub fn try_table_of(&self, v: NodeId) -> Result<Option<FlatTreeTable<'a>>, WireError> {
-        let members = self.try_members()?;
-        let Ok(pos) = members.try_binary_search(v as u64)? else {
+        let Some(slot) = self.try_slot_of(v)? else {
             return Ok(None);
         };
         let off_col = WireError::Corrupt {
@@ -206,7 +302,7 @@ impl<'a> FlatCluster<'a> {
             .words
             .try_get(
                 self.scheme.secs[Section::MemberTableOffs as usize]
-                    + self.members_start.checked_add(pos).ok_or(off_col)?,
+                    + self.members_start.checked_add(slot).ok_or(off_col)?,
             )
             .ok_or(off_col)?;
         let pool_base = self.scheme.secs[Section::TablePool as usize];
@@ -217,6 +313,25 @@ impl<'a> FlatCluster<'a> {
             off: pool_base + rel as usize,
             vertex: v,
         }))
+    }
+}
+
+impl<'a> TableSlots for FlatCluster<'a> {
+    type Table = FlatTreeTable<'a>;
+
+    #[inline]
+    fn slot_of(&self, v: NodeId) -> Option<usize> {
+        FlatCluster::slot_of(self, v)
+    }
+
+    #[inline]
+    fn table_at(&self, slot: usize) -> Option<FlatTreeTable<'a>> {
+        FlatCluster::table_at(self, slot)
+    }
+
+    #[inline]
+    fn table_of(&self, v: NodeId) -> Option<FlatTreeTable<'a>> {
+        FlatCluster::table_of(self, v)
     }
 }
 
@@ -645,6 +760,25 @@ impl<'a> FlatScheme<'a> {
 
     fn validate_csrs(&self) -> Result<(), WireError> {
         let words = self.words;
+        // The v3 rank index is column-aligned with the tree column: same
+        // length, and — checked per incidence below — every slot points back
+        // at its vertex in the named cluster's member column. Requiring the
+        // tree column to also match the member count makes the incidence map
+        // a *bijection* (slots are injective per cluster), so every member
+        // entry is reachable through the index and the indexed lookup is
+        // provably equivalent to the member binary search it replaced.
+        let vv = Section::VtreesVals as usize;
+        let ms = Section::MemberSlots as usize;
+        if self.secs[ms + 1] - self.secs[ms] != self.secs[vv + 1] - self.secs[vv] {
+            return Err(WireError::Corrupt {
+                what: "member-slot index length disagrees with the tree column",
+            });
+        }
+        if self.secs[vv + 1] - self.secs[vv] != self.words.get(H_TOTAL_MEMBERS) as usize {
+            return Err(WireError::Corrupt {
+                what: "tree column length disagrees with the member count",
+            });
+        }
         let check_csr = |s: Section, unit: usize, vals: Section| -> Result<(), WireError> {
             let base = self.secs[s as usize];
             let vals_len = (self.secs[vals as usize + 1] - self.secs[vals as usize]) / unit;
@@ -676,13 +810,26 @@ impl<'a> FlatScheme<'a> {
         let label_pool_base = self.secs[Section::LabelPool as usize];
         let label_pool_len = self.secs[Section::LabelPool as usize + 1] - label_pool_base;
         for v in 0..self.n {
-            // Tree memberships: ascending centre ids.
+            // Tree memberships: ascending centre ids, each with a rank-index
+            // slot that resolves back to `v` in that cluster's member column.
             let trees = self.trees_of(v);
+            let slots_at = self.secs[ms] + (trees.start - self.secs[vv]);
             for i in 0..trees.len() {
                 let c = trees.get(i);
                 if c >= self.n as u64 || (i > 0 && trees.get(i - 1) >= c) {
                     return Err(WireError::Corrupt {
                         what: "vertex tree list not ascending centre ids",
+                    });
+                }
+                let Some(cluster) = self.cluster_of_center(c as NodeId) else {
+                    return Err(WireError::Corrupt {
+                        what: "vertex tree list names a centre without a cluster",
+                    });
+                };
+                let slot = words.get(slots_at + i) as usize;
+                if slot >= cluster.len() || cluster.members().get(slot) != v as u64 {
+                    return Err(WireError::Corrupt {
+                        what: "member-slot index disagrees with the member column",
                     });
                 }
             }
@@ -922,26 +1069,99 @@ impl<'a> FlatScheme<'a> {
         self.csr_range(Section::LabelEntriesOff, v)
     }
 
+    /// Number of node-label entries `v` carries (0 for a vertex id outside
+    /// the snapshot).
+    pub fn label_entry_count(&self, v: NodeId) -> usize {
+        self.label_entry_range(v).1
+    }
+
+    /// `v`'s `i`-th node-label entry, in ascending level order, or `None`
+    /// when `i` is past the entry count.
+    pub fn label_entry_at(&self, v: NodeId, i: usize) -> Option<FlatLabelEntry<'a>> {
+        let (start, count) = self.label_entry_range(v);
+        (i < count).then(|| self.decode_label_entry(start + i))
+    }
+
+    fn decode_label_entry(&self, entry: usize) -> FlatLabelEntry<'a> {
+        let at = self.secs[Section::LabelEntries as usize] + entry * LABEL_ENTRY_WORDS;
+        let off = self.words.get(at + 3);
+        FlatLabelEntry {
+            level: self.words.get(at) as usize,
+            pivot: self.words.get(at + 1) as NodeId,
+            dist: self.words.get(at + 2),
+            tree_label: (off != NULL).then(|| FlatTreeLabel {
+                words: self.words,
+                off: self.secs[Section::LabelPool as usize] + off as usize,
+            }),
+        }
+    }
+
+    /// [`Self::label_entry_count`] with the CSR offsets checked.
+    pub fn try_label_entry_count(&self, v: NodeId) -> Result<usize, WireError> {
+        self.try_csr_range(
+            Section::LabelEntriesOff,
+            Section::LabelEntries,
+            LABEL_ENTRY_WORDS,
+            v,
+        )
+        .map(|(_, count)| count)
+    }
+
+    /// [`Self::label_entry_at`] with the CSR range, the level/pivot fields,
+    /// and the referenced label record all checked before a view escapes —
+    /// the per-entry building block of the checked query path (no
+    /// allocation, unlike [`Self::try_label_entries_of`]).
+    pub fn try_label_entry_at(
+        &self,
+        v: NodeId,
+        i: usize,
+    ) -> Result<Option<FlatLabelEntry<'a>>, WireError> {
+        let (start, count) = self.try_csr_range(
+            Section::LabelEntriesOff,
+            Section::LabelEntries,
+            LABEL_ENTRY_WORDS,
+            v,
+        )?;
+        if i >= count {
+            return Ok(None);
+        }
+        let err = WireError::Corrupt {
+            what: "label entry runs past the buffer",
+        };
+        let at = self.secs[Section::LabelEntries as usize] + (start + i) * LABEL_ENTRY_WORDS;
+        let level = self.words.try_get(at).ok_or(err)?;
+        let pivot = self.words.try_get(at + 1).ok_or(err)?;
+        if level >= self.k as u64 || pivot >= self.n as u64 {
+            return Err(WireError::Corrupt {
+                what: "label entry level or pivot out of range",
+            });
+        }
+        let dist = self.words.try_get(at + 2).ok_or(err)?;
+        let off = self.words.try_get(at + 3).ok_or(err)?;
+        let pool_base = self.secs[Section::LabelPool as usize];
+        let tree_label = if off == NULL {
+            None
+        } else {
+            let pool_len = self.secs[Section::LabelPool as usize + 1] - pool_base;
+            validate_label_record(self.words, pool_base, pool_len, off as usize)?;
+            Some(FlatTreeLabel {
+                words: self.words,
+                off: pool_base + off as usize,
+            })
+        };
+        Ok(Some(FlatLabelEntry {
+            level: level as usize,
+            pivot: pivot as NodeId,
+            dist,
+            tree_label,
+        }))
+    }
+
     /// The node-label entries of `v`, in ascending level order (empty for a
     /// vertex id outside the snapshot).
     pub fn label_entries_of(&self, v: NodeId) -> impl Iterator<Item = FlatLabelEntry<'a>> + '_ {
         let (start, count) = self.label_entry_range(v);
-        let base = self.secs[Section::LabelEntries as usize];
-        let words = self.words;
-        let label_pool = self.secs[Section::LabelPool as usize];
-        (0..count).map(move |e| {
-            let at = base + (start + e) * LABEL_ENTRY_WORDS;
-            let off = words.get(at + 3);
-            FlatLabelEntry {
-                level: words.get(at) as usize,
-                pivot: words.get(at + 1) as NodeId,
-                dist: words.get(at + 2),
-                tree_label: (off != NULL).then(|| FlatTreeLabel {
-                    words,
-                    off: label_pool + off as usize,
-                }),
-            }
-        })
+        (0..count).map(move |e| self.decode_label_entry(start + e))
     }
 
     /// [`Self::label_entries_of`] with every entry checked — the CSR range,
@@ -1383,6 +1603,78 @@ mod tests {
             let _ = cluster.try_table_of(v);
             let _ = forced.try_own_label(v, a as NodeId);
         }
+    }
+
+    #[test]
+    fn rank_index_agrees_with_the_member_search_oracle() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let mut lookups = 0usize;
+        for cluster in flat.clusters() {
+            for slot in 0..cluster.len() {
+                let v = cluster.members().get(slot) as NodeId;
+                assert_eq!(cluster.slot_of(v), Some(slot));
+                let fast = cluster.table_of(v).expect("member resolves via the index");
+                let oracle = cluster
+                    .table_of_by_search(v)
+                    .expect("member resolves via search");
+                assert_eq!(fast.off, oracle.off, "index and search disagree on {v}");
+                assert_eq!(fast.vertex(), oracle.vertex());
+                // table_at addresses the same record by slot alone.
+                assert_eq!(cluster.table_at(slot).unwrap().off, fast.off);
+                // The checked path lands on the same record too.
+                assert_eq!(cluster.try_table_of(v).unwrap().unwrap().off, fast.off);
+                lookups += 1;
+            }
+            // Non-members miss on both paths (a cluster may span all of V,
+            // in which case there is no outsider to probe).
+            if let Some(outsider) =
+                (0..flat.n()).find(|&v| cluster.members().binary_search(v as u64).is_err())
+            {
+                assert!(cluster.table_of(outsider).is_none());
+                assert!(cluster.table_of_by_search(outsider).is_none());
+                assert!(cluster.try_table_of(outsider).unwrap().is_none());
+            }
+        }
+        assert!(lookups > 0, "the drill must exercise real lookups");
+    }
+
+    #[test]
+    fn try_table_of_reports_poisoned_rank_index() {
+        let bytes = snapshot();
+        let flat = FlatScheme::from_bytes(&bytes).unwrap();
+        let m = flat.manifest();
+        // Pick an incidence whose cluster has a second member to point at.
+        let (v, i, c) = (0..flat.n())
+            .flat_map(|v| {
+                let trees = flat.trees_of(v);
+                (0..trees.len()).map(move |i| (v, i, trees.get(i) as NodeId))
+            })
+            .find(|&(_, _, c)| flat.cluster_of_center(c).unwrap().len() >= 2)
+            .expect("some cluster has at least two members");
+        let slot_word = start(&m, Section::MemberSlots)
+            + (flat.trees_of(v).start - start(&m, Section::VtreesVals))
+            + i;
+        let cluster = flat.cluster_of_center(c).unwrap();
+        let good = word_at(&bytes, slot_word) as usize;
+
+        // A slot naming a *different* member: in range, so only the
+        // member-column agreement check can catch it.
+        let bad = poke(&bytes, slot_word, ((good + 1) % cluster.len()) as u64);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(matches!(
+            forced.cluster_of_center(c).unwrap().try_table_of(v),
+            Err(WireError::Corrupt { .. })
+        ));
+
+        // A slot far past every column.
+        let bad = poke(&bytes, slot_word, u64::MAX);
+        let forced = FlatScheme::from_bytes_unvalidated(&bad).unwrap();
+        assert!(forced
+            .cluster_of_center(c)
+            .unwrap()
+            .try_table_of(v)
+            .is_err());
     }
 
     #[test]

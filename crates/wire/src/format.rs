@@ -8,7 +8,7 @@
 //! ```text
 //! header (HEADER_WORDS words)
 //!   0  magic "ENWIRE01"
-//!   1  format version (2)
+//!   1  format version (3)
 //!   2  n                      (host vertices)
 //!   3  k                      (levels)
 //!   4  number of clusters
@@ -18,15 +18,14 @@
 //!   8  total routing-table words          in-memory scheme's own word
 //!   9  max label size in words            counters)
 //!   10 total label words
-//!   11..=22  the 12 section offsets below, in words from buffer start
+//!   11..=23  the 13 section offsets below, in words from buffer start
 //!            (together with word 5 this is the byte-budget manifest:
 //!            every section's word span is pinned by the header before a
 //!            single section word is trusted)
-//!   23 reserved (0)
-//!   24..=35  per-section checksums: word-wise FNV-1a over each section's
+//!   24..=36  per-section checksums: word-wise FNV-1a over each section's
 //!            words (see the `checksum` module)
-//!   36..=38  reserved (0)
-//!   39 header checksum: word-wise FNV-1a over header words 0..=38 — the
+//!   37..=46  reserved (0)
+//!   47 header checksum: word-wise FNV-1a over header words 0..=46 — the
 //!      last header word, so every other header bit is covered
 //! sections, contiguous and in this order
 //!   CENTER_INDEX        n words: vertex -> cluster id, NULL if not a centre
@@ -38,6 +37,10 @@
 //!   TABLE_POOL          variable-length table records (layout below)
 //!   VTREES_OFF          n+1 CSR offsets into VTREES_VALS
 //!   VTREES_VALS         per vertex: ascending centre ids of its trees
+//!   MEMBER_SLOTS        aligned with VTREES_VALS: for the vertex's i-th
+//!                       tree, its rank (slot) in that cluster's member
+//!                       column — the v3 rank index that turns the hot-path
+//!                       member binary search into one word read
 //!   OWN_OFF             n+1 CSR offsets into OWN_ENTRIES (in entries)
 //!   OWN_ENTRIES         2 words per entry: member vertex (ascending per
 //!                       centre), label record offset into LABEL_POOL
@@ -69,15 +72,19 @@ pub const MAGIC: u64 = u64::from_le_bytes(*b"ENWIRE01");
 
 /// Current format version. Version 2 added the integrity layer: per-section
 /// checksums and the trailing header checksum (readers reject version-1
-/// snapshots, which carried no checksums at all).
-pub const VERSION: u64 = 2;
+/// snapshots, which carried no checksums at all). Version 3 added the
+/// [`Section::MemberSlots`] rank index (vertex → local member slot per
+/// tree), growing the header to 48 words; v2 snapshots are rejected with a
+/// structured unsupported-version error, never a checksum mismatch.
+pub const VERSION: u64 = 3;
 
 /// Sentinel standing for "absent" (`None` parents, missing global-heavy
 /// entries, label entries whose vertex is outside the pivot's tree).
 pub const NULL: u64 = u64::MAX;
 
-/// Number of header words before the first section.
-pub const HEADER_WORDS: usize = 40;
+/// Number of header words before the first section (40 in v2, 48 since v3 —
+/// one more section offset and checksum, re-padded to a power-of-two size).
+pub const HEADER_WORDS: usize = 48;
 
 /// Word index of `n` in the header.
 pub const H_N: usize = 2;
@@ -106,7 +113,7 @@ pub const H_SECTION_SUMS: usize = 24;
 pub const H_HEADER_SUM: usize = HEADER_WORDS - 1;
 
 /// Number of sections.
-pub const NUM_SECTIONS: usize = 12;
+pub const NUM_SECTIONS: usize = 13;
 
 /// Section ids, in buffer order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,16 +133,20 @@ pub enum Section {
     VtreesOff = 5,
     /// Per-vertex ascending centre ids.
     VtreesVals = 6,
+    /// The v3 rank index, aligned word-for-word with
+    /// [`Section::VtreesVals`]: the vertex's slot in that cluster's member
+    /// column.
+    MemberSlots = 7,
     /// CSR offsets of [`Section::OwnEntries`] (counted in entries).
-    OwnOff = 7,
+    OwnOff = 8,
     /// Own-cluster label entries (2 words each).
-    OwnEntries = 8,
+    OwnEntries = 9,
     /// CSR offsets of [`Section::LabelEntries`] (counted in entries).
-    LabelEntriesOff = 9,
+    LabelEntriesOff = 10,
     /// Node-label entries (4 words each).
-    LabelEntries = 10,
+    LabelEntries = 11,
     /// Variable-length tree-label records.
-    LabelPool = 11,
+    LabelPool = 12,
 }
 
 impl Section {
@@ -148,6 +159,7 @@ impl Section {
         Section::TablePool,
         Section::VtreesOff,
         Section::VtreesVals,
+        Section::MemberSlots,
         Section::OwnOff,
         Section::OwnEntries,
         Section::LabelEntriesOff,
@@ -165,6 +177,7 @@ impl Section {
             Section::TablePool => "table_pool",
             Section::VtreesOff => "vtrees_off",
             Section::VtreesVals => "vtrees_vals",
+            Section::MemberSlots => "member_slots",
             Section::OwnOff => "own_off",
             Section::OwnEntries => "own_entries",
             Section::LabelEntriesOff => "label_entries_off",

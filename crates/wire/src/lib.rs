@@ -14,13 +14,18 @@
 //!   versioned header carrying `n`, `k`, and the Table-1 word-size stats.
 //! * [`FlatScheme::from_bytes`] validates that buffer **once** and then
 //!   serves every access zero-copy: the views it hands out are `Copy`
-//!   slice-plus-offset handles, no per-label or per-table allocation.
+//!   slice-plus-offset handles, no per-label or per-table allocation. Since
+//!   format v3 the snapshot also carries a member-slot rank index (one word
+//!   per tree incidence, checksummed like every section), so resolving a
+//!   vertex's table inside a cluster is a single indexed read instead of a
+//!   binary search over the member column.
 //! * [`QueryEngine`] answers `find_tree` / `route` batches directly off the
 //!   flat columns, sharding batches over `std::thread::scope` workers.
-//!   Forwarding runs through the same
-//!   [`next_hop_view`](en_tree_routing::next_hop_view) implementation the
-//!   in-memory scheme uses — outcomes are bit-identical by construction
-//!   (and property-proven in `tests/property_wire_roundtrip.rs`).
+//!   There is no forwarding loop in this crate: the fast and the checked
+//!   paths both instantiate the storage-generic kernel in
+//!   [`en_routing::access`] — the same `Find-tree` + hop loop the in-memory
+//!   scheme runs — so outcomes are bit-identical by construction (and
+//!   property-proven in `tests/property_wire_roundtrip.rs`).
 //! * [`workload::generate_pairs`] produces uniform, Zipf-hotspot, and
 //!   near-vs-far query workloads for the benches.
 //!
@@ -29,7 +34,7 @@
 //! Serving is hardened end to end (see `tests/integration_fault_tolerance.rs`
 //! and the `fault_drill` harness bin):
 //!
-//! * **Snapshot integrity** — the v2 header carries a per-section FNV-1a
+//! * **Snapshot integrity** — the v3 header carries a per-section FNV-1a
 //!   checksum plus a whole-header checksum ([`checksum`]);
 //!   [`FlatScheme::from_bytes`] verifies them once at load, so corruption is
 //!   a structured [`WireError::ChecksumMismatch`], never a wrong answer, and

@@ -106,6 +106,9 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
     let mut member_ids: Vec<u64> = Vec::new();
     let mut member_table_offs: Vec<u64> = Vec::new();
     let mut table_pool: Vec<u64> = Vec::new();
+    // Per-vertex (centre, slot) pairs harvested during the cluster walk —
+    // the raw material of the v3 rank index emitted below.
+    let mut slots_by_vertex: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
     for (ci, &center) in centers.iter().enumerate() {
         center_index[center] = ci as u64;
         let ts = scheme
@@ -115,6 +118,7 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
         let start = member_ids.len();
         for (i, v) in ts.members().enumerate() {
             member_ids.push(v as u64);
+            slots_by_vertex[v].push((center as u64, i as u64));
             let table = ts.table_by_index(i).expect("tables align with members");
             member_table_offs.push(write_table(&mut table_pool, table));
         }
@@ -125,6 +129,9 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
             (member_ids.len() - start) as u64,
         ]);
     }
+    for s in &mut slots_by_vertex {
+        s.sort_unstable();
+    }
 
     // --- Per-vertex columns --------------------------------------------------
     let mut label_pool: Vec<u64> = Vec::new();
@@ -132,6 +139,7 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
 
     let mut vtrees_off: Vec<u64> = Vec::with_capacity(n + 1);
     let mut vtrees_vals: Vec<u64> = Vec::new();
+    let mut member_slots: Vec<u64> = Vec::new();
     let mut label_entries_off: Vec<u64> = Vec::with_capacity(n + 1);
     let mut label_entries: Vec<u64> = Vec::new();
     vtrees_off.push(0);
@@ -139,6 +147,15 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
     for v in 0..n {
         let table = scheme.table(v);
         vtrees_vals.extend(table.trees.iter().map(|&c| c as u64));
+        // The rank index stays word-aligned with VTREES_VALS: for the i-th
+        // tree entry, the vertex's slot in that cluster's member column.
+        let slots = &slots_by_vertex[v];
+        for &c in &table.trees {
+            let at = slots
+                .binary_search_by_key(&(c as u64), |&(center, _)| center)
+                .expect("every tree of a vertex lists it as a cluster member");
+            member_slots.push(slots[at].1);
+        }
         vtrees_off.push(vtrees_vals.len() as u64);
         for entry in &scheme.label(v).entries {
             let label_off = entry
@@ -178,6 +195,7 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
         &table_pool,
         &vtrees_off,
         &vtrees_vals,
+        &member_slots,
         &own_off,
         &own_entries,
         &label_entries_off,
@@ -206,7 +224,6 @@ pub fn serialize(scheme: &RoutingScheme) -> Vec<u8> {
         push_word(&mut out, off);
         off += s.len() as u64;
     }
-    push_word(&mut out, 0); // reserved
     debug_assert_eq!(out.len(), H_SECTION_SUMS * 8);
     // The integrity layer: one checksum per section, then — as the very
     // last header word — a checksum over every other header byte, so no

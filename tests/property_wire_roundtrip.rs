@@ -16,10 +16,12 @@
 //!   boundary — flipped magic/version words, and a corrupted section offset
 //!   are rejected by [`FlatScheme::from_bytes`] rather than risking a panic
 //!   at query time.
-//! * **Integrity**: the v2 per-section + header checksums detect *any*
-//!   single-bit flip anywhere in the buffer, so the accepted set is exactly
-//!   the pristine snapshot (which routes bit-identically by the round-trip
-//!   properties).
+//! * **Integrity**: the per-section + header checksums detect *any*
+//!   single-bit flip anywhere in the buffer — including the v3 member-slot
+//!   rank index — so the accepted set is exactly the pristine snapshot
+//!   (which routes bit-identically by the round-trip properties).
+//! * **Version negotiation**: v2 bytes presented to the v3 reader fail
+//!   with a structured `UnsupportedVersion`, not a checksum mismatch.
 
 use proptest::prelude::*;
 
@@ -137,7 +139,7 @@ proptest! {
         }
         prop_assert_eq!(
             FlatScheme::from_bytes(&[]).unwrap_err(),
-            WireError::Truncated { expected: 40 * 8, actual: 0 }
+            WireError::Truncated { expected: 48 * 8, actual: 0 }
         );
 
         // Exhaustive boundary sweep: cut the buffer exactly at every section
@@ -158,6 +160,26 @@ proptest! {
             }
         }
 
+        // The v3 member-slot rank index is protected like every other
+        // section: bit flips anywhere in its span fail its checksum, and a
+        // truncation landing inside it is rejected by the size check.
+        let ms = manifest
+            .sections
+            .iter()
+            .find(|s| s.section.name() == "member_slots")
+            .expect("v3 snapshots carry the rank index");
+        prop_assert!(ms.words > 0, "every scheme has cluster members to index");
+        for i in [0, ms.words / 2, ms.words - 1] {
+            let mut flipped = bytes.clone();
+            flipped[(ms.start_word + i) * 8] ^= 1;
+            prop_assert!(
+                FlatScheme::from_bytes(&flipped).is_err(),
+                "flip in member_slots word {i} must be rejected"
+            );
+        }
+        let cut = (ms.start_word + ms.words / 2) * 8;
+        prop_assert!(FlatScheme::from_bytes(&bytes[..cut]).is_err());
+
         // Flipped magic / unsupported version.
         let mut bad_magic = bytes.clone();
         bad_magic[0] ^= 0xFF;
@@ -170,6 +192,22 @@ proptest! {
         prop_assert!(matches!(
             FlatScheme::from_bytes(&bad_version),
             Err(WireError::UnsupportedVersion { found: 99 })
+        ));
+
+        // Version negotiation: a buffer declaring the retired v2 format is
+        // refused with the structured version error — the version word is
+        // examined before any checksum, so the caller learns "old format",
+        // never a misleading checksum mismatch. Both the validating and the
+        // shape-only open refuse it.
+        let mut v2_bytes = bytes.clone();
+        v2_bytes[8] = 2;
+        prop_assert!(matches!(
+            FlatScheme::from_bytes(&v2_bytes),
+            Err(WireError::UnsupportedVersion { found: 2 })
+        ));
+        prop_assert!(matches!(
+            FlatScheme::from_bytes_unvalidated(&v2_bytes),
+            Err(WireError::UnsupportedVersion { found: 2 })
         ));
 
         // A corrupted section offset (point the cluster table past the end).
@@ -194,7 +232,7 @@ proptest! {
     /// it *is* the original snapshot.
     #[test]
     fn any_single_bit_flip_is_detected(
-        word in 0usize..40,
+        word in 0usize..48,
         bit in 0usize..64,
         permille in 0usize..1000,
         body_bit in 0usize..8,
