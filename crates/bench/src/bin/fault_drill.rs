@@ -35,7 +35,10 @@ use en_wire::faultsim::{
     drill_loads, header_flip_plan, offset_scramble_plan, section_flip_plan, truncation_plan,
     FaultReport,
 };
-use en_wire::{generate_pairs, BatchOutcome, FlatScheme, PairWorkload, QueryEngine, SchemeStore};
+use en_wire::{
+    generate_pairs, BatchOutcome, CacheConfig, FlatScheme, MappedSnapshot, PairWorkload,
+    QueryEngine, SchemeStore,
+};
 
 /// Folds a batch's observable outcome into one word, so "bit-identical"
 /// is a single comparison.
@@ -120,6 +123,60 @@ fn main() {
         }
     }
 
+    // --- Phase 1b: mmap open drill -------------------------------------------
+    // The mapped open's SIGBUS-safety contract: a boundary-truncated file is
+    // never mapped (the pre-map length check routes it to the heap fallback)
+    // and still fails validation; the pristine file maps and validates.
+    let tmp = std::path::Path::new("target/tmp");
+    std::fs::create_dir_all(tmp).expect("scratch dir under target/");
+    let pristine_path = tmp.join("fault_drill_pristine.enwire");
+    std::fs::write(&pristine_path, &bytes).expect("write pristine snapshot");
+    match MappedSnapshot::open(&pristine_path) {
+        Ok(snap) => {
+            if snap.bytes() != &bytes[..] {
+                failures.push("mmap drill: pristine bytes differ after open".into());
+            }
+            let mappable = cfg!(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ));
+            if mappable && !snap.is_mapped() {
+                failures.push("mmap drill: pristine snapshot did not map".into());
+            }
+            if FlatScheme::from_bytes(snap.bytes()).is_err() {
+                failures.push("mmap drill: pristine mapped snapshot failed validation".into());
+            }
+        }
+        Err(e) => failures.push(format!("mmap drill: pristine open failed: {e}")),
+    }
+    std::fs::remove_file(&pristine_path).ok();
+    let mut mmap_cases = 0usize;
+    for (i, case) in truncation_plan(&manifest).iter().enumerate() {
+        let corrupt = case.apply(&bytes);
+        let p = tmp.join(format!("fault_drill_mmap_{i}.enwire"));
+        std::fs::write(&p, &corrupt).expect("write truncated snapshot");
+        match MappedSnapshot::open(&p) {
+            Ok(snap) => {
+                if snap.is_mapped() {
+                    failures.push(format!("mmap drill: {} was mapped", case.name));
+                }
+                if snap.bytes() != &corrupt[..] {
+                    failures.push(format!("mmap drill: {} bytes differ", case.name));
+                }
+                if FlatScheme::from_bytes(snap.bytes()).is_ok() {
+                    failures.push(format!("mmap drill: {} validated clean", case.name));
+                }
+            }
+            Err(e) => failures.push(format!("mmap drill: {} open failed: {e}", case.name)),
+        }
+        std::fs::remove_file(&p).ok();
+        mmap_cases += 1;
+    }
+    println!(
+        "  mmap drill: pristine mapped + validated, \
+         {mmap_cases} boundary truncations opened unmapped and rejected"
+    );
+
     // --- Phase 2: degraded-query drill --------------------------------------
     // Corruption that strikes *after* validation: force the corrupt bytes in
     // with the shape-only pass and route batches across thread counts. The
@@ -185,6 +242,40 @@ fn main() {
                 ok = false;
             }
             errors_seen += s.failed;
+        }
+        // The same corrupt snapshot behind a hot-route cache: the process
+        // must still survive and the per-shard accounting must reconstruct
+        // the batch exactly; non-panicked shards account one cache lookup
+        // (hit or miss) per query.
+        let cached_engine = QueryEngine::new(*engine.flat(), &g)
+            .expect("same graph")
+            .with_cache(CacheConfig { capacity: 64 });
+        for threads in [2usize, 8] {
+            let batch = cached_engine.route_batch(&pairs, None, threads);
+            let s = &batch.stats;
+            let shard_q: usize = batch.shards.iter().map(|sh| sh.queries).sum();
+            let shard_e: usize = batch.shards.iter().map(|sh| sh.errors).sum();
+            if shard_q != pairs.len() || shard_e != s.failed || s.pairs != pairs.len() {
+                failures.push(format!(
+                    "{}: cached shard accounting off at {threads} threads: \
+                     queries {shard_q}/{} errors {shard_e}/{}",
+                    case.name,
+                    pairs.len(),
+                    s.failed
+                ));
+                ok = false;
+            }
+            for (si, shard) in batch.shards.iter().enumerate() {
+                if !shard.panicked && shard.cache.hits + shard.cache.misses != shard.queries as u64
+                {
+                    failures.push(format!(
+                        "{}: shard {si} cache counters off at {threads} threads: \
+                         {:?} for {} queries",
+                        case.name, shard.cache, shard.queries
+                    ));
+                    ok = false;
+                }
+            }
         }
         degraded_runs += 1;
         degraded_queries += errors_seen;
@@ -316,7 +407,28 @@ fn main() {
             failures.push(format!("pristine batch failed queries at {t} threads"));
         }
     }
-    println!("  determinism: outcomes bit-identical at 1/2/8 threads, fault counters zero");
+    // The cache is observationally invisible on the pristine snapshot too:
+    // same digests at every thread count, and the batch counters account
+    // one lookup per pair.
+    let cached_engine = QueryEngine::new(*engine.flat(), &g)
+        .expect("same graph")
+        .with_cache(CacheConfig { capacity: 64 });
+    for t in [1usize, 2, 8] {
+        let b = cached_engine.route_batch(&pairs, None, t);
+        if digest(&b) != d0 {
+            failures.push(format!("cached pristine outcomes differ at {t} threads"));
+        }
+        if b.stats.cache_hits + b.stats.cache_misses != pairs.len() as u64 {
+            failures.push(format!(
+                "cached pristine batch lookup accounting off at {t} threads: {:?}",
+                b.stats
+            ));
+        }
+    }
+    println!(
+        "  determinism: outcomes bit-identical at 1/2/8 threads \
+         (cached and uncached), fault counters zero"
+    );
 
     println!("fault_drill summary: {}", report.summary());
     if report.undetected.is_empty() && failures.is_empty() {

@@ -27,16 +27,24 @@
 //! includes the n = 10000 end-to-end build the compact family unlocked.
 //!
 //! The `queries` workload tracks the `en_wire` serving path: per `(n, k)`
-//! at `n ∈ {1000, 10000}` it snapshots the built scheme and times two
-//! *separate* costs — `load_us`, a buffer copy plus the shape-only
-//! `from_bytes_unvalidated` open (what an epoch re-pin pays), and
-//! `validate_us`, the checksum walk alone (full `from_bytes` minus the
-//! shape-only open; the per-publish integrity tax, also reported as GB/s)
-//! — then measures batched routing throughput off the flat columns
-//! (uniform pairs; single-threaded and sharded over scoped threads) and,
-//! on the very same pairs, the in-memory `RoutingScheme` single-threaded
-//! throughput, recording `flat_vs_inmem` (flat single-thread ÷ in-memory
-//! routes/sec; the unified-kernel goal is 1.0). All of it is written to
+//! at `n ∈ {1000, 10000}` it snapshots the built scheme and times the
+//! open-path costs *separately* — `read_us`, the buffer copy alone (what
+//! an owned open pays to get the bytes in hand), `shape_open_us`, the
+//! header-only `from_bytes_unvalidated` parse, `mmap_open_us`, the
+//! page-cache alternative (`MappedSnapshot::open` plus the same shape
+//! parse, no copy), and `validate_us`, the checksum walk alone (full
+//! `from_bytes` minus the shape-only open; the per-publish integrity tax,
+//! also reported as GB/s, now sharded over `validate_threads` scoped
+//! workers whose per-thread word accounting must total the serial span) —
+//! then measures batched routing throughput off the flat columns
+//! (single-threaded and sharded over scoped threads) and, on the very
+//! same pairs, the in-memory `RoutingScheme` single-threaded throughput,
+//! recording `flat_vs_inmem` (flat single-thread ÷ in-memory routes/sec;
+//! the unified-kernel goal is 1.0). Beside the uniform pairs it records
+//! the Zipf-hotspot workload (exponent 1.2, both endpoints skewed) with
+//! the hot-route cache on — outcomes asserted bit-identical to the
+//! uncached run, `cache_hit_rate` committed — the skewed-traffic shape
+//! the serving layer is optimised for. All of it is written to
 //! `BENCH_queries.json` together with the snapshot size and the host's
 //! CPU count (the multi-thread number only shows real scaling on a
 //! multi-core host).
@@ -58,7 +66,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use en_wire::{generate_pairs, FlatScheme, PairWorkload, QueryEngine};
+use en_wire::{generate_pairs, CacheConfig, FlatScheme, MappedSnapshot, PairWorkload, QueryEngine};
 
 use en_bench::warn_if_round_limit_hit;
 use en_congest_algos::theorem1::{multi_source_hop_bounded, multi_source_hop_bounded_reference};
@@ -243,29 +251,58 @@ fn main() {
         for k in [2usize, 3] {
             let built = build_routing_scheme(&g, &ConstructionConfig::new(k, 42)).unwrap();
             let (serialize_ms, bytes) = best_of(runs, || en_wire::serialize(&built.scheme));
-            // Load and validation, kept apart: `load_us` is the cost of
-            // getting the buffer in hand and opening its shape (a copy plus
-            // the header-only `from_bytes_unvalidated` parse — what an epoch
-            // re-pin pays), while `validate_us` is the checksum walk alone
-            // (full `from_bytes` minus the shape-only open) — the
-            // per-publish integrity tax the v3 checksum layer charges.
-            let (load_ms, _) = best_of(kernel_runs, || {
-                let copied = bytes.clone();
-                FlatScheme::from_bytes_unvalidated(&copied)
-                    .expect("snapshot opens")
-                    .n()
-            });
-            let (full_ms, _) = best_of(kernel_runs, || {
-                FlatScheme::from_bytes(&bytes)
-                    .expect("snapshot validates")
-                    .n()
-            });
+            // Open-path costs, kept apart so each optimisation is
+            // attributable: `read_us` is the buffer copy alone (what an
+            // owned open pays to get the bytes in hand), `shape_open_us`
+            // the header-only `from_bytes_unvalidated` parse,
+            // `mmap_open_us` the page-cache open (`MappedSnapshot::open` +
+            // the same shape parse — no copy, the bytes stay in the kernel
+            // page cache), and `validate_us` the checksum walk alone (full
+            // `from_bytes` minus the shape-only open) — the per-publish
+            // integrity tax the v3 checksum layer charges.
+            let (read_ms, _) = best_of(kernel_runs, || bytes.clone().len());
             let (shape_ms, _) = best_of(kernel_runs, || {
                 FlatScheme::from_bytes_unvalidated(&bytes)
                     .expect("snapshot opens")
                     .n()
             });
+            let tmp = std::path::Path::new("target/tmp");
+            std::fs::create_dir_all(tmp).expect("scratch dir under target/");
+            let snap_path = tmp.join(format!("perf_baseline_{n}_{k}.enwire"));
+            std::fs::write(&snap_path, &bytes).expect("write snapshot scratch file");
+            let (mmap_ms, mapped) = best_of(kernel_runs, || {
+                let snap = MappedSnapshot::open(&snap_path).expect("snapshot opens");
+                FlatScheme::from_bytes_unvalidated(snap.bytes())
+                    .expect("snapshot opens")
+                    .n();
+                snap.is_mapped()
+            });
+            std::fs::remove_file(&snap_path).ok();
+            let (full_ms, _) = best_of(kernel_runs, || {
+                FlatScheme::from_bytes(&bytes)
+                    .expect("snapshot validates")
+                    .n()
+            });
             let validate_ms = (full_ms - shape_ms).max(0.0);
+            // The sharded checksum walk's per-thread accounting must total
+            // exactly the serial span, at the auto-picked width and at an
+            // explicit one.
+            let (_, serial_walk) =
+                FlatScheme::from_bytes_accounted(&bytes, 1).expect("snapshot validates");
+            let (_, auto_walk) =
+                FlatScheme::from_bytes_accounted(&bytes, 0).expect("snapshot validates");
+            let (_, wide_walk) =
+                FlatScheme::from_bytes_accounted(&bytes, 4).expect("snapshot validates");
+            assert_eq!(serial_walk.threads, 1);
+            for walk in [&auto_walk, &wide_walk] {
+                assert_eq!(
+                    walk.total_words(),
+                    serial_walk.total_words(),
+                    "sharded validation must account the serial span"
+                );
+                assert_eq!(walk.per_thread_words.len(), walk.threads);
+            }
+            let validate_threads = auto_walk.threads;
             let validate_gbps = if validate_ms > 0.0 {
                 bytes.len() as f64 / 1e9 / (validate_ms / 1e3)
             } else {
@@ -302,19 +339,75 @@ fn main() {
             let multi_rps = pairs.len() as f64 / (multi_ms / 1e3);
             let inmem_rps = pairs.len() as f64 / (inmem_ms / 1e3);
             let flat_vs_inmem = single_rps / inmem_rps;
+            // The Zipf-hotspot workload (both endpoints skewed, exponent
+            // 1.2) with the hot-route cache in front of the kernel: the
+            // skewed-traffic shape serving is optimised for. Outcomes are
+            // bit-identical to the uncached run by construction — asserted
+            // outcome-by-outcome here before the timed passes.
+            let zipf_exponent = 1.2;
+            let cache_capacity = 4096usize;
+            let zipf_pairs = generate_pairs(
+                &g,
+                &PairWorkload::ZipfHotspot {
+                    exponent: zipf_exponent,
+                },
+                query_pairs,
+                7,
+            );
+            let cached_engine = QueryEngine::new(flat, &g)
+                .expect("graph matches snapshot")
+                .with_cache(CacheConfig {
+                    capacity: cache_capacity,
+                });
+            let plain_batch = engine.route_batch(&zipf_pairs, None, 1);
+            let cached_batch = cached_engine.route_batch(&zipf_pairs, None, 1);
+            for (i, (a, b)) in plain_batch
+                .outcomes
+                .iter()
+                .zip(&cached_batch.outcomes)
+                .enumerate()
+            {
+                let (a, b) = (a.as_ref().expect("delivers"), b.as_ref().expect("delivers"));
+                assert!(
+                    a.path == b.path
+                        && a.length == b.length
+                        && a.stretch.to_bits() == b.stretch.to_bits(),
+                    "cached zipf outcome {i} diverged"
+                );
+            }
+            let (zipf_plain_ms, _) = best_of(kernel_runs, || {
+                engine.route_batch(&zipf_pairs, None, 1).stats.delivered
+            });
+            let (zipf_cached_ms, zipf_stats) = best_of(kernel_runs, || {
+                cached_engine.route_batch(&zipf_pairs, None, 1).stats
+            });
+            let cache_hit_rate = zipf_stats.cache_hit_rate();
+            let zipf_plain_rps = zipf_pairs.len() as f64 / (zipf_plain_ms / 1e3);
+            let zipf_cached_rps = zipf_pairs.len() as f64 / (zipf_cached_ms / 1e3);
+            let zipf_vs_uniform = zipf_cached_rps / single_rps;
             println!(
                 "queries n={n} k={k}: snapshot {} bytes ({:.1}/vertex), serialize \
-                 {serialize_ms:.3} ms, load {:.1} us, validate {:.1} us \
-                 ({validate_gbps:.2} GB/s), {} pairs: single {single_ms:.3} ms \
+                 {serialize_ms:.3} ms, read {:.1} us, shape open {:.1} us, \
+                 mmap open {:.1} us (mapped: {mapped}), validate {:.1} us \
+                 ({validate_gbps:.2} GB/s, {validate_threads} threads), \
+                 {} pairs: single {single_ms:.3} ms \
                  ({single_rps:.0} routes/s), {QUERY_THREADS} threads {multi_ms:.3} ms \
                  ({multi_rps:.0} routes/s, {:.2}x), in-memory {inmem_ms:.3} ms \
                  ({inmem_rps:.0} routes/s, flat/inmem {flat_vs_inmem:.2})",
                 bytes.len(),
                 bytes.len() as f64 / n as f64,
-                load_ms * 1e3,
+                read_ms * 1e3,
+                shape_ms * 1e3,
+                mmap_ms * 1e3,
                 validate_ms * 1e3,
                 pairs.len(),
                 multi_rps / single_rps
+            );
+            println!(
+                "          zipf s={zipf_exponent} cache cap {cache_capacity}: \
+                 uncached {zipf_plain_ms:.3} ms ({zipf_plain_rps:.0} routes/s), \
+                 cached {zipf_cached_ms:.3} ms ({zipf_cached_rps:.0} routes/s, \
+                 hit rate {cache_hit_rate:.2}), zipf-cached/uniform {zipf_vs_uniform:.2}"
             );
             if !query_entries.is_empty() {
                 query_entries.push_str(",\n");
@@ -322,8 +415,12 @@ fn main() {
             let _ = write!(
                 query_entries,
                 "    {{\"n\": {n}, \"k\": {k}, \"snapshot_bytes\": {}, \
-                 \"serialize_ms\": {serialize_ms:.3}, \"load_us\": {:.1}, \
+                 \"serialize_ms\": {serialize_ms:.3}, \"read_us\": {:.1}, \
+                 \"shape_open_us\": {:.1}, \"mmap_open_us\": {:.1}, \
+                 \"mmap_mapped\": {mapped}, \
                  \"validate_us\": {:.1}, \"validate_gb_per_s\": {validate_gbps:.2}, \
+                 \"validate_threads\": {validate_threads}, \
+                 \"validate_per_thread_words\": {:?}, \
                  \"pairs\": {}, \"single_thread_ms\": {single_ms:.3}, \
                  \"single_routes_per_sec\": {single_rps:.0}, \
                  \"multi_thread_ms\": {multi_ms:.3}, \
@@ -331,10 +428,19 @@ fn main() {
                  \"multi_vs_single\": {:.2}, \
                  \"inmem_thread_ms\": {inmem_ms:.3}, \
                  \"inmem_routes_per_sec\": {inmem_rps:.0}, \
-                 \"flat_vs_inmem\": {flat_vs_inmem:.2}}}",
+                 \"flat_vs_inmem\": {flat_vs_inmem:.2}, \
+                 \"zipf_exponent\": {zipf_exponent}, \
+                 \"cache_capacity\": {cache_capacity}, \
+                 \"zipf_routes_per_sec\": {zipf_plain_rps:.0}, \
+                 \"zipf_cached_routes_per_sec\": {zipf_cached_rps:.0}, \
+                 \"cache_hit_rate\": {cache_hit_rate:.3}, \
+                 \"zipf_cached_vs_uniform\": {zipf_vs_uniform:.2}}}",
                 bytes.len(),
-                load_ms * 1e3,
+                read_ms * 1e3,
+                shape_ms * 1e3,
+                mmap_ms * 1e3,
                 validate_ms * 1e3,
+                auto_walk.per_thread_words,
                 pairs.len(),
                 multi_rps / single_rps
             );
@@ -427,8 +533,9 @@ fn main() {
         return;
     }
     let queries_json = format!(
-        "{{\n  \"schema\": \"en-bench/queries-v2\",\n  \"workload\": \
-         \"uniform pairs over erdos-renyi avg-degree 8, weights 1..=100, seed 42\",\n  \
+        "{{\n  \"schema\": \"en-bench/queries-v3\",\n  \"workload\": \
+         \"uniform + zipf(1.2) pairs over erdos-renyi avg-degree 8, \
+         weights 1..=100, seed 42\",\n  \
          \"host_cpus\": {host_cpus},\n  \"multi_threads\": {QUERY_THREADS},\n  \
          \"entries\": [\n{query_entries}\n  ]\n}}\n"
     );

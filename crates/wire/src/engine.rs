@@ -28,10 +28,11 @@
 //! batch size.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 
 use en_graph::dijkstra::dijkstra;
 use en_graph::{Dist, NodeId, Path, WeightedGraph};
-use en_routing::access::{self, RouteAccess};
+use en_routing::access::{self, CacheStats, RouteAccess, RouteCache};
 use en_routing::error::RoutingError;
 use en_routing::scheme::RouteOutcome;
 
@@ -41,8 +42,9 @@ use crate::flat::{FlatCluster, FlatScheme, FlatTreeLabel, FlatTreeTable};
 /// The fast instantiation of the forwarding kernel: plain accessors, no
 /// per-read checks. Over a fully validated snapshot no method can fail;
 /// over bytes loaded with [`FlatScheme::from_bytes_unvalidated`] it may
-/// panic (never read out of bounds — the crate forbids `unsafe`), which the
-/// batch layer contains per shard.
+/// panic (never read out of bounds — the accessors are checked Rust;
+/// `unsafe` is denied outside the `mmap` module), which the batch layer
+/// contains per shard.
 #[derive(Debug, Clone, Copy)]
 struct FastAccess<'a> {
     flat: FlatScheme<'a>,
@@ -182,6 +184,49 @@ impl<'a> RouteAccess for CheckedAccess<'a> {
     }
 }
 
+/// Sizing of the per-shard hot-route caches a [`QueryEngine`] puts in
+/// front of the `Find-tree` kernel (see
+/// [`en_routing::access::RouteCache`]).
+///
+/// `capacity` is rounded up to a power of two; `0` disables caching.
+/// [`QueryEngine::new`] starts from [`CacheConfig::from_env`] so a whole
+/// test or serving process can be flipped cached via `EN_WIRE_CACHE_CAP`;
+/// [`QueryEngine::with_cache`] overrides per engine. Caching never changes
+/// outcomes — the cache memoises decisions and replays them through the
+/// live accessor — only [`BatchStats`]' cache counters and the speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Slots per shard cache (`0` = disabled; rounded up to a power of
+    /// two).
+    pub capacity: usize,
+}
+
+impl CacheConfig {
+    /// Caching off — the default when `EN_WIRE_CACHE_CAP` is unset.
+    pub const DISABLED: CacheConfig = CacheConfig { capacity: 0 };
+
+    /// The process-wide default: `EN_WIRE_CACHE_CAP` parsed as a slot
+    /// count (unset, empty, or unparsable ⇒ disabled). Read once and
+    /// cached for the life of the process.
+    pub fn from_env() -> CacheConfig {
+        static CAP: OnceLock<usize> = OnceLock::new();
+        CacheConfig {
+            capacity: *CAP.get_or_init(|| {
+                std::env::var("EN_WIRE_CACHE_CAP")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(0)
+            }),
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::DISABLED
+    }
+}
+
 /// A query engine serving one snapshot over one host graph.
 ///
 /// The graph is needed only to weigh traversed paths (and, for
@@ -191,6 +236,7 @@ impl<'a> RouteAccess for CheckedAccess<'a> {
 pub struct QueryEngine<'a> {
     flat: FlatScheme<'a>,
     graph: &'a WeightedGraph,
+    cache: CacheConfig,
 }
 
 /// Aggregate statistics of one routed batch.
@@ -222,6 +268,42 @@ pub struct BatchStats {
     /// Queries that still failed after the checked retry and were degraded
     /// into per-query errors instead of killing the batch.
     pub degraded: usize,
+    /// Hot-route cache hits summed over all shard caches (0 with caching
+    /// disabled).
+    pub cache_hits: u64,
+    /// Hot-route cache misses summed over all shard caches (every query is
+    /// counted a miss when caching is disabled).
+    pub cache_misses: u64,
+    /// Hot-route cache evictions summed over all shard caches.
+    pub cache_evictions: u64,
+}
+
+impl BatchStats {
+    /// Cache hits over hits + misses, `0.0` when nothing was counted.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// A copy with the cache counters zeroed.
+    ///
+    /// The routing outcomes and every other statistic are identical for
+    /// every thread count, but the cache counters are *shard-local* by
+    /// design (each worker warms its own cache), so they legitimately vary
+    /// with the sharding. Determinism assertions across thread counts
+    /// compare this normalised form and the outcomes bit-for-bit.
+    pub fn without_cache_counters(&self) -> BatchStats {
+        BatchStats {
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            ..self.clone()
+        }
+    }
 }
 
 /// Per-shard accounting of one routed batch, reported through
@@ -238,6 +320,9 @@ pub struct ShardStats {
     pub retries: usize,
     /// Whether the shard's worker panicked on first pass.
     pub panicked: bool,
+    /// This shard's hot-route cache counters (zeroed when the shard
+    /// panicked — the retry path runs uncached).
+    pub cache: CacheStats,
 }
 
 /// The outcome of routing one batch: per-pair results in input order plus
@@ -268,7 +353,23 @@ impl<'a> QueryEngine<'a> {
                 snapshot_n: flat.n(),
             });
         }
-        Ok(QueryEngine { flat, graph })
+        Ok(QueryEngine {
+            flat,
+            graph,
+            cache: CacheConfig::from_env(),
+        })
+    }
+
+    /// Replaces the engine's cache sizing (builder style); see
+    /// [`CacheConfig`].
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache sizing this engine shards batches with.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache
     }
 
     /// The snapshot this engine serves.
@@ -388,16 +489,67 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// [`Self::route_with_exact`] fronted by a caller-held hot-route cache
+    /// (the fast flat storage under
+    /// [`en_routing::access::forward_via_cached`]). Outcomes are
+    /// bit-identical to the uncached call on any validated snapshot; only
+    /// the cache's counters and the speed differ.
+    ///
+    /// # Errors
+    ///
+    /// Exactly what [`Self::route_with_exact`] reports.
+    pub fn route_with_cache(
+        &self,
+        cache: &mut RouteCache,
+        from: NodeId,
+        to: NodeId,
+        exact: Dist,
+    ) -> Result<RouteOutcome, RoutingError> {
+        let (root, level, path) =
+            access::forward_via_cached(&FastAccess { flat: self.flat }, cache, from, to)?;
+        Ok(self.outcome(root, level, path, exact))
+    }
+
+    /// [`Self::route_checked`] fronted by a caller-held hot-route cache —
+    /// the hardened accessors under the same cached kernel, so the checked
+    /// storage exercises caching exactly like the fast one (errors are
+    /// never cached; a degraded query stays degraded).
+    ///
+    /// # Errors
+    ///
+    /// Exactly what [`Self::route_checked`] reports.
+    pub fn route_checked_with_cache(
+        &self,
+        cache: &mut RouteCache,
+        from: NodeId,
+        to: NodeId,
+        exact: Dist,
+    ) -> Result<RouteOutcome, RoutingError> {
+        let mut guarded = AssertUnwindSafe((cache, self));
+        match catch_unwind(move || {
+            let (cache, engine) = &mut *guarded;
+            access::forward_via_cached(&CheckedAccess { flat: engine.flat }, cache, from, to)
+        }) {
+            Ok(forwarded) => {
+                forwarded.map(|(root, level, path)| self.outcome(root, level, path, exact))
+            }
+            Err(_) => Err(RoutingError::TreeRouting(format!(
+                "corrupt snapshot: query {from}->{to} panicked and was degraded"
+            ))),
+        }
+    }
+
     fn route_chunk(
         &self,
         pairs: &[(NodeId, NodeId)],
         exacts: Option<&[Dist]>,
+        cache: &mut RouteCache,
     ) -> Vec<Result<RouteOutcome, RoutingError>> {
         // Per-worker scratch: one pre-sized output vector, filled in order.
         let mut out = Vec::with_capacity(pairs.len());
         for (i, &(from, to)) in pairs.iter().enumerate() {
             let exact = exacts.map_or(0, |e| e[i]);
-            out.push(self.route_with_exact(from, to, exact));
+            out.push(self.route_with_cache(cache, from, to, exact));
         }
         out
     }
@@ -414,9 +566,18 @@ impl<'a> QueryEngine<'a> {
             queries: pairs.len(),
             ..ShardStats::default()
         };
-        let fast = catch_unwind(AssertUnwindSafe(|| self.route_chunk(pairs, exacts)));
+        // One cache per shard: workers warm their own memo lock-free, and
+        // outcomes stay deterministic per shard (hence per batch) because a
+        // cache can never change an answer, only skip a scan.
+        let mut cache = RouteCache::new(self.cache.capacity);
+        let fast = catch_unwind(AssertUnwindSafe(|| {
+            self.route_chunk(pairs, exacts, &mut cache)
+        }));
         let outcomes = match fast {
-            Ok(outcomes) => outcomes,
+            Ok(outcomes) => {
+                stats.cache = cache.stats();
+                outcomes
+            }
             Err(_) => {
                 // The shard died mid-chunk; re-run it query by query on the
                 // hardened path. Retrying is deterministic — the snapshot
@@ -447,8 +608,11 @@ impl<'a> QueryEngine<'a> {
     /// fields are not meaningful.
     ///
     /// Sharding is deterministic and outcomes are reassembled in input
-    /// order, so the result — including the aggregate statistics — is
-    /// identical for every thread count.
+    /// order, so the result — outcomes and aggregate statistics alike — is
+    /// identical for every thread count, with one carve-out: the cache
+    /// counters are per-shard by design (each worker warms its own cache),
+    /// so with caching enabled they vary with the sharding. Compare
+    /// [`BatchStats::without_cache_counters`] across thread counts.
     ///
     /// A worker panic does not kill the batch: the shard is caught,
     /// retried sequentially through [`Self::route_checked`], and any query
@@ -509,6 +673,9 @@ impl<'a> QueryEngine<'a> {
             if s.panicked {
                 stats.degraded += s.errors;
             }
+            stats.cache_hits += s.cache.hits;
+            stats.cache_misses += s.cache.misses;
+            stats.cache_evictions += s.cache.evictions;
         }
         BatchOutcome {
             outcomes,
@@ -532,6 +699,9 @@ fn batch_stats(outcomes: &[Result<RouteOutcome, RoutingError>]) -> BatchStats {
         shard_panics: 0,
         retried: 0,
         degraded: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
     };
     let mut stretch_sum = 0.0f64;
     for out in outcomes {

@@ -26,6 +26,17 @@
 //!   [`en_routing::access`] — the same `Find-tree` + hop loop the in-memory
 //!   scheme runs — so outcomes are bit-identical by construction (and
 //!   property-proven in `tests/property_wire_roundtrip.rs`).
+//! * [`mmap::MappedSnapshot`] opens a committed snapshot file straight out
+//!   of the kernel page cache — an O(header) length check, then `mmap` —
+//!   instead of copying hundreds of megabytes per open, with a
+//!   read-into-heap fallback for non-Linux targets and shape-invalid files
+//!   (see that module's SIGBUS-safety argument); [`SnapshotSource`] lets
+//!   [`SchemeStore`] epochs serve owned and mapped buffers alike.
+//! * [`en_routing::access::RouteCache`] (sized per engine via
+//!   [`CacheConfig`]) memoises hot `Find-tree` decisions in front of the
+//!   kernel — the win the Zipf workloads model — with hit/miss/eviction
+//!   counters in [`BatchStats`]; cached outcomes are bit-identical by
+//!   construction because the cache stores decisions, not answers.
 //! * [`workload::generate_pairs`] produces uniform, Zipf-hotspot, and
 //!   near-vs-far query workloads for the benches.
 //!
@@ -72,7 +83,10 @@
 //! assert_eq!(outcome.path, reference.path);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `mmap` module carries the crate's single
+// scoped `allow` for its raw-syscall wrapper; every other module is
+// checked Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checksum;
@@ -81,16 +95,18 @@ pub mod error;
 pub mod faultsim;
 pub mod flat;
 pub mod format;
+pub mod mmap;
 pub mod snapshot;
 pub mod store;
 pub mod workload;
 
-pub use engine::{BatchOutcome, BatchStats, QueryEngine, ShardStats};
+pub use engine::{BatchOutcome, BatchStats, CacheConfig, QueryEngine, ShardStats};
 pub use error::WireError;
 pub use flat::{
     FlatCluster, FlatLabelEntry, FlatScheme, FlatTreeLabel, FlatTreeTable, FlatU64s, SectionSpan,
-    SnapshotManifest,
+    SnapshotManifest, ValidateStats,
 };
+pub use mmap::MappedSnapshot;
 pub use snapshot::serialize;
-pub use store::{SchemeStore, SnapshotEpoch, StoreStats};
+pub use store::{SchemeStore, SnapshotEpoch, SnapshotSource, StoreStats};
 pub use workload::{generate_pairs, PairWorkload};

@@ -40,6 +40,49 @@ use std::sync::{Arc, RwLock};
 
 use crate::error::WireError;
 use crate::flat::FlatScheme;
+use crate::mmap::MappedSnapshot;
+
+/// Where an epoch's snapshot bytes live: an owned heap buffer, or a
+/// page-cache-backed [`MappedSnapshot`].
+///
+/// Publish, pin, and rollback are storage-agnostic: the store validates
+/// [`Self::bytes`] the same way for both variants, readers borrow the same
+/// `&[u8]`, and dropping the last pin frees the heap buffer or unmaps the
+/// file respectively.
+#[derive(Debug)]
+pub enum SnapshotSource {
+    /// An owned in-memory snapshot buffer.
+    Owned(Box<[u8]>),
+    /// A snapshot served straight from the kernel page cache.
+    Mapped(MappedSnapshot),
+}
+
+impl SnapshotSource {
+    /// The snapshot bytes, whatever the storage.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            SnapshotSource::Owned(bytes) => bytes,
+            SnapshotSource::Mapped(mapped) => mapped.bytes(),
+        }
+    }
+
+    /// Whether the bytes are memory-mapped rather than owned.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SnapshotSource::Mapped(m) if m.is_mapped())
+    }
+}
+
+impl From<Vec<u8>> for SnapshotSource {
+    fn from(bytes: Vec<u8>) -> Self {
+        SnapshotSource::Owned(bytes.into_boxed_slice())
+    }
+}
+
+impl From<MappedSnapshot> for SnapshotSource {
+    fn from(mapped: MappedSnapshot) -> Self {
+        SnapshotSource::Mapped(mapped)
+    }
+}
 
 /// One validated, immutable snapshot generation.
 ///
@@ -49,7 +92,7 @@ use crate::flat::FlatScheme;
 #[derive(Debug)]
 pub struct SnapshotEpoch {
     id: u64,
-    bytes: Box<[u8]>,
+    source: SnapshotSource,
 }
 
 impl SnapshotEpoch {
@@ -61,12 +104,17 @@ impl SnapshotEpoch {
 
     /// The raw snapshot bytes (already validated).
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        self.source.bytes()
+    }
+
+    /// The storage backing this epoch.
+    pub fn source(&self) -> &SnapshotSource {
+        &self.source
     }
 
     /// Borrows the epoch's scheme for zero-copy serving.
     pub fn scheme(&self) -> FlatScheme<'_> {
-        FlatScheme::from_bytes_unvalidated(&self.bytes)
+        FlatScheme::from_bytes_unvalidated(self.bytes())
             .expect("epoch bytes were validated at publish time")
     }
 }
@@ -100,12 +148,19 @@ impl SchemeStore {
     /// Returns the validation error when `bytes` is not a valid snapshot —
     /// a store never exists in an unserviceable state.
     pub fn new(bytes: Vec<u8>) -> Result<Self, WireError> {
-        FlatScheme::from_bytes(&bytes)?;
+        Self::new_source(bytes.into())
+    }
+
+    /// [`Self::new`] over any [`SnapshotSource`] — the mapped equivalent
+    /// of the owned constructor (pair with [`MappedSnapshot::open`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`]: the source's bytes must validate in full.
+    pub fn new_source(source: SnapshotSource) -> Result<Self, WireError> {
+        FlatScheme::from_bytes(source.bytes())?;
         Ok(SchemeStore {
-            current: RwLock::new(Arc::new(SnapshotEpoch {
-                id: 0,
-                bytes: bytes.into_boxed_slice(),
-            })),
+            current: RwLock::new(Arc::new(SnapshotEpoch { id: 0, source })),
             published: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         })
@@ -121,16 +176,26 @@ impl SchemeStore {
     /// counter is bumped, and the current epoch is left serving — rollback
     /// by default; there is no partially-applied state to undo.
     pub fn publish(&self, bytes: Vec<u8>) -> Result<u64, WireError> {
-        if let Err(e) = FlatScheme::from_bytes(&bytes) {
+        self.publish_source(bytes.into())
+    }
+
+    /// [`Self::publish`] over any [`SnapshotSource`]: a mapped candidate
+    /// is validated through its mapping (one page-cache-warm read instead
+    /// of a buffer copy plus a read) and swapped in under the identical
+    /// rollback-by-default contract — readers cannot tell the storages
+    /// apart.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::publish`].
+    pub fn publish_source(&self, source: SnapshotSource) -> Result<u64, WireError> {
+        if let Err(e) = FlatScheme::from_bytes(source.bytes()) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
         let mut guard = self.current.write().expect("store lock poisoned");
         let id = guard.id + 1;
-        *guard = Arc::new(SnapshotEpoch {
-            id,
-            bytes: bytes.into_boxed_slice(),
-        });
+        *guard = Arc::new(SnapshotEpoch { id, source });
         self.published.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -231,6 +296,54 @@ mod tests {
 
         // A good publish still works afterwards.
         assert_eq!(store.publish(snapshot(4)).unwrap(), 1);
+    }
+
+    #[test]
+    fn mapped_and_owned_sources_serve_identically() {
+        let a = snapshot(6);
+        let b = snapshot(7);
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_a = dir.join("store_epoch_a.enwire");
+        let path_b = dir.join("store_epoch_b.enwire");
+        std::fs::write(&path_a, &a).unwrap();
+        std::fs::write(&path_b, &b).unwrap();
+
+        // Epoch 0 mapped, epoch 1 owned, epoch 2 mapped again: pins,
+        // swaps, and rollback are storage-agnostic.
+        let mapped_a = crate::mmap::MappedSnapshot::open(&path_a).unwrap();
+        let store = SchemeStore::new_source(mapped_a.into()).unwrap();
+        let pinned = store.current();
+        assert_eq!(pinned.bytes(), &a[..]);
+        assert_eq!(
+            pinned.source().is_mapped(),
+            cfg!(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))
+        );
+        assert_eq!(pinned.scheme().n(), 40);
+
+        assert_eq!(store.publish(b.clone()).unwrap(), 1);
+        let mapped_b = crate::mmap::MappedSnapshot::open(&path_b).unwrap();
+        assert_eq!(store.publish_source(mapped_b.into()).unwrap(), 2);
+        assert_eq!(store.current().bytes(), &b[..]);
+
+        // A corrupt mapped candidate is rejected like a corrupt owned one.
+        let mut junk = a.clone();
+        junk[a.len() / 2] ^= 0x20;
+        let path_junk = dir.join("store_epoch_junk.enwire");
+        std::fs::write(&path_junk, &junk).unwrap();
+        let mapped_junk = crate::mmap::MappedSnapshot::open(&path_junk).unwrap();
+        assert!(store.publish_source(mapped_junk.into()).is_err());
+        assert_eq!(store.current_id(), 2, "failed publish must not swap");
+        assert_eq!(store.rejected(), 1);
+
+        // The mapped epoch-0 pin outlived both swaps.
+        assert_eq!(pinned.bytes(), &a[..]);
+        for p in [path_a, path_b, path_junk] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //!
 //! * **Uniform** — independent uniform source/destination pairs, the
 //!   baseline all-to-all traffic shape.
-//! * **Zipf hotspot** — destinations follow a Zipf law over a seeded random
-//!   ranking of the vertices, modelling skewed content popularity (a few
-//!   vertices receive most packets — the shape where the `4k−5` own-cluster
-//!   fast path and warm caches matter).
+//! * **Zipf hotspot** — both endpoints follow a Zipf law over independent
+//!   seeded random rankings of the vertices, modelling skewed traffic
+//!   (heavy-hitter sources talking to popular destinations, so a small hot
+//!   set of `(source, destination)` pairs carries most packets — the shape
+//!   the hot-route cache and the page-cache-resident snapshot exploit).
 //! * **Near vs. far** — a tunable fraction of pairs are *near* (the
 //!   destination is reached by a short random walk from the source, so the
 //!   pair is usually covered by a low-level cluster), the rest are uniform
@@ -23,8 +24,9 @@ use rand::{Rng, SeedableRng};
 pub enum PairWorkload {
     /// Independent uniform pairs.
     Uniform,
-    /// Zipf-distributed destinations with the given exponent (`1.0` is the
-    /// classic heavy-skew; larger is more skewed), uniform sources.
+    /// Zipf-distributed endpoints with the given exponent (`1.0` is the
+    /// classic heavy-skew; larger is more skewed): sources and destinations
+    /// are drawn from independent Zipf rankings, so hot pairs repeat.
     ZipfHotspot {
         /// The Zipf exponent `s > 0`.
         exponent: f64,
@@ -76,13 +78,14 @@ pub fn generate_pairs(
         }
         PairWorkload::ZipfHotspot { exponent } => {
             assert!(*exponent > 0.0, "Zipf exponent must be positive");
-            // Seeded random ranking: rank r maps to vertex ranking[r], so the
-            // hotspots are spread over the id space.
-            let mut ranking: Vec<NodeId> = (0..n).collect();
-            {
-                use rand::seq::SliceRandom;
-                ranking.shuffle(&mut rng);
-            }
+            // Independent seeded rankings for the two endpoints: rank r maps
+            // to vertex ranking[r], so the hotspots are spread over the id
+            // space and hot sources need not be hot destinations.
+            use rand::seq::SliceRandom;
+            let mut dst_ranking: Vec<NodeId> = (0..n).collect();
+            dst_ranking.shuffle(&mut rng);
+            let mut src_ranking: Vec<NodeId> = (0..n).collect();
+            src_ranking.shuffle(&mut rng);
             // Normalised cumulative Zipf weights over ranks.
             let mut cum = Vec::with_capacity(n);
             let mut acc = 0.0f64;
@@ -93,12 +96,14 @@ pub fn generate_pairs(
             for c in &mut cum {
                 *c /= acc;
             }
-            for _ in 0..pairs {
+            let zipf_rank = |rng: &mut StdRng| {
                 let u: f64 = rng.gen();
-                let rank = cum.partition_point(|&c| c <= u).min(n - 1);
-                let to = ranking[rank];
+                cum.partition_point(|&c| c <= u).min(n - 1)
+            };
+            for _ in 0..pairs {
+                let to = dst_ranking[zipf_rank(&mut rng)];
                 let from = loop {
-                    let v = rng.gen_range(0..n);
+                    let v = src_ranking[zipf_rank(&mut rng)];
                     if v != to {
                         break v;
                     }

@@ -114,7 +114,12 @@ fn batch_outcomes_are_identical_across_thread_counts() {
     let tiny = &pairs[..3];
     let a = engine.route_batch(tiny, Some(&exacts[..3]), 16);
     let b = engine.route_batch(tiny, Some(&exacts[..3]), 0);
-    assert_eq!(a.stats, b.stats);
+    // Cache hit/miss tallies are per-shard (each worker owns its cache), so
+    // they legitimately vary with the sharding; everything else is exact.
+    assert_eq!(
+        a.stats.without_cache_counters(),
+        b.stats.without_cache_counters()
+    );
     for (len, threads) in [(5usize, 4usize), (7, 5), (9, 7), (11, 8)] {
         let uneven = engine.route_batch(&pairs[..len], Some(&exacts[..len]), threads);
         assert_eq!(
@@ -122,10 +127,11 @@ fn batch_outcomes_are_identical_across_thread_counts() {
             "{len} pairs over {threads} threads"
         );
         assert_eq!(
-            uneven.stats,
+            uneven.stats.without_cache_counters(),
             engine
                 .route_batch(&pairs[..len], Some(&exacts[..len]), 1)
                 .stats
+                .without_cache_counters()
         );
         // Shard accounting also reconstructs uneven batches exactly.
         assert_eq!(
