@@ -24,6 +24,12 @@
 //! `--smoke` shrinks the graph and iteration counts for CI. Exits non-zero
 //! (with a failing summary) if any fault goes undetected or any invariant
 //! breaks.
+//!
+//! `--obs-out <path>` installs an [`en_obs::MetricsRegistry`] for the run
+//! and writes its `en-obs/v1` JSON-lines dump to `<path>` on completion:
+//! every phase summary that is printed for humans is mirrored as a
+//! structured `drill.*` event, and the drill's fault totals land as
+//! `drill.*` counters alongside the instrumented-library metrics.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -69,7 +75,18 @@ fn build_snapshot(n: usize, k: usize, graph_seed: u64, build_seed: u64) -> Vec<u
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let obs_out = args.iter().position(|a| a == "--obs-out").map(|i| {
+        std::path::PathBuf::from(args.get(i + 1).expect("--obs-out requires a path argument"))
+    });
+    let obs_registry = obs_out
+        .as_ref()
+        .map(|_| Arc::new(en_obs::MetricsRegistry::new()));
+    // The closure (not a bare fn path) forces the Arc<dyn Recorder> coercion.
+    #[allow(clippy::redundant_closure)]
+    let _obs_guard = obs_registry.clone().map(|r| en_obs::install(r));
+
     let n = if smoke { 120 } else { 600 };
     let k = 2;
     let flips_per_section = if smoke { 4 } else { 24 };
@@ -107,6 +124,17 @@ fn main() {
         &offset_scramble_plan(&manifest, 0xFA02, scrambles),
     ));
     println!("  load drill: {}", report.summary());
+    if en_obs::active() {
+        en_obs::event(
+            en_obs::Level::Info,
+            "drill.load",
+            &[
+                ("injected", (report.injected as u64).into()),
+                ("detected", (report.detected as u64).into()),
+                ("undetected", (report.undetected.len() as u64).into()),
+            ],
+        );
+    }
     for name in &report.undetected {
         failures.push(format!("load fault validated clean: {name}"));
     }
@@ -176,6 +204,13 @@ fn main() {
         "  mmap drill: pristine mapped + validated, \
          {mmap_cases} boundary truncations opened unmapped and rejected"
     );
+    if en_obs::active() {
+        en_obs::event(
+            en_obs::Level::Info,
+            "drill.mmap",
+            &[("truncation_cases", (mmap_cases as u64).into())],
+        );
+    }
 
     // --- Phase 2: degraded-query drill --------------------------------------
     // Corruption that strikes *after* validation: force the corrupt bytes in
@@ -292,6 +327,16 @@ fn main() {
         "  degraded drill: {degraded_runs} corrupt snapshots served, \
          {degraded_queries} queries degraded to errors, 0 crashes"
     );
+    if en_obs::active() {
+        en_obs::event(
+            en_obs::Level::Info,
+            "drill.degraded",
+            &[
+                ("snapshots_served", (degraded_runs as u64).into()),
+                ("queries_degraded", (degraded_queries as u64).into()),
+            ],
+        );
+    }
 
     // --- Phase 3: hot-swap race ----------------------------------------------
     let bytes_b = build_snapshot(n, k, 42, 43); // same graph, different scheme
@@ -376,6 +421,18 @@ fn main() {
                  {total_batches} reader batches, {} torn views",
                 bad.len()
             );
+            if en_obs::active() {
+                en_obs::event(
+                    en_obs::Level::Info,
+                    "drill.hotswap",
+                    &[
+                        ("publishes", (publishes as u64).into()),
+                        ("corrupt_rejects", (publishes as u64).into()),
+                        ("reader_batches", (total_batches as u64).into()),
+                        ("torn_views", (bad.len() as u64).into()),
+                    ],
+                );
+            }
             failures.extend(bad);
             let stats = store.stats();
             if stats.rejected != publishes as u64 || stats.published != publishes as u64 {
@@ -429,6 +486,25 @@ fn main() {
         "  determinism: outcomes bit-identical at 1/2/8 threads \
          (cached and uncached), fault counters zero"
     );
+    if en_obs::active() {
+        en_obs::event(
+            en_obs::Level::Info,
+            "drill.determinism",
+            &[
+                ("thread_counts", 3u64.into()),
+                ("bit_identical", (failures.is_empty()).into()),
+            ],
+        );
+        en_obs::counter_add("drill.faults_injected", report.injected as u64);
+        en_obs::counter_add("drill.faults_detected", report.detected as u64);
+        en_obs::counter_add("drill.faults_degraded", report.degraded as u64);
+        en_obs::counter_add("drill.faults_survived", report.survived as u64);
+        en_obs::counter_add("drill.failures", failures.len() as u64);
+    }
+    if let (Some(path), Some(reg)) = (&obs_out, &obs_registry) {
+        en_bench::write_obs_dump(path, reg).expect("write obs dump");
+        println!("wrote obs dump to {}", path.display());
+    }
 
     println!("fault_drill summary: {}", report.summary());
     if report.undetected.is_empty() && failures.is_empty() {

@@ -1,0 +1,50 @@
+//! Validates an `en-obs/v1` JSON-lines dump — the CI back-stop for the
+//! harness binaries' `--obs-out` flag.
+//!
+//! Usage: `cargo run -p en_bench --bin obs_check -- <dump.jsonl> [<dump2.jsonl> ...]`
+//!
+//! Each argument is parsed with [`en_obs::validate_jsonl`]; a one-line
+//! summary (counter/gauge/histogram/span/event counts) is printed per
+//! file. Any schema violation is reported with its line number and the
+//! process exits non-zero, so a malformed dump fails the CI step instead
+//! of passing silently.
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_check <dump.jsonl> [<dump2.jsonl> ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs_check: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match en_obs::validate_jsonl(&text) {
+            Ok(summary) => {
+                println!(
+                    "obs_check: {path}: OK ({} lines: {} counters, {} gauges, \
+                     {} histograms, {} spans, {} events)",
+                    summary.lines,
+                    summary.counters,
+                    summary.gauges,
+                    summary.histograms,
+                    summary.spans,
+                    summary.events
+                );
+            }
+            Err(e) => {
+                eprintln!("obs_check: {path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -79,21 +79,49 @@ pub struct SchemeMeasurement {
     pub stretch: StretchReport,
 }
 
-/// Prints a warning to stderr when any simulated CONGEST run inside the
-/// construction was cut off by the simulator's round limit before reaching
-/// quiescence — the reported round counts would be silently truncated
-/// otherwise ([`SimulationConfig::with_max_rounds`] keeps `Default`'s
-/// 1M-round cap unless a harness overrides it).
+/// Warns when any simulated CONGEST run inside the construction was cut
+/// off by the simulator's round limit before reaching quiescence — the
+/// reported round counts would be silently truncated otherwise
+/// ([`SimulationConfig::with_max_rounds`] keeps `Default`'s 1M-round cap
+/// unless a harness overrides it).
+///
+/// The warning is emitted twice: as a structured `warn` event (plus the
+/// `bench.round_limit_hits` counter) on the installed [`en_obs::Recorder`],
+/// and as the same human-readable stderr line as before, so interactive
+/// harness runs keep their rendering while `--obs-out` dumps carry the
+/// machine-readable record.
 ///
 /// [`SimulationConfig::with_max_rounds`]: en_congest::SimulationConfig::with_max_rounds
 pub fn warn_if_round_limit_hit(built: &BuiltScheme) {
-    if built.diagnostics.round_limit_hits > 0 {
+    let hits = built.diagnostics.round_limit_hits;
+    if hits > 0 {
+        en_obs::counter_add("bench.round_limit_hits", hits as u64);
+        en_obs::event(
+            en_obs::Level::Warn,
+            "bench.round_limit_hit",
+            &[
+                ("hits", hits.into()),
+                ("rounds_reported", built.total_rounds().into()),
+            ],
+        );
         eprintln!(
-            "warning: {} simulated exploration(s) hit the simulator round limit before \
-             quiescence; reported round counts are truncated (raise SimulationConfig::max_rounds)",
-            built.diagnostics.round_limit_hits
+            "warning: {hits} simulated exploration(s) hit the simulator round limit before \
+             quiescence; reported round counts are truncated (raise SimulationConfig::max_rounds)"
         );
     }
+}
+
+/// Writes `registry`'s full `en-obs/v1` JSON-lines dump to `path` — the
+/// shared back half of the harness binaries' `--obs-out` flag.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_obs_dump(
+    path: &std::path::Path,
+    registry: &en_obs::MetricsRegistry,
+) -> std::io::Result<()> {
+    std::fs::write(path, en_obs::to_jsonl(registry))
 }
 
 /// Builds the paper's scheme and measures it.

@@ -172,6 +172,8 @@ pub fn multi_source_hop_bounded_opts(
     for &s in sources {
         assert!(s < g.num_nodes(), "source {s} out of range");
     }
+    let _span = en_obs::span("theorem1_kernel");
+    en_obs::counter_add("kernel.theorem1.sources", sources.len() as u64);
     let n = g.num_nodes();
     let csr = CsrGraph::from_graph(g);
     let mut dist = vec![INFINITY; sources.len() * n];

@@ -67,6 +67,14 @@ impl RoundLedger {
     pub fn is_empty(&self) -> bool {
         self.phases.is_empty()
     }
+
+    /// Publishes the total charged rounds as the `congest.rounds_charged`
+    /// gauge (and the phase count as `congest.phases_charged`) on the
+    /// installed [`en_obs::Recorder`], if any.
+    pub fn publish_rounds_gauge(&self) {
+        en_obs::gauge_set("congest.rounds_charged", self.total_rounds() as u64);
+        en_obs::gauge_set("congest.phases_charged", self.len() as u64);
+    }
 }
 
 impl fmt::Display for RoundLedger {

@@ -145,24 +145,34 @@ pub fn build_routing_scheme_with(
         .unwrap_or_else(|| hop_diameter_estimate(g));
     let mut ledger = RoundLedger::new();
     let mut build_stats = BuildStats::default();
+    let _build_span = en_obs::span("build");
 
     // 1. Hierarchy (local coin flips: 0 rounds).
-    let hierarchy = Hierarchy::sample(&params);
+    let hierarchy = {
+        let _s = en_obs::span("hierarchy");
+        Hierarchy::sample(&params)
+    };
 
     // 2. Preprocessing for the large scales.
-    let pre = Preprocessing::run_with(g, &hierarchy, &params, hop_diameter, opts).map(
-        |(pre, pre_stats)| {
-            build_stats.absorb(&pre_stats);
-            pre
-        },
-    );
+    let pre = {
+        let _s = en_obs::span("preprocess");
+        Preprocessing::run_with(g, &hierarchy, &params, hop_diameter, opts).map(
+            |(pre, pre_stats)| {
+                build_stats.absorb(&pre_stats);
+                pre
+            },
+        )
+    };
     let hopset_beta = pre.as_ref().map(|p| p.beta);
     if let Some(pre) = &pre {
         ledger.absorb(pre.ledger.clone());
     }
 
     // 3. Pivots.
-    let pivot_table = compute_pivots(g, &hierarchy, &params, pre.as_ref(), hop_diameter);
+    let pivot_table = {
+        let _s = en_obs::span("pivots");
+        compute_pivots(g, &hierarchy, &params, pre.as_ref(), hop_diameter)
+    };
     ledger.absorb(pivot_table.ledger.clone());
 
     // 4. Clusters: every phase appends into one shared forest builder, so
@@ -171,30 +181,37 @@ pub fn build_routing_scheme_with(
     let mut diagnostics = ClusterDiagnostics::default();
     diagnostics.round_limit_hits += pivot_table.round_limit_hits;
     let mut builder = en_graph::forest::ClusterForestBuilder::new(g.num_nodes());
-    let (small_ledger, small_diag) = small_scale_clusters_into_opts(
-        g,
-        &hierarchy,
-        &params,
-        &pivot_table.pivots,
-        &mut builder,
-        opts,
-        &mut build_stats,
-    );
-    ledger.absorb(small_ledger);
-    merge_diagnostics(&mut diagnostics, small_diag);
-    let (middle_ledger, middle_diag) = middle_level_clusters_into_opts(
-        g,
-        &hierarchy,
-        &params,
-        &pivot_table.pivots,
-        hop_diameter,
-        &mut builder,
-        opts,
-        &mut build_stats,
-    );
-    ledger.absorb(middle_ledger);
-    merge_diagnostics(&mut diagnostics, middle_diag);
+    {
+        let _s = en_obs::span("clusters_small");
+        let (small_ledger, small_diag) = small_scale_clusters_into_opts(
+            g,
+            &hierarchy,
+            &params,
+            &pivot_table.pivots,
+            &mut builder,
+            opts,
+            &mut build_stats,
+        );
+        ledger.absorb(small_ledger);
+        merge_diagnostics(&mut diagnostics, small_diag);
+    }
+    {
+        let _s = en_obs::span("clusters_middle");
+        let (middle_ledger, middle_diag) = middle_level_clusters_into_opts(
+            g,
+            &hierarchy,
+            &params,
+            &pivot_table.pivots,
+            hop_diameter,
+            &mut builder,
+            opts,
+            &mut build_stats,
+        );
+        ledger.absorb(middle_ledger);
+        merge_diagnostics(&mut diagnostics, middle_diag);
+    }
     if let Some(pre) = &pre {
+        let _s = en_obs::span("clusters_large");
         let (large_ledger, large_diag) = large_scale_clusters_into_opts(
             g,
             &hierarchy,
@@ -210,7 +227,10 @@ pub fn build_routing_scheme_with(
         merge_diagnostics(&mut diagnostics, large_diag);
     }
 
-    let family = ClusterFamily::new(hierarchy, builder.finish(), pivot_table.pivots);
+    let family = {
+        let _s = en_obs::span("forest_finish");
+        ClusterFamily::new(hierarchy, builder.finish(), pivot_table.pivots)
+    };
 
     // 5. Tree-routing schemes for every cluster tree, in parallel (Remark 3).
     let overlap = family.max_overlap().max(1);
@@ -222,13 +242,40 @@ pub fn build_routing_scheme_with(
             params.k
         ),
     );
-    let (scheme, assemble_stats) =
-        RoutingScheme::assemble_opts(&family, config.seed ^ 0x7EE5_0FF1CE, opts);
+    let (scheme, assemble_stats) = {
+        let _s = en_obs::span("assemble");
+        RoutingScheme::assemble_opts(&family, config.seed ^ 0x7EE5_0FF1CE, opts)
+    };
     build_stats.absorb(&assemble_stats);
 
     // 6. Distance-estimation sketches (assembled from information every vertex
     // already holds: 0 extra rounds).
-    let sketches = DistanceEstimation::build(&family);
+    let sketches = {
+        let _s = en_obs::span("sketches");
+        DistanceEstimation::build(&family)
+    };
+
+    // Republish the build's work accounting and round charges into the
+    // observability plane (no-ops unless a recorder is installed). The
+    // counters mirror `BuildStats` exactly — `tests/integration_obs.rs`
+    // reconciles them at several thread counts.
+    en_obs::counter_add("build.sources_total", build_stats.total_sources() as u64);
+    en_obs::counter_add("build.members_total", build_stats.total_members() as u64);
+    en_obs::gauge_set("build.threads_used", build_stats.threads_used() as u64);
+    ledger.publish_rounds_gauge();
+    if en_obs::active() {
+        en_obs::event(
+            en_obs::Level::Info,
+            "build.complete",
+            &[
+                ("n", g.num_nodes().into()),
+                ("k", config.k.into()),
+                ("rounds", ledger.total_rounds().into()),
+                ("hop_diameter", hop_diameter.into()),
+                ("threads", build_stats.threads_used().into()),
+            ],
+        );
+    }
 
     Ok(BuiltScheme {
         params,

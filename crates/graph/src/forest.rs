@@ -527,6 +527,9 @@ impl ClusterForestBuilder {
             self.n, other.n,
             "cannot absorb a builder over a different host"
         );
+        let _span = en_obs::span("forest_absorb");
+        en_obs::counter_add("forest.absorbed_clusters", other.centers.len() as u64);
+        en_obs::counter_add("forest.absorbed_members", other.member_ids.len() as u64);
         let base = self.member_ids.len();
         self.centers.extend_from_slice(&other.centers);
         self.levels.extend_from_slice(&other.levels);

@@ -327,6 +327,8 @@ fn restricted_multi_source_ordered(
     order: Vec<usize>,
     opts: &BuildOptions,
 ) -> (RestrictedMultiSource, BuildStats) {
+    let _span = en_obs::span("restricted_kernel");
+    en_obs::counter_add("kernel.restricted.sources", sources.len() as u64);
     let n = csr.num_nodes();
     let budget = max_sweeps.unwrap_or(usize::MAX);
     let mut out = Outputs {

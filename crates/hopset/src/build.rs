@@ -79,6 +79,7 @@ impl HopsetConfig {
 
 /// Builds a path-reporting hopset for `g` with the given configuration.
 pub fn build_hopset(g: &WeightedGraph, config: &HopsetConfig) -> Hopset {
+    let _span = en_obs::span("hopset_build");
     let m = g.num_nodes();
     let beta = config.beta_for(m);
     if m == 0 {
@@ -115,6 +116,7 @@ pub fn build_hopset(g: &WeightedGraph, config: &HopsetConfig) -> Hopset {
             }
         }
     }
+    en_obs::counter_add("hopset.shortcut_edges", edges.len() as u64);
     Hopset::new(edges, beta, 0.0)
 }
 

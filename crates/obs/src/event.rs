@@ -1,0 +1,209 @@
+//! Structured events with a bounded in-memory buffer.
+//!
+//! Events are the discrete, timestamped half of the plane (publishes,
+//! rejections, warnings, drill progress); metrics are the aggregated half.
+//! The buffer is a fixed-capacity ring: when full, the **oldest** event is
+//! dropped and a drop counter is bumped, so a chatty subsystem can never
+//! make the registry grow without bound or lose the most recent context.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Severity of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail.
+    Debug,
+    /// Normal operational signal.
+    Info,
+    /// Something degraded but handled (e.g. a malformed env var).
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl Level {
+    /// The lowercase name used by the `en-obs/v1` schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One typed field value of an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (exported with `{:.6}` trimming).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (assigned at record time, never reused;
+    /// gaps reveal drops).
+    pub seq: u64,
+    /// Microseconds since the registry was created (monotonic clock).
+    pub t_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Event name (dot/underscore style, e.g. `store.publish`).
+    pub name: String,
+    /// Typed key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// The bounded ring the registry stores events in (callers use
+/// [`crate::MetricsRegistry::event`], not this directly).
+#[derive(Debug)]
+pub struct EventBuffer {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<Event>,
+}
+
+impl EventBuffer {
+    /// A buffer holding at most `capacity` events (`0` keeps sequence and
+    /// drop accounting but stores nothing).
+    pub fn new(capacity: usize) -> Self {
+        EventBuffer {
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Appends an event, dropping the oldest when full. Returns the
+    /// assigned sequence number.
+    pub fn push(
+        &mut self,
+        t_us: u64,
+        level: Level,
+        name: &str,
+        fields: Vec<(String, FieldValue)>,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return seq;
+        }
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Event {
+            seq,
+            t_us,
+            level,
+            name: name.to_string(),
+            fields,
+        });
+        seq
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events ever recorded (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_sequence() {
+        let mut buf = EventBuffer::new(2);
+        for i in 0..5u64 {
+            let seq = buf.push(i, Level::Info, "e", vec![("i".into(), i.into())]);
+            assert_eq!(seq, i);
+        }
+        assert_eq!(buf.dropped(), 3);
+        assert_eq!(buf.recorded(), 5);
+        let seqs: Vec<u64> = buf.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4], "newest survive, oldest drop");
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_stores_nothing() {
+        let mut buf = EventBuffer::new(0);
+        buf.push(0, Level::Warn, "x", Vec::new());
+        assert_eq!(buf.recorded(), 1);
+        assert_eq!(buf.dropped(), 1);
+        assert_eq!(buf.events().count(), 0);
+    }
+
+    #[test]
+    fn levels_render_for_the_schema() {
+        assert_eq!(Level::Debug.as_str(), "debug");
+        assert_eq!(Level::Info.to_string(), "info");
+        assert_eq!(Level::Warn.as_str(), "warn");
+        assert_eq!(Level::Error.as_str(), "error");
+        assert!(Level::Warn > Level::Info);
+    }
+}

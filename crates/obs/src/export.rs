@@ -1,0 +1,342 @@
+//! Exporters: the `en-obs/v1` JSON-lines dump and a Prometheus-style text
+//! exposition.
+//!
+//! # The `en-obs/v1` JSON-lines schema
+//!
+//! [`to_jsonl`] emits one JSON object per line. The **first** line is
+//! always the meta record; every later line is one metric, span aggregate,
+//! or event:
+//!
+//! ```text
+//! {"schema":"en-obs/v1","kind":"meta","uptime_us":N,"events_recorded":N,"events_dropped":N}
+//! {"kind":"counter","name":"...","value":N}
+//! {"kind":"gauge","name":"...","value":N}
+//! {"kind":"histogram","name":"...","count":N,"sum":N,"buckets":[[i,c],...]}
+//! {"kind":"span","name":"path/leaf","count":N,"total_ns":N,"buckets":[[i,c],...]}
+//! {"kind":"event","seq":N,"t_us":N,"level":"info|warn|...","name":"...","fields":{...}}
+//! ```
+//!
+//! Histogram `buckets` are sparse `[bucket_index, count]` pairs in
+//! ascending index order; bucket `0` holds the value `0` and bucket
+//! `i ≥ 1` holds values in `[2^(i−1), 2^i − 1]`
+//! ([`Histogram::bucket_le`](crate::Histogram::bucket_le) gives the
+//! inclusive upper bound, `u64::MAX` for the top bucket `64`). Span lines
+//! are histograms of nanosecond durations keyed by span path. Event
+//! `fields` values are JSON numbers, strings, or booleans; non-finite
+//! floats export as `null`. [`crate::schema::validate_jsonl`] checks all
+//! of this mechanically.
+//!
+//! # Prometheus exposition
+//!
+//! [`to_prometheus`] renders the same registry in the Prometheus text
+//! format (counters, gauges, and histograms with cumulative `le` buckets
+//! plus `_sum`/`_count`). Metric names are sanitised to
+//! `[a-zA-Z0-9_:]`; span aggregates appear as histograms named
+//! `span:<sanitised path>` with `_ns` duration samples. Events have no
+//! Prometheus form — use the JSONL dump for them.
+
+use std::fmt::Write as _;
+
+use crate::event::FieldValue;
+use crate::metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use crate::registry::{MetricsRegistry, RegistryVisitor};
+
+/// Escapes a string for a JSON string literal (without the quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_field_value(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(n) => n.to_string(),
+        FieldValue::F64(f) if f.is_finite() => {
+            let mut s = format!("{f}");
+            // `Display` of a round float omits the point; keep it a JSON
+            // number either way (both forms are valid).
+            if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                s.push_str(".0");
+            }
+            s
+        }
+        FieldValue::F64(_) => "null".to_string(),
+        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn sparse_buckets(h: &Histogram) -> String {
+    let counts = h.bucket_counts();
+    let mut out = String::from("[");
+    let mut first = true;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "[{i},{c}]");
+    }
+    out.push(']');
+    out
+}
+
+struct JsonlVisitor {
+    out: String,
+}
+
+impl RegistryVisitor for JsonlVisitor {
+    fn counter(&mut self, name: &str, c: &Counter) {
+        let _ = writeln!(
+            self.out,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            c.value()
+        );
+    }
+
+    fn gauge(&mut self, name: &str, g: &Gauge) {
+        let _ = writeln!(
+            self.out,
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            g.value()
+        );
+    }
+
+    fn histogram(&mut self, name: &str, h: &Histogram, is_span: bool) {
+        let (kind, sum_key) = if is_span {
+            ("span", "total_ns")
+        } else {
+            ("histogram", "sum")
+        };
+        let _ = writeln!(
+            self.out,
+            "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"count\":{},\"{sum_key}\":{},\"buckets\":{}}}",
+            json_escape(name),
+            h.count(),
+            h.sum(),
+            sparse_buckets(h)
+        );
+    }
+}
+
+/// Renders the registry as an `en-obs/v1` JSON-lines dump (see the module
+/// docs for the schema). The output is deterministic for a given registry
+/// state: meta line, then counters, gauges, histograms, and spans in
+/// sorted-name order, then events oldest-first.
+pub fn to_jsonl(reg: &MetricsRegistry) -> String {
+    let mut v = JsonlVisitor {
+        out: String::with_capacity(4096),
+    };
+    let _ = writeln!(
+        v.out,
+        "{{\"schema\":\"en-obs/v1\",\"kind\":\"meta\",\"uptime_us\":{},\
+         \"events_recorded\":{},\"events_dropped\":{}}}",
+        reg.uptime_us(),
+        reg.events_recorded(),
+        reg.events_dropped()
+    );
+    reg.visit(&mut v);
+    for e in reg.events_snapshot() {
+        let mut fields = String::from("{");
+        for (i, (k, val)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                fields.push(',');
+            }
+            let _ = write!(fields, "\"{}\":{}", json_escape(k), json_field_value(val));
+        }
+        fields.push('}');
+        let _ = writeln!(
+            v.out,
+            "{{\"kind\":\"event\",\"seq\":{},\"t_us\":{},\"level\":\"{}\",\
+             \"name\":\"{}\",\"fields\":{fields}}}",
+            e.seq,
+            e.t_us,
+            e.level.as_str(),
+            json_escape(&e.name)
+        );
+    }
+    v.out
+}
+
+/// Sanitises a metric name to the Prometheus charset `[a-zA-Z0-9_:]`
+/// (other characters become `_`; a leading digit gets a `_` prefix).
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+struct PromVisitor {
+    out: String,
+}
+
+impl PromVisitor {
+    fn histogram_lines(&mut self, name: &str, h: &Histogram) {
+        let _ = writeln!(self.out, "# TYPE {name} histogram");
+        let counts = h.bucket_counts();
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+            if c == 0 {
+                continue;
+            }
+            cum = cum.saturating_add(c);
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{le=\"{}\"}} {cum}",
+                Histogram::bucket_le(i)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(self.out, "{name}_sum {}", h.sum());
+        let _ = writeln!(self.out, "{name}_count {}", h.count());
+    }
+}
+
+impl RegistryVisitor for PromVisitor {
+    fn counter(&mut self, name: &str, c: &Counter) {
+        let name = prometheus_name(name);
+        let _ = writeln!(self.out, "# TYPE {name} counter");
+        let _ = writeln!(self.out, "{name} {}", c.value());
+    }
+
+    fn gauge(&mut self, name: &str, g: &Gauge) {
+        let name = prometheus_name(name);
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        let _ = writeln!(self.out, "{name} {}", g.value());
+    }
+
+    fn histogram(&mut self, name: &str, h: &Histogram, is_span: bool) {
+        let name = if is_span {
+            format!("span:{}", prometheus_name(name))
+        } else {
+            prometheus_name(name)
+        };
+        self.histogram_lines(&name, h);
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format (see the
+/// module docs; events are JSONL-only).
+pub fn to_prometheus(reg: &MetricsRegistry) -> String {
+    let mut v = PromVisitor {
+        out: String::with_capacity(4096),
+    };
+    reg.visit(&mut v);
+    v.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::schema::validate_jsonl;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("routes_delivered_total").add(12);
+        reg.gauge("current_epoch").set(3);
+        reg.histogram("route_hops").record(0);
+        reg.histogram("route_hops").record(5);
+        reg.histogram("route_hops").record(u64::MAX);
+        reg.span_histogram("build/theorem1").record(1_000_000);
+        reg.event(
+            Level::Warn,
+            "cache.cap_invalid",
+            &[
+                ("value", "ten".into()),
+                ("fallback", 0u64.into()),
+                ("ratio", 0.5f64.into()),
+                ("mapped", true.into()),
+            ],
+        );
+        reg
+    }
+
+    #[test]
+    fn jsonl_dump_validates_against_own_schema() {
+        let reg = sample_registry();
+        let dump = to_jsonl(&reg);
+        let summary = validate_jsonl(&dump).expect("self-emitted dump validates");
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.gauges, 1);
+        assert_eq!(summary.histograms, 1);
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
+    }
+
+    #[test]
+    fn jsonl_contains_expected_lines() {
+        let dump = to_jsonl(&sample_registry());
+        let mut lines = dump.lines();
+        let meta = lines.next().unwrap();
+        assert!(meta.contains("\"schema\":\"en-obs/v1\""));
+        assert!(meta.contains("\"kind\":\"meta\""));
+        assert!(
+            dump.contains("\"kind\":\"counter\",\"name\":\"routes_delivered_total\",\"value\":12")
+        );
+        assert!(dump.contains("\"kind\":\"gauge\",\"name\":\"current_epoch\",\"value\":3"));
+        // Sparse buckets: 0 → bucket 0, 5 → bucket 3, MAX → bucket 64.
+        assert!(dump.contains("\"buckets\":[[0,1],[3,1],[64,1]]"));
+        assert!(dump.contains("\"kind\":\"span\",\"name\":\"build/theorem1\""));
+        assert!(dump.contains("\"level\":\"warn\""));
+        assert!(dump.contains("\"value\":\"ten\""));
+        assert!(dump.contains("\"mapped\":true"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = to_prometheus(&sample_registry());
+        assert!(text.contains("# TYPE routes_delivered_total counter"));
+        assert!(text.contains("routes_delivered_total 12"));
+        assert!(text.contains("# TYPE current_epoch gauge"));
+        assert!(text.contains("# TYPE route_hops histogram"));
+        // Cumulative buckets end at +Inf = count.
+        assert!(text.contains("route_hops_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("route_hops_count 3"));
+        // Span paths are sanitised; '/' is not a Prometheus name char.
+        assert!(text.contains("span:build_theorem1_count 1"));
+        assert!(!text.contains("build/theorem1"));
+    }
+
+    #[test]
+    fn name_sanitisation() {
+        assert_eq!(prometheus_name("a/b-c.d"), "a_b_c_d");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:x"), "ok_name:x");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn json_escaping_and_floats() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_field_value(&FieldValue::F64(f64::NAN)), "null");
+        assert_eq!(json_field_value(&FieldValue::F64(2.0)), "2.0");
+        assert_eq!(json_field_value(&FieldValue::F64(1.25)), "1.25");
+    }
+}

@@ -1,0 +1,258 @@
+//! `en_obs` — std-only observability for the Elkin–Neiman routing stack.
+//!
+//! The crate provides three things, with zero dependencies (the
+//! environment is offline, so no `tracing`/`prometheus`):
+//!
+//! 1. **Metrics** — a [`MetricsRegistry`] of lock-free, saturating
+//!    [`Counter`]s, [`Gauge`]s, and fixed-bucket log2 [`Histogram`]s that
+//!    merge exactly across threads.
+//! 2. **Spans** — RAII [`Span`] guards ([`span`]) with a thread-local span
+//!    stack and monotonic timing, aggregated as nanosecond histograms per
+//!    "/"-joined path.
+//! 3. **Exporters** — [`to_jsonl`] (the `en-obs/v1` JSON-lines schema,
+//!    mechanically checkable with [`validate_jsonl`]) and
+//!    [`to_prometheus`] (Prometheus text exposition).
+//!
+//! # The recorder seam
+//!
+//! Instrumented crates never talk to a registry directly; they call the
+//! free functions here ([`counter_add`], [`gauge_set`], [`histogram_record`],
+//! [`event`], [`span`]), which forward to the process-global [`Recorder`]
+//! — if one is [`install`]ed. When none is (the default), every call is a
+//! single relaxed atomic load and a predictable branch: no clock reads, no
+//! allocation, no locks. That is what keeps the uninstrumented serving
+//! path within the ≤2% overhead bound recorded in `BENCH_queries.json`.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(en_obs::MetricsRegistry::new());
+//! {
+//!     let _guard = en_obs::install(registry.clone());
+//!     en_obs::counter_add("demo.hits", 3);
+//!     let _span = en_obs::span("demo_phase");
+//! } // guard drop restores the previous recorder
+//! assert_eq!(registry.counter_value("demo.hits"), 3);
+//! let dump = en_obs::to_jsonl(&registry);
+//! en_obs::validate_jsonl(&dump).expect("schema-clean");
+//! ```
+
+mod event;
+mod export;
+mod metrics;
+mod registry;
+mod schema;
+mod span;
+
+pub use event::{Event, EventBuffer, FieldValue, Level};
+pub use export::{to_jsonl, to_prometheus};
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{MetricsRegistry, DEFAULT_EVENT_CAPACITY};
+pub use schema::{parse_json, validate_jsonl, Json, SchemaError, SchemaSummary};
+pub use span::{span, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Sink for observability signals.
+///
+/// Every method has a no-op default, so a custom recorder only overrides
+/// what it cares about. [`MetricsRegistry`] implements the full trait.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to counter `name`.
+    fn counter_add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets gauge `name` to `value`.
+    fn gauge_set(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Raises gauge `name` to `value` if larger.
+    fn gauge_max(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records `value` into histogram `name`.
+    fn histogram_record(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records a completed span at "/"-joined `path` lasting `dur_ns`.
+    fn span_record(&self, path: &str, dur_ns: u64) {
+        let _ = (path, dur_ns);
+    }
+
+    /// Records a structured event.
+    fn event(&self, level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+        let _ = (level, name, fields);
+    }
+}
+
+/// Fast gate: `true` iff a recorder is installed. Checked (relaxed) before
+/// any other observability work, so the uninstalled path never takes the
+/// `RwLock`.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// `true` iff a recorder is currently installed. One relaxed atomic load —
+/// hot paths may hoist this out of loops.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` as the process-global sink and returns a guard that
+/// restores the previous recorder (usually none) when dropped.
+///
+/// Installations nest: dropping the guard reinstates whatever was active
+/// before, so scoped instrumentation (a bench run, a test) cannot leak
+/// into the rest of the process.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub fn install(recorder: Arc<dyn Recorder>) -> InstallGuard {
+    let mut slot = RECORDER.write().expect("obs recorder slot poisoned");
+    let previous = slot.replace(recorder);
+    ACTIVE.store(true, Ordering::Relaxed);
+    InstallGuard { previous }
+}
+
+/// Guard returned by [`install`]; restores the previously installed
+/// recorder (or none) on drop.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub struct InstallGuard {
+    previous: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for InstallGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstallGuard")
+            .field("restores_previous", &self.previous.is_some())
+            .finish()
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let mut slot = RECORDER.write().expect("obs recorder slot poisoned");
+        *slot = self.previous.take();
+        ACTIVE.store(slot.is_some(), Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` with the installed recorder, if any. The [`active`] fast gate
+/// is checked first, so the uninstalled path is one load and a branch.
+#[inline]
+pub fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
+    if !active() {
+        return;
+    }
+    if let Some(r) = RECORDER
+        .read()
+        .expect("obs recorder slot poisoned")
+        .as_deref()
+    {
+        f(r);
+    }
+}
+
+/// Adds `delta` to counter `name` on the installed recorder, if any.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    with_recorder(|r| r.counter_add(name, delta));
+}
+
+/// Sets gauge `name` on the installed recorder, if any.
+#[inline]
+pub fn gauge_set(name: &str, value: u64) {
+    with_recorder(|r| r.gauge_set(name, value));
+}
+
+/// Raises gauge `name` to `value` (if larger) on the installed recorder.
+#[inline]
+pub fn gauge_max(name: &str, value: u64) {
+    with_recorder(|r| r.gauge_max(name, value));
+}
+
+/// Records `value` into histogram `name` on the installed recorder.
+#[inline]
+pub fn histogram_record(name: &str, value: u64) {
+    with_recorder(|r| r.histogram_record(name, value));
+}
+
+/// Records a structured event on the installed recorder, if any.
+#[inline]
+pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+    with_recorder(|r| r.event(level, name, fields));
+}
+
+/// Serializes tests that install a global recorder (they share one
+/// process-wide slot).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_noops_without_recorder() {
+        let _serial = test_lock();
+        assert!(!active());
+        // None of these should panic, allocate into anything, or install.
+        counter_add("c", 1);
+        gauge_set("g", 2);
+        gauge_max("g", 3);
+        histogram_record("h", 4);
+        event(Level::Info, "e", &[("k", FieldValue::U64(1))]);
+        assert!(!active());
+    }
+
+    #[test]
+    fn install_guard_nests_and_restores() {
+        let _serial = test_lock();
+        let outer = Arc::new(MetricsRegistry::new());
+        let inner = Arc::new(MetricsRegistry::new());
+        {
+            let _g1 = install(outer.clone());
+            counter_add("hits", 1);
+            {
+                let _g2 = install(inner.clone());
+                counter_add("hits", 10);
+            }
+            // Inner guard dropped: outer recorder is back.
+            counter_add("hits", 2);
+            assert!(active());
+        }
+        assert!(!active());
+        counter_add("hits", 100); // into the void
+        assert_eq!(outer.counter_value("hits"), 3);
+        assert_eq!(inner.counter_value("hits"), 10);
+    }
+
+    #[test]
+    fn custom_recorder_defaults_are_noops() {
+        let _serial = test_lock();
+        struct OnlyCounters(Counter);
+        impl Recorder for OnlyCounters {
+            fn counter_add(&self, _name: &str, delta: u64) {
+                self.0.add(delta);
+            }
+        }
+        let rec = Arc::new(OnlyCounters(Counter::new()));
+        {
+            let _g = install(rec.clone());
+            counter_add("a", 5);
+            // Defaulted methods: must be callable and do nothing.
+            gauge_set("g", 1);
+            histogram_record("h", 2);
+            event(Level::Warn, "e", &[]);
+            let _span = span("s");
+        }
+        assert_eq!(rec.0.value(), 5);
+    }
+}

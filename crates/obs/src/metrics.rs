@@ -1,0 +1,283 @@
+//! Lock-free metric primitives: counters, gauges, and fixed-bucket log2
+//! histograms.
+//!
+//! Every primitive is a thin wrapper over `AtomicU64`s, so recording from
+//! any number of threads needs no lock and no allocation. All arithmetic
+//! **saturates instead of panicking or wrapping** — a metric that has been
+//! incremented past `u64::MAX` pins there, which keeps the observability
+//! plane safe under `-C overflow-checks` and under adversarial inputs
+//! alike. Histograms (and whole primitives) are merge-able: merging the
+//! per-thread instances of a sharded phase yields exactly the counts a
+//! sequential accumulation would have produced (`tests` and
+//! `tests/property_obs.rs` prove it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for the value `0` plus one per bit
+/// width `1..=64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Saturating atomic add: the cell pins at `u64::MAX` instead of wrapping.
+fn saturating_fetch_add(cell: &AtomicU64, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(delta);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `delta`, saturating at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        saturating_fetch_add(&self.value, delta);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Folds another counter's value in (saturating) — the sequential
+    /// equivalence of concurrent accumulation.
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.value());
+    }
+}
+
+/// A last-write-wins gauge (also supports a running maximum).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current value.
+    pub fn set_max(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket base-2 logarithmic histogram of `u64` samples.
+///
+/// Bucket `0` counts the value `0` exactly; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i − 1]` (so its inclusive upper bound is `2^i − 1`, and the
+/// top bucket `64` ends at `u64::MAX`). The layout is fixed, so two
+/// histograms recorded on different threads merge bucket-by-bucket into
+/// exactly what a single sequential histogram would hold. `count` and `sum`
+/// saturate rather than panic or wrap.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a sample lands in: `0` for the value `0`, else the
+    /// sample's bit width (`64 − leading_zeros`).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (`0` for bucket 0, `2^i − 1`
+    /// otherwise, saturating to `u64::MAX` for the top bucket).
+    pub fn bucket_le(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.count, 1);
+        saturating_fetch_add(&self.sum, value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Folds another histogram in bucket-by-bucket (saturating): merging
+    /// per-thread histograms equals sequential accumulation exactly.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            saturating_fetch_add(mine, theirs.load(Ordering::Relaxed));
+        }
+        saturating_fetch_add(&self.count, other.count());
+        saturating_fetch_add(&self.sum, other.sum());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_land_exactly() {
+        // The satellite bar: 0, 1, every power of two, u64::MAX.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        for bit in 1..64usize {
+            let pow = 1u64 << bit;
+            // 2^bit opens bucket bit+1; 2^bit − 1 closes bucket bit.
+            assert_eq!(Histogram::bucket_index(pow), bit + 1, "2^{bit}");
+            assert_eq!(Histogram::bucket_index(pow - 1), bit, "2^{bit}-1");
+            assert_eq!(Histogram::bucket_le(bit), pow - 1);
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_le(0), 0);
+        assert_eq!(Histogram::bucket_le(64), u64::MAX);
+        assert_eq!(Histogram::bucket_le(65), u64::MAX);
+        // Every value's bucket upper bound actually bounds it.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_le(i), "{v} in bucket {i}");
+            if i > 0 {
+                assert!(
+                    v > Histogram::bucket_le(i - 1),
+                    "{v} above bucket {}",
+                    i - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 16, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 2);
+        assert_eq!(b[2], 1);
+        assert_eq!(b[5], 1);
+        assert_eq!(b[64], 1);
+
+        let other = Histogram::new();
+        other.record(1);
+        other.record(u64::MAX);
+        h.merge_from(&other);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.bucket_counts()[1], 3);
+        assert_eq!(h.bucket_counts()[64], 2);
+        // Sum saturates: two u64::MAX samples pin it at the ceiling.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_and_gauge_saturate() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        c.inc();
+        assert_eq!(c.value(), u64::MAX, "counter saturates, never wraps");
+        let d = Counter::new();
+        d.add(5);
+        d.merge_from(&c);
+        assert_eq!(d.value(), u64::MAX);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.value(), 7);
+        g.set_max(9);
+        assert_eq!(g.value(), 9);
+        g.set(2);
+        assert_eq!(g.value(), 2);
+    }
+
+    #[test]
+    fn concurrent_counter_adds_equal_sequential_sum() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        c.add(i % 3);
+                    }
+                });
+            }
+        });
+        let per_thread: u64 = (0..1000u64).map(|i| i % 3).sum();
+        assert_eq!(c.value(), 8 * per_thread);
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`MetricsRegistry`]: a process- or component-scoped collection of
+//! named metrics, span aggregates, and a bounded event buffer.
+//!
+//! Registration is name-based and lazy — the first `counter("x")` creates
+//! the counter, later calls return the same cell. Lookups take a short
+//! read-lock on the name index; the returned `Arc` handles record
+//! **lock-free** thereafter, so hot paths can pre-resolve handles while
+//! occasional callers just record by name. Export order is deterministic
+//! (names are kept sorted), so two dumps of the same state are
+//! byte-identical.
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::event::{Event, EventBuffer, FieldValue, Level};
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::Recorder;
+
+/// Default bound of the in-memory event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+type NameMap<T> = RwLock<std::collections::BTreeMap<String, Arc<T>>>;
+
+fn get_or_insert<T: Default>(map: &NameMap<T>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("obs name index poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().expect("obs name index poisoned");
+    Arc::clone(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+/// A registry of counters, gauges, histograms, span aggregates, and events.
+///
+/// Implements [`Recorder`], so an `Arc<MetricsRegistry>` can be installed
+/// as the process-global sink ([`crate::install`]) or driven directly in
+/// tests and harnesses.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    start: Instant,
+    counters: NameMap<Counter>,
+    gauges: NameMap<Gauge>,
+    histograms: NameMap<Histogram>,
+    spans: NameMap<Histogram>,
+    events: Mutex<EventBuffer>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the default event capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An empty registry whose event ring holds at most `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            start: Instant::now(),
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            histograms: RwLock::default(),
+            spans: RwLock::default(),
+            events: Mutex::new(EventBuffer::new(capacity)),
+        }
+    }
+
+    /// Microseconds since the registry was created (monotonic).
+    pub fn uptime_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// The span-duration histogram for span path `path` (nanosecond
+    /// samples), created on first use.
+    pub fn span_histogram(&self, path: &str) -> Arc<Histogram> {
+        get_or_insert(&self.spans, path)
+    }
+
+    /// The value of counter `name`, `0` when it was never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("obs name index poisoned")
+            .get(name)
+            .map_or(0, |c| c.value())
+    }
+
+    /// The value of gauge `name`, `0` when it was never touched.
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges
+            .read()
+            .expect("obs name index poisoned")
+            .get(name)
+            .map_or(0, |g| g.value())
+    }
+
+    /// Records an event into the bounded ring.
+    pub fn event(&self, level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+        let t_us = self.uptime_us();
+        let owned: Vec<(String, FieldValue)> = fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect();
+        self.events
+            .lock()
+            .expect("obs event ring poisoned")
+            .push(t_us, level, name, owned);
+    }
+
+    /// A snapshot of the buffered events, oldest first.
+    pub fn events_snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("obs event ring poisoned")
+            .events()
+            .cloned()
+            .collect()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events
+            .lock()
+            .expect("obs event ring poisoned")
+            .dropped()
+    }
+
+    /// Events ever recorded (buffered or dropped).
+    pub fn events_recorded(&self) -> u64 {
+        self.events
+            .lock()
+            .expect("obs event ring poisoned")
+            .recorded()
+    }
+
+    /// Visits every metric in deterministic (sorted-name) order; used by
+    /// the exporters.
+    pub(crate) fn visit(&self, v: &mut dyn RegistryVisitor) {
+        for (name, c) in self
+            .counters
+            .read()
+            .expect("obs name index poisoned")
+            .iter()
+        {
+            v.counter(name, c);
+        }
+        for (name, g) in self.gauges.read().expect("obs name index poisoned").iter() {
+            v.gauge(name, g);
+        }
+        for (name, h) in self
+            .histograms
+            .read()
+            .expect("obs name index poisoned")
+            .iter()
+        {
+            v.histogram(name, h, false);
+        }
+        for (name, h) in self.spans.read().expect("obs name index poisoned").iter() {
+            v.histogram(name, h, true);
+        }
+    }
+}
+
+/// Exporter-side visitor over a registry's metrics (sorted by name within
+/// each kind).
+pub(crate) trait RegistryVisitor {
+    fn counter(&mut self, name: &str, c: &Counter);
+    fn gauge(&mut self, name: &str, g: &Gauge);
+    fn histogram(&mut self, name: &str, h: &Histogram, is_span: bool);
+}
+
+impl Recorder for MetricsRegistry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.gauge(name).set(value);
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.gauge(name).set_max(value);
+    }
+
+    fn histogram_record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    fn span_record(&self, path: &str, dur_ns: u64) {
+        self.span_histogram(path).record(dur_ns);
+    }
+
+    fn event(&self, level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+        MetricsRegistry::event(self, level, name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_registration_is_idempotent_and_typed() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.counter_value("x"), 5);
+        assert_eq!(reg.counter_value("never"), 0);
+        // Same name in different kinds are different cells.
+        reg.gauge("x").set(100);
+        assert_eq!(reg.gauge_value("x"), 100);
+        assert_eq!(reg.counter_value("x"), 5);
+    }
+
+    #[test]
+    fn recorder_impl_routes_to_cells() {
+        let reg = MetricsRegistry::new();
+        let r: &dyn Recorder = &reg;
+        r.counter_add("c", 7);
+        r.gauge_set("g", 9);
+        r.gauge_max("g", 4);
+        r.histogram_record("h", 8);
+        r.span_record("a/b", 1000);
+        r.event(Level::Info, "e", &[("k", 1u64.into())]);
+        assert_eq!(reg.counter_value("c"), 7);
+        assert_eq!(reg.gauge_value("g"), 9);
+        assert_eq!(reg.histogram("h").count(), 1);
+        assert_eq!(reg.span_histogram("a/b").count(), 1);
+        let events = reg.events_snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "e");
+        assert_eq!(events[0].level, Level::Info);
+    }
+
+    #[test]
+    fn concurrent_by_name_recording_totals_exactly() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..500u64 {
+                        reg.counter("hits").inc();
+                        reg.histogram("lat").record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value("hits"), 4000);
+        assert_eq!(reg.histogram("lat").count(), 4000);
+        let seq_sum: u64 = (0..500u64).sum();
+        assert_eq!(reg.histogram("lat").sum(), 8 * seq_sum);
+    }
+}

@@ -1,0 +1,606 @@
+//! Mechanical validation of `en-obs/v1` JSON-lines dumps.
+//!
+//! CI's obs-smoke step runs the harness bins with `--obs-out` and feeds
+//! the emitted files through [`validate_jsonl`] (via the `obs_check` bin in
+//! `en_bench`), so a drift between what the exporter writes and what the
+//! documented schema promises fails the build instead of surprising a
+//! downstream consumer. The module carries its own minimal JSON parser —
+//! the environment is offline and the workspace is zero-dependency, so no
+//! `serde` — that parses numbers losslessly as raw text (values up to
+//! `u64::MAX` round-trip exactly).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Numbers keep their raw text so 64-bit integers
+/// survive without float rounding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw (already syntax-checked) text.
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (insertion order not preserved; keys sorted).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an unsigned integer, if it is a plain non-negative
+    /// integer number that fits `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A schema-validation failure: which line, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// 1-based line number of the offending line (0 = whole-file problem).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "schema error: {}", self.message)
+        } else {
+            write!(f, "schema error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Per-kind line counts of a validated dump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemaSummary {
+    /// Total non-empty lines.
+    pub lines: usize,
+    /// Counter lines.
+    pub counters: usize,
+    /// Gauge lines.
+    pub gauges: usize,
+    /// Histogram lines.
+    pub histograms: usize,
+    /// Span-aggregate lines.
+    pub spans: usize,
+    /// Event lines.
+    pub events: usize,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} (byte {})", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected literal '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.take_digits();
+        if int_digits == 0 {
+            return Err(self.err("number needs integer digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.take_digits() == 0 {
+                return Err(self.err("number needs fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.take_digits() == 0 {
+                return Err(self.err("number needs exponent digits"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .to_string();
+        Ok(Json::Num(raw))
+    }
+
+    fn take_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are passed through as the
+                            // replacement character; the exporter never
+                            // emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing
+                    // on char boundaries is safe via chars()).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after JSON value"));
+    }
+    Ok(v)
+}
+
+fn require<'a>(
+    obj: &'a BTreeMap<String, Json>,
+    key: &str,
+    line: usize,
+) -> Result<&'a Json, SchemaError> {
+    obj.get(key).ok_or_else(|| SchemaError {
+        line,
+        message: format!("missing required field \"{key}\""),
+    })
+}
+
+fn require_u64(obj: &BTreeMap<String, Json>, key: &str, line: usize) -> Result<u64, SchemaError> {
+    require(obj, key, line)?
+        .as_u64()
+        .ok_or_else(|| SchemaError {
+            line,
+            message: format!("field \"{key}\" must be an unsigned integer"),
+        })
+}
+
+fn require_name(obj: &BTreeMap<String, Json>, line: usize) -> Result<(), SchemaError> {
+    let name = require(obj, "name", line)?
+        .as_str()
+        .ok_or_else(|| SchemaError {
+            line,
+            message: "field \"name\" must be a string".into(),
+        })?;
+    if name.is_empty() {
+        return Err(SchemaError {
+            line,
+            message: "field \"name\" must be non-empty".into(),
+        });
+    }
+    Ok(())
+}
+
+fn check_buckets(obj: &BTreeMap<String, Json>, line: usize) -> Result<(), SchemaError> {
+    let buckets = require(obj, "buckets", line)?
+        .as_array()
+        .ok_or_else(|| SchemaError {
+            line,
+            message: "field \"buckets\" must be an array".into(),
+        })?;
+    let mut prev: Option<u64> = None;
+    for b in buckets {
+        let pair = b
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| SchemaError {
+                line,
+                message: "each bucket must be an [index, count] pair".into(),
+            })?;
+        let (idx, count) = (pair[0].as_u64(), pair[1].as_u64());
+        let idx = idx.ok_or_else(|| SchemaError {
+            line,
+            message: "bucket index must be an unsigned integer".into(),
+        })?;
+        if idx > 64 {
+            return Err(SchemaError {
+                line,
+                message: format!("bucket index {idx} out of range 0..=64"),
+            });
+        }
+        if count.is_none() {
+            return Err(SchemaError {
+                line,
+                message: "bucket count must be an unsigned integer".into(),
+            });
+        }
+        if let Some(p) = prev {
+            if idx <= p {
+                return Err(SchemaError {
+                    line,
+                    message: format!("bucket indices must ascend ({p} then {idx})"),
+                });
+            }
+        }
+        prev = Some(idx);
+    }
+    Ok(())
+}
+
+/// Validates a full `en-obs/v1` JSON-lines dump (the format
+/// [`crate::export::to_jsonl`] emits; schema in that module's docs) and
+/// returns per-kind line counts.
+///
+/// # Errors
+///
+/// Returns the first [`SchemaError`] encountered: unparsable line, missing
+/// or mistyped required field, unknown `kind`, bad bucket layout, bad
+/// event level, or a missing/invalid leading meta line.
+pub fn validate_jsonl(text: &str) -> Result<SchemaSummary, SchemaError> {
+    let mut summary = SchemaSummary::default();
+    let mut saw_meta = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        let value = parse_json(raw).map_err(|message| SchemaError { line, message })?;
+        let obj = value.as_object().ok_or_else(|| SchemaError {
+            line,
+            message: "every line must be a JSON object".into(),
+        })?;
+        let kind = require(obj, "kind", line)?
+            .as_str()
+            .ok_or_else(|| SchemaError {
+                line,
+                message: "field \"kind\" must be a string".into(),
+            })?;
+        if summary.lines == 1 {
+            if kind != "meta" {
+                return Err(SchemaError {
+                    line,
+                    message: format!("first line must be the meta record, found kind \"{kind}\""),
+                });
+            }
+            let schema = require(obj, "schema", line)?.as_str();
+            if schema != Some("en-obs/v1") {
+                return Err(SchemaError {
+                    line,
+                    message: "meta line must declare \"schema\":\"en-obs/v1\"".into(),
+                });
+            }
+            saw_meta = true;
+        }
+        match kind {
+            "meta" => {
+                if summary.lines != 1 {
+                    return Err(SchemaError {
+                        line,
+                        message: "meta record must be the first line only".into(),
+                    });
+                }
+                require_u64(obj, "uptime_us", line)?;
+                require_u64(obj, "events_recorded", line)?;
+                require_u64(obj, "events_dropped", line)?;
+            }
+            "counter" => {
+                require_name(obj, line)?;
+                require_u64(obj, "value", line)?;
+                summary.counters += 1;
+            }
+            "gauge" => {
+                require_name(obj, line)?;
+                require_u64(obj, "value", line)?;
+                summary.gauges += 1;
+            }
+            "histogram" => {
+                require_name(obj, line)?;
+                require_u64(obj, "count", line)?;
+                require_u64(obj, "sum", line)?;
+                check_buckets(obj, line)?;
+                summary.histograms += 1;
+            }
+            "span" => {
+                require_name(obj, line)?;
+                require_u64(obj, "count", line)?;
+                require_u64(obj, "total_ns", line)?;
+                check_buckets(obj, line)?;
+                summary.spans += 1;
+            }
+            "event" => {
+                require_name(obj, line)?;
+                require_u64(obj, "seq", line)?;
+                require_u64(obj, "t_us", line)?;
+                let level = require(obj, "level", line)?.as_str();
+                if !matches!(level, Some("debug" | "info" | "warn" | "error")) {
+                    return Err(SchemaError {
+                        line,
+                        message: "event level must be debug|info|warn|error".into(),
+                    });
+                }
+                if require(obj, "fields", line)?.as_object().is_none() {
+                    return Err(SchemaError {
+                        line,
+                        message: "event fields must be an object".into(),
+                    });
+                }
+                summary.events += 1;
+            }
+            other => {
+                return Err(SchemaError {
+                    line,
+                    message: format!("unknown kind \"{other}\""),
+                });
+            }
+        }
+    }
+    if !saw_meta {
+        return Err(SchemaError {
+            line: 0,
+            message: "dump has no meta line (is it empty?)".into(),
+        });
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_core_json() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(
+            parse_json("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".into())
+        );
+        let v = parse_json("{\"a\":[1,2.5,-3,{}],\"b\":{\"c\":false}}").unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["a"].as_array().unwrap().len(), 4);
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1 2]").is_err());
+        assert!(parse_json("01").is_ok(), "leading-zero digits still digits");
+        assert!(parse_json("1e").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{} extra").is_err());
+    }
+
+    #[test]
+    fn valid_dump_passes_with_counts() {
+        let dump = "\
+{\"schema\":\"en-obs/v1\",\"kind\":\"meta\",\"uptime_us\":10,\"events_recorded\":1,\"events_dropped\":0}
+{\"kind\":\"counter\",\"name\":\"c\",\"value\":4}
+{\"kind\":\"gauge\",\"name\":\"g\",\"value\":0}
+{\"kind\":\"histogram\",\"name\":\"h\",\"count\":2,\"sum\":9,\"buckets\":[[0,1],[4,1]]}
+{\"kind\":\"span\",\"name\":\"a/b\",\"count\":1,\"total_ns\":100,\"buckets\":[[7,1]]}
+{\"kind\":\"event\",\"seq\":0,\"t_us\":5,\"level\":\"info\",\"name\":\"e\",\"fields\":{\"x\":1}}
+";
+        let s = validate_jsonl(dump).unwrap();
+        assert_eq!(
+            s,
+            SchemaSummary {
+                lines: 6,
+                counters: 1,
+                gauges: 1,
+                histograms: 1,
+                spans: 1,
+                events: 1
+            }
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_pinpointed() {
+        let no_meta = "{\"kind\":\"counter\",\"name\":\"c\",\"value\":4}\n";
+        let e = validate_jsonl(no_meta).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("meta"), "{e}");
+
+        let meta = "{\"schema\":\"en-obs/v1\",\"kind\":\"meta\",\"uptime_us\":1,\"events_recorded\":0,\"events_dropped\":0}\n";
+        for (bad, needle) in [
+            ("{\"kind\":\"counter\",\"value\":4}", "name"),
+            ("{\"kind\":\"counter\",\"name\":\"c\",\"value\":-4}", "unsigned"),
+            ("{\"kind\":\"nope\",\"name\":\"c\"}", "unknown kind"),
+            (
+                "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":1,\"buckets\":[[65,1]]}",
+                "out of range",
+            ),
+            (
+                "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum\":1,\"buckets\":[[4,1],[2,1]]}",
+                "ascend",
+            ),
+            (
+                "{\"kind\":\"event\",\"seq\":0,\"t_us\":0,\"level\":\"loud\",\"name\":\"e\",\"fields\":{}}",
+                "level",
+            ),
+            ("not json at all", "expected"),
+        ] {
+            let text = format!("{meta}{bad}\n");
+            let e = validate_jsonl(&text).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}");
+            assert!(e.message.contains(needle), "{bad}: {e}");
+        }
+
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("\n\n").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Lightweight span tracing: RAII guards, a thread-local span stack, and
+//! monotonic timing.
+//!
+//! A [`Span`] measures the wall-clock of a scope and records the duration
+//! (nanoseconds) into the installed [`crate::Recorder`] under the
+//! "/"-joined path of all spans live on this thread — entering `"build"`
+//! then `"theorem1"` records under `build/theorem1`. When no recorder is
+//! installed the guard is fully inert: no clock read, no allocation, no
+//! thread-local push — one relaxed atomic load and a branch.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII span guard: created by [`span`], records its duration on drop.
+///
+/// Spans use `&'static str` names so entering one never allocates; the
+/// path string is only built on drop, when the measurement is already
+/// over and off the hot path.
+#[derive(Debug)]
+pub struct Span {
+    // None = observability disabled at enter; fully inert.
+    start: Option<Instant>,
+}
+
+/// Enters a span named `name` on this thread; the returned guard records
+/// the elapsed nanoseconds under the current "/"-joined span path when
+/// dropped. Inert (and near-free) when no recorder is installed.
+pub fn span(name: &'static str) -> Span {
+    if !crate::active() {
+        return Span { start: None };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        crate::with_recorder(|r| r.span_record(&path, dur_ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let _serial = crate::test_lock();
+        let reg = Arc::new(MetricsRegistry::new());
+        {
+            let _guard = crate::install(reg.clone());
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::hint::black_box(());
+            }
+            let _sibling = span("sibling");
+        }
+        assert_eq!(reg.span_histogram("outer").count(), 1);
+        assert_eq!(reg.span_histogram("outer/inner").count(), 1);
+        assert_eq!(reg.span_histogram("outer/sibling").count(), 1);
+        assert_eq!(reg.span_histogram("inner").count(), 0);
+    }
+
+    #[test]
+    fn span_without_recorder_is_inert() {
+        let _serial = crate::test_lock();
+        // No recorder installed in this scope: nothing to record into, and
+        // nothing should panic or leak stack entries.
+        {
+            let _s = span("ghost");
+        }
+        let reg = Arc::new(MetricsRegistry::new());
+        {
+            let _guard = crate::install(reg.clone());
+            let _s = span("real");
+        }
+        // A leaked "ghost" frame would have turned this path into
+        // "ghost/real".
+        assert_eq!(reg.span_histogram("real").count(), 1);
+    }
+}

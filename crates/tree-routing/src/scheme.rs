@@ -212,6 +212,7 @@ impl TreeRoutingScheme {
     /// [`ClusterForest`](en_graph::forest::ClusterForest) construction
     /// prevent).
     pub fn build<T: TreeView>(tree: &T, config: &TreeRoutingConfig) -> Self {
+        en_obs::counter_add("tree_routing.schemes_built", 1);
         Self::build_topology(&tree.topology(), config)
     }
 

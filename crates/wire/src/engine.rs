@@ -208,15 +208,46 @@ impl CacheConfig {
     /// The process-wide default: `EN_WIRE_CACHE_CAP` parsed as a slot
     /// count (unset, empty, or unparsable ⇒ disabled). Read once and
     /// cached for the life of the process.
+    ///
+    /// A malformed value is not swallowed silently: the one-time parse
+    /// bumps the `wire.cache.env_malformed` counter, records a `warn`
+    /// event on the installed [`en_obs::Recorder`], and prints a single
+    /// stderr note before falling back to disabled.
     pub fn from_env() -> CacheConfig {
         static CAP: OnceLock<usize> = OnceLock::new();
         CacheConfig {
             capacity: *CAP.get_or_init(|| {
-                std::env::var("EN_WIRE_CACHE_CAP")
-                    .ok()
-                    .and_then(|v| v.trim().parse().ok())
-                    .unwrap_or(0)
+                parse_cache_cap(std::env::var("EN_WIRE_CACHE_CAP").ok().as_deref())
             }),
+        }
+    }
+}
+
+/// The one-time `EN_WIRE_CACHE_CAP` parse behind [`CacheConfig::from_env`]:
+/// unset and empty mean "disabled" by contract; anything else that fails to
+/// parse is an operator mistake and is surfaced instead of ignored.
+fn parse_cache_cap(value: Option<&str>) -> usize {
+    let Some(raw) = value else { return 0 };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return 0;
+    }
+    match trimmed.parse() {
+        Ok(cap) => cap,
+        Err(_) => {
+            en_obs::counter_add("wire.cache.env_malformed", 1);
+            en_obs::event(
+                en_obs::Level::Warn,
+                "wire.cache.env_malformed",
+                &[
+                    ("var", "EN_WIRE_CACHE_CAP".into()),
+                    ("value", trimmed.into()),
+                ],
+            );
+            eprintln!(
+                "warning: EN_WIRE_CACHE_CAP={trimmed:?} is not a slot count; hot-route caching stays disabled"
+            );
+            0
         }
     }
 }
@@ -546,10 +577,25 @@ impl<'a> QueryEngine<'a> {
         cache: &mut RouteCache,
     ) -> Vec<Result<RouteOutcome, RoutingError>> {
         // Per-worker scratch: one pre-sized output vector, filled in order.
+        // The observability gate is hoisted out of the loop: with no
+        // recorder installed the hot path takes exactly one relaxed load
+        // for the whole chunk and never reads the clock.
+        let obs = en_obs::active();
         let mut out = Vec::with_capacity(pairs.len());
         for (i, &(from, to)) in pairs.iter().enumerate() {
             let exact = exacts.map_or(0, |e| e[i]);
-            out.push(self.route_with_cache(cache, from, to, exact));
+            if obs {
+                let t0 = std::time::Instant::now();
+                let res = self.route_with_cache(cache, from, to, exact);
+                let dur_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                en_obs::histogram_record("wire.route_latency_ns", dur_ns);
+                if let Ok(o) = &res {
+                    en_obs::histogram_record("wire.route_hops", o.path.hops() as u64);
+                }
+                out.push(res);
+            } else {
+                out.push(self.route_with_cache(cache, from, to, exact));
+            }
         }
         out
     }
@@ -677,12 +723,33 @@ impl<'a> QueryEngine<'a> {
             stats.cache_misses += s.cache.misses;
             stats.cache_evictions += s.cache.evictions;
         }
+        publish_batch_obs(&stats);
         BatchOutcome {
             outcomes,
             stats,
             shards,
         }
     }
+}
+
+/// Republishes a batch's [`BatchStats`] as observability counters (no-op
+/// without an installed recorder). The counters mirror the stats exactly —
+/// `tests/integration_obs.rs` reconciles them at several thread counts.
+fn publish_batch_obs(stats: &BatchStats) {
+    if !en_obs::active() {
+        return;
+    }
+    en_obs::counter_add("wire.batch.pairs", stats.pairs as u64);
+    en_obs::counter_add("wire.batch.delivered", stats.delivered as u64);
+    en_obs::counter_add("wire.batch.failed", stats.failed as u64);
+    en_obs::counter_add("wire.batch.hops_total", stats.total_hops);
+    en_obs::counter_add("wire.batch.length_total", stats.total_length);
+    en_obs::counter_add("wire.shard.panics", stats.shard_panics as u64);
+    en_obs::counter_add("wire.shard.retried", stats.retried as u64);
+    en_obs::counter_add("wire.shard.degraded", stats.degraded as u64);
+    en_obs::counter_add("wire.cache.hits", stats.cache_hits);
+    en_obs::counter_add("wire.cache.misses", stats.cache_misses);
+    en_obs::counter_add("wire.cache.evictions", stats.cache_evictions);
 }
 
 /// Folds per-pair outcomes into [`BatchStats`], in input order (so the
@@ -722,4 +789,37 @@ fn batch_stats(outcomes: &[Result<RouteOutcome, RoutingError>]) -> BatchStats {
         stats.mean_stretch = stretch_sum / stats.delivered as f64;
     }
     stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_cap_parse_contract() {
+        assert_eq!(parse_cache_cap(None), 0, "unset means disabled");
+        assert_eq!(parse_cache_cap(Some("")), 0, "empty means disabled");
+        assert_eq!(parse_cache_cap(Some("  ")), 0);
+        assert_eq!(parse_cache_cap(Some("64")), 64);
+        assert_eq!(parse_cache_cap(Some(" 128\n")), 128);
+    }
+
+    #[test]
+    fn malformed_cache_cap_warns_instead_of_silence() {
+        let reg = std::sync::Arc::new(en_obs::MetricsRegistry::new());
+        {
+            let _guard = en_obs::install(reg.clone());
+            assert_eq!(parse_cache_cap(Some("lots")), 0);
+            assert_eq!(parse_cache_cap(Some("-3")), 0);
+        }
+        assert_eq!(reg.counter_value("wire.cache.env_malformed"), 2);
+        let events = reg.events_snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "wire.cache.env_malformed");
+        assert_eq!(events[0].level, en_obs::Level::Warn);
+        assert!(events[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "value" && *v == en_obs::FieldValue::Str("lots".into())));
+    }
 }

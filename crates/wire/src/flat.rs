@@ -580,11 +580,21 @@ impl<'a> FlatScheme<'a> {
         bytes: &'a [u8],
         threads: usize,
     ) -> Result<(Self, ValidateStats), WireError> {
+        // Timed only when a recorder is installed; the uninstrumented load
+        // path never reads the clock.
+        let t0 = en_obs::active().then(std::time::Instant::now);
         let flat = Self::parse_header(bytes, true)?;
         let stats = flat.verify_section_checksums(bytes, threads)?;
         let total_members = flat.words.get(H_TOTAL_MEMBERS) as usize;
         flat.validate_clusters(total_members)?;
         flat.validate_csrs()?;
+        if let Some(t0) = t0 {
+            let dur_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            en_obs::histogram_record("wire.validate_ns", dur_ns);
+            en_obs::counter_add("wire.validate.runs", 1);
+            en_obs::counter_add("wire.validate.words_total", stats.total_words() as u64);
+            en_obs::gauge_set("wire.validate.threads", stats.threads as u64);
+        }
         Ok((flat, stats))
     }
 

@@ -214,6 +214,25 @@ impl MappedSnapshot {
     /// heap fallback when its length is shape-invalid) so that validation
     /// over [`Self::bytes`] reports the structured [`crate::WireError`].
     pub fn open(path: &Path) -> io::Result<MappedSnapshot> {
+        // Timed only when a recorder is installed; the histogram separates
+        // mapped opens from heap-fallback opens so a fleet silently losing
+        // its page-cache serving shows up as a counter shift.
+        let t0 = en_obs::active().then(std::time::Instant::now);
+        let snapshot = Self::open_untimed(path)?;
+        if let Some(t0) = t0 {
+            let dur_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            if snapshot.is_mapped() {
+                en_obs::histogram_record("wire.mmap_open_ns", dur_ns);
+                en_obs::counter_add("wire.open.mapped", 1);
+            } else {
+                en_obs::histogram_record("wire.fallback_open_ns", dur_ns);
+                en_obs::counter_add("wire.open.fallback", 1);
+            }
+        }
+        Ok(snapshot)
+    }
+
+    fn open_untimed(path: &Path) -> io::Result<MappedSnapshot> {
         let mut file = File::open(path)?;
         let len = file.metadata()?.len();
         if Self::shape_ok(&mut file, len)? {

@@ -191,12 +191,34 @@ impl SchemeStore {
     pub fn publish_source(&self, source: SnapshotSource) -> Result<u64, WireError> {
         if let Err(e) = FlatScheme::from_bytes(source.bytes()) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            en_obs::counter_add("store.rejected", 1);
+            if en_obs::active() {
+                en_obs::event(
+                    en_obs::Level::Warn,
+                    "store.publish_rejected",
+                    &[
+                        ("epoch_serving", self.current_id().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
             return Err(e);
         }
+        let mapped = source.is_mapped();
         let mut guard = self.current.write().expect("store lock poisoned");
         let id = guard.id + 1;
         *guard = Arc::new(SnapshotEpoch { id, source });
+        drop(guard);
         self.published.fetch_add(1, Ordering::Relaxed);
+        en_obs::counter_add("store.published", 1);
+        en_obs::gauge_set("store.current_epoch", id);
+        if en_obs::active() {
+            en_obs::event(
+                en_obs::Level::Info,
+                "store.epoch_swapped",
+                &[("epoch", id.into()), ("mapped", mapped.into())],
+            );
+        }
         Ok(id)
     }
 

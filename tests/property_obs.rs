@@ -1,0 +1,162 @@
+//! Property suite for the `en_obs` metric primitives: concurrent
+//! accumulation and merging must be *exactly* equivalent to sequential
+//! accumulation — counters, histogram bucket vectors, counts, and sums are
+//! all order-independent, merge-associative, and lossless (up to the
+//! documented saturation at `u64::MAX`).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use en_obs::{Counter, Histogram, HISTOGRAM_BUCKETS};
+
+/// Shards `values` across `threads` workers, each recording into its own
+/// histogram, then merges the shards into one — the parallel pipeline the
+/// per-worker metrics take before export.
+fn concurrent_histogram(values: &[u64], threads: usize) -> Histogram {
+    let shards: Vec<Histogram> = (0..threads).map(|_| Histogram::new()).collect();
+    let shards = Arc::new(shards);
+    std::thread::scope(|scope| {
+        for (t, chunk) in values
+            .chunks(values.len().div_ceil(threads).max(1))
+            .enumerate()
+        {
+            let shards = Arc::clone(&shards);
+            scope.spawn(move || {
+                for &v in chunk {
+                    shards[t].record(v);
+                }
+            });
+        }
+    });
+    let merged = Histogram::new();
+    for shard in shards.iter() {
+        merged.merge_from(shard);
+    }
+    merged
+}
+
+/// Same sharded-record-then-merge pipeline for counters.
+fn concurrent_counter(deltas: &[u64], threads: usize) -> Counter {
+    let shards: Vec<Counter> = (0..threads).map(|_| Counter::new()).collect();
+    let shards = Arc::new(shards);
+    std::thread::scope(|scope| {
+        for (t, chunk) in deltas
+            .chunks(deltas.len().div_ceil(threads).max(1))
+            .enumerate()
+        {
+            let shards = Arc::clone(&shards);
+            scope.spawn(move || {
+                for &d in chunk {
+                    shards[t].add(d);
+                }
+            });
+        }
+    });
+    let merged = Counter::new();
+    for shard in shards.iter() {
+        merged.merge_from(shard);
+    }
+    merged
+}
+
+/// Decodes a `(case, payload)` pair into a value from one of the histogram
+/// regimes: zero, small ints, exact powers of two, bucket upper edges
+/// (including `u64::MAX`), and arbitrary magnitudes.
+fn decode_value((case, payload): (u64, u64)) -> u64 {
+    match case % 5 {
+        0 => 0,
+        1 => payload % 16,
+        2 => 1u64 << (payload % 64),
+        3 => match payload % 64 {
+            63 => u64::MAX,
+            e => (1u64 << (e + 1)) - 1,
+        },
+        _ => payload,
+    }
+}
+
+/// Values spanning every histogram regime (the vendored proptest has no
+/// `prop_oneof!`, so regimes are selected via [`decode_value`]).
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u64..5, 0u64..u64::MAX), 0..400)
+        .prop_map(|pairs| pairs.into_iter().map(decode_value).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Concurrent sharded histogram recording + merge equals one
+    /// sequential histogram fed the same values, bucket for bucket.
+    #[test]
+    fn concurrent_histogram_merge_equals_sequential(
+        values in arb_values(),
+        threads in 1usize..9,
+    ) {
+        let sequential = Histogram::new();
+        for &v in &values {
+            sequential.record(v);
+        }
+        let merged = concurrent_histogram(&values, threads);
+        prop_assert_eq!(merged.bucket_counts(), sequential.bucket_counts());
+        prop_assert_eq!(merged.count(), sequential.count());
+        prop_assert_eq!(merged.sum(), sequential.sum());
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        // The bucket vector itself accounts every recorded value exactly once.
+        let bucketed: u64 = merged.bucket_counts().iter().sum();
+        prop_assert_eq!(bucketed, values.len() as u64);
+    }
+
+    /// Concurrent sharded counter adds + merge equals the saturating
+    /// sequential sum.
+    #[test]
+    fn concurrent_counter_merge_equals_sequential(
+        deltas in arb_values(),
+        threads in 1usize..9,
+    ) {
+        let expected = deltas
+            .iter()
+            .fold(0u64, |acc, &d| acc.saturating_add(d));
+        let merged = concurrent_counter(&deltas, threads);
+        prop_assert_eq!(merged.value(), expected);
+    }
+
+    /// Merging is associative: folding shards left-to-right or pairwise
+    /// produces the same histogram.
+    #[test]
+    fn histogram_merge_is_associative(
+        values in arb_values(),
+    ) {
+        let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for (i, &v) in values.iter().enumerate() {
+            [&a, &b, &c][i % 3].record(v);
+        }
+        // ((a ⊕ b) ⊕ c)
+        let left = Histogram::new();
+        left.merge_from(&a);
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // (a ⊕ (b ⊕ c))
+        let bc = Histogram::new();
+        bc.merge_from(&b);
+        bc.merge_from(&c);
+        let right = Histogram::new();
+        right.merge_from(&a);
+        right.merge_from(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+    }
+
+    /// Every value lands in exactly the bucket whose range contains it.
+    #[test]
+    fn bucket_index_is_the_range_inverse(pair in (0u64..5, 0u64..u64::MAX)) {
+        let value = decode_value(pair);
+        let i = Histogram::bucket_index(value);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(value <= Histogram::bucket_le(i));
+        if i > 0 {
+            prop_assert!(value > Histogram::bucket_le(i - 1));
+        }
+    }
+}
